@@ -1,0 +1,83 @@
+"""Ablation: number of hash functions and hash family choice.
+
+Sweeps k at a fixed load factor against the analytic optimum (Fig. 4's
+two curves at one x), and compares the paper's MD5-slice family with
+the fast polynomial family for false-positive quality.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.tables import format_table
+from repro.core.bfmath import (
+    false_positive_probability,
+    optimal_integer_num_hashes,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import MD5HashFamily, PolynomialHashFamily
+
+from benchmarks._shared import write_result
+
+LOAD_FACTOR = 12
+NUM_KEYS = 4000
+TRIALS = 15_000
+
+
+def measure(family) -> float:
+    filt = BloomFilter(LOAD_FACTOR * NUM_KEYS, hash_family=family)
+    for i in range(NUM_KEYS):
+        filt.add(f"http://present{i}.com/doc")
+    hits = sum(
+        filt.may_contain(f"http://absent{i}.org/doc")
+        for i in range(TRIALS)
+    )
+    return hits / TRIALS
+
+
+def test_ablation_hash_functions(benchmark):
+    ks = (1, 2, 4, 8, optimal_integer_num_hashes(LOAD_FACTOR))
+
+    def sweep():
+        rows = {}
+        for k in ks:
+            rows[k] = measure(MD5HashFamily(num_functions=k))
+        rows["poly-4"] = measure(PolynomialHashFamily(4))
+        return rows
+
+    measured = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    rows = []
+    for k in ks:
+        analytic = false_positive_probability(LOAD_FACTOR, k)
+        # Empirical rates track the analytic curve.
+        assert measured[k] == pytest.approx(analytic, abs=0.01)
+        rows.append((f"md5 k={k}", f"{measured[k]:.4%}", f"{analytic:.4%}"))
+
+    # The fast polynomial family performs like MD5 at the same k.
+    assert measured["poly-4"] == pytest.approx(
+        false_positive_probability(LOAD_FACTOR, 4), abs=0.01
+    )
+    rows.append(
+        (
+            "polynomial k=4",
+            f"{measured['poly-4']:.4%}",
+            f"{false_positive_probability(LOAD_FACTOR, 4):.4%}",
+        )
+    )
+
+    # The optimal k beats k=1 decisively at this load factor.
+    k_opt = optimal_integer_num_hashes(LOAD_FACTOR)
+    assert measured[k_opt] < measured[1] / 3
+
+    write_result(
+        "ablation_hash_functions",
+        format_table(
+            ("family", "measured-fp", "analytic-fp"),
+            rows,
+            title=(
+                f"Ablation: hash count/family at load factor {LOAD_FACTOR} "
+                f"({NUM_KEYS} keys, {TRIALS} probes)"
+            ),
+        ),
+    )

@@ -1,0 +1,62 @@
+"""Fig. 1: hit ratios of the cooperation schemes vs cache size.
+
+One benchmark per trace, sweeping the paper's cache sizes (0.5%, 5%,
+10%, 20% of the infinite cache size) over all five schemes (including
+the 10%-smaller global cache).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import SCALE, write_result
+
+FRACTIONS = (0.005, 0.05, 0.10, 0.20)
+
+
+@pytest.mark.parametrize("workload", experiments.ALL_WORKLOADS)
+def test_fig1_sharing_benefits(benchmark, workload):
+    headers, rows = benchmark.pedantic(
+        experiments.fig1,
+        args=(workload,),
+        kwargs={"scale": SCALE, "cache_fractions": FRACTIONS},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == len(FRACTIONS)
+
+    for row in rows:
+        no_sharing, simple, single, global_, global90 = map(
+            float, row[1:]
+        )
+        # Every sharing scheme beats no sharing.
+        assert simple > no_sharing
+        assert single > no_sharing
+        assert global_ > no_sharing
+        # The smaller global cache never beats the full one.
+        assert global90 <= global_ + 1e-9
+        # The sharing schemes track each other closely (the paper's
+        # central Fig. 1 observation).
+        assert max(simple, single, global_) - min(
+            simple, single, global_
+        ) < 0.10
+
+    # Hit ratio grows with cache size for every scheme.
+    for col in range(1, 6):
+        series = [float(row[col]) for row in rows]
+        assert series == sorted(series)
+
+    write_result(
+        f"fig1_{workload}",
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Fig. 1 ({workload}): hit ratio vs cache size, "
+                f"scale {SCALE:g}"
+            ),
+        ),
+    )

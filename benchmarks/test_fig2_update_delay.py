@@ -1,0 +1,59 @@
+"""Fig. 2: impact of summary update delays on total hit ratio.
+
+Exact-directory summaries (as in the paper's Fig. 2), thresholds 0.1%
+to 10%, with the no-delay line as reference.  Checks the paper's
+finding that degradation grows roughly linearly with the threshold and
+stays small at 1%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import SCALE, write_result
+
+THRESHOLDS = (0.0, 0.001, 0.01, 0.02, 0.05, 0.10)
+
+
+@pytest.mark.parametrize("workload", experiments.ALL_WORKLOADS)
+def test_fig2_update_delay(benchmark, workload):
+    headers, rows = benchmark.pedantic(
+        experiments.fig2,
+        args=(workload,),
+        kwargs={"scale": SCALE, "thresholds": THRESHOLDS},
+        rounds=1,
+        iterations=1,
+    )
+
+    hit_ratios = [float(row[1]) for row in rows]
+    false_misses = [float(row[2]) for row in rows]
+
+    # The no-delay line dominates, and the loss grows with threshold.
+    assert hit_ratios[0] == max(hit_ratios)
+    assert false_misses == sorted(false_misses)
+    assert false_misses[0] == 0.0
+
+    # Degradation at the 1% threshold is small (the paper: 0.02%-1.7%
+    # relative).
+    drop_at_1pct = hit_ratios[0] - hit_ratios[2]
+    assert drop_at_1pct < 0.02
+
+    # Roughly linear growth: the 10% threshold loses clearly more than
+    # the 1% threshold.
+    drop_at_10pct = hit_ratios[0] - hit_ratios[5]
+    assert drop_at_10pct >= drop_at_1pct
+
+    write_result(
+        f"fig2_{workload}",
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Fig. 2 ({workload}): update-delay impact, "
+                f"exact-directory summaries, scale {SCALE:g}"
+            ),
+        ),
+    )

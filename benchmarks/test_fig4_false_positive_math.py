@@ -1,0 +1,71 @@
+"""Fig. 4: probability of false positives vs bits per entry.
+
+Regenerates both curves (k = 4 and the optimal integral k) plus the
+example-values table of Section V-C, and cross-checks the analytic
+curve against a real Bloom filter empirically.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.analysis.tables import format_table
+from repro.core.bfmath import (
+    example_table,
+    false_positive_probability,
+    fig4_series,
+)
+from repro.core.bloom import BloomFilter
+
+from benchmarks._shared import write_result
+
+
+def test_fig4_curves(benchmark):
+    headers, rows = benchmark.pedantic(
+        experiments.fig4, rounds=1, iterations=1
+    )
+    xs, top, bottom = fig4_series()
+
+    # The paper's anchor point: m/n = 10, k = 4 -> 1.2%; optimal -> <1%.
+    p_at_10_k4 = top[xs.index(10)]
+    assert p_at_10_k4 == pytest.approx(0.0118, abs=0.001)
+    assert bottom[xs.index(10)] < 0.01
+
+    # Log-linear decrease (the straight line on Fig. 4's log axis).
+    assert all(b <= t * 1.0001 for t, b in zip(top, bottom))
+    assert top == sorted(top, reverse=True)
+
+    write_result(
+        "fig4_false_positive_math",
+        format_table(
+            headers,
+            rows,
+            title="Fig. 4: false-positive probability vs bits/entry",
+        )
+        + "\n\nExample values (Section V-C): (m/n, k=4, p, k_opt, p_opt)\n"
+        + "\n".join(
+            f"  {lf:2d}  4  {p4:.3e}  {kopt:2d}  {popt:.3e}"
+            for lf, _k4, p4, kopt, popt in example_table()
+        ),
+    )
+
+
+def test_fig4_empirical_agreement(benchmark):
+    """A real filter at load factor 8 matches the analytic prediction."""
+
+    def measure():
+        n = 5000
+        filt = BloomFilter(8 * n)
+        for i in range(n):
+            filt.add(f"http://h{i}.com/d{i}")
+        trials = 20_000
+        false_positives = sum(
+            filt.may_contain(f"http://absent{i}.org/q")
+            for i in range(trials)
+        )
+        return false_positives / trials
+
+    measured = benchmark.pedantic(measure, rounds=1, iterations=1)
+    predicted = false_positive_probability(8, 4)
+    assert measured == pytest.approx(predicted, abs=0.006)

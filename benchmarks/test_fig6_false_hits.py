@@ -1,0 +1,59 @@
+"""Fig. 6: ratio of false hits under different summary representations
+(log-scale axis in the paper)."""
+
+from __future__ import annotations
+
+from repro import experiments
+from repro.core.bfmath import false_positive_probability
+
+from benchmarks._shared import representation_sweep, sweep_table, write_result
+
+
+def test_fig6_false_hits(benchmark):
+    def collect():
+        return {
+            workload: representation_sweep(workload)
+            for workload in experiments.ALL_WORKLOADS
+        }
+
+    all_results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    sections = []
+    for workload, results in all_results.items():
+        server = results["server-name"].false_hit_ratio
+        b8 = results["bloom-8"].false_hit_ratio
+        b16 = results["bloom-16"].false_hit_ratio
+        b32 = results["bloom-32"].false_hit_ratio
+        exact = results["exact-directory"].false_hit_ratio
+
+        # The paper's ordering: server-name >> bloom (decreasing in
+        # load factor) >= exact-directory.  bloom-8 is allowed to
+        # approach server-name with many peers -- the paper notes the
+        # "slightly higher false hit ratio when the bit array is small",
+        # and with 15 peer filters the per-filter 2.4% rate aggregates.
+        assert server > b16
+        assert b8 >= b16 >= b32
+        assert b32 >= exact - 1e-9
+        # Server-name false hits are large in absolute terms.
+        assert server > 0.01
+
+        sections.append(
+            sweep_table(
+                workload,
+                columns=(
+                    lambda r: f"{r.false_hit_ratio:.5f}",
+                    lambda r: f"{r.false_miss_ratio:.5f}",
+                    lambda r: f"{r.remote_stale_hit_ratio:.5f}",
+                ),
+                headers=("false-hit", "false-miss", "stale-hit"),
+                title=f"Fig. 6 ({workload}): error ratios per request",
+            )
+        )
+
+    # Analytic anchor: per-filter false positives at the nominal load
+    # factors order the same way.
+    assert false_positive_probability(8, 4) > false_positive_probability(
+        16, 4
+    ) > false_positive_probability(32, 4)
+
+    write_result("fig6_false_hits", "\n\n".join(sections))

@@ -1,0 +1,59 @@
+"""Fig. 8: bytes of interproxy network messages per user request,
+under the paper's size model (70-byte queries, 20+16n digest updates,
+32+4n Bloom updates)."""
+
+from __future__ import annotations
+
+from repro import experiments
+from repro.sharing.messages import (
+    QUERY_MESSAGE_BYTES,
+    bloom_update_bytes,
+    digest_update_bytes,
+)
+
+from benchmarks._shared import representation_sweep, sweep_table, write_result
+
+
+def test_fig8_message_bytes(benchmark):
+    def collect():
+        return {
+            workload: representation_sweep(workload)
+            for workload in experiments.ALL_WORKLOADS
+        }
+
+    all_results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    sections = []
+    for workload, results in all_results.items():
+        icp = results["icp"]
+        # Bloom summaries beat ICP on bytes (the paper: 55%-64% less).
+        for key in ("bloom-16", "bloom-32"):
+            assert (
+                results[key].message_bytes_per_request
+                < icp.message_bytes_per_request
+            )
+        # A Bloom flip record (4 B) is cheaper than a digest change
+        # record (16 B), so at equal update counts bloom updates are
+        # smaller per change.
+        assert bloom_update_bytes(100) < digest_update_bytes(100)
+
+        # Internal consistency of the byte accounting.
+        for label, r in results.items():
+            assert r.messages.query_bytes == (
+                r.messages.query_messages * QUERY_MESSAGE_BYTES
+            )
+
+        sections.append(
+            sweep_table(
+                workload,
+                columns=(
+                    lambda r: f"{r.message_bytes_per_request:.1f}",
+                    lambda r: f"{r.messages.query_bytes / r.requests:.1f}",
+                    lambda r: f"{r.messages.update_bytes / r.requests:.1f}",
+                ),
+                headers=("bytes/req", "query-B/req", "update-B/req"),
+                title=f"Fig. 8 ({workload}): message bytes per request",
+            )
+        )
+
+    write_result("fig8_message_bytes", "\n\n".join(sections))

@@ -1,0 +1,99 @@
+"""Microbenchmarks of the core data-structure operations.
+
+Unlike the experiment benchmarks (which regenerate the paper's tables
+with single-shot runs), these measure steady-state throughput of the
+primitives a deployed proxy exercises on every request: filter probes,
+inserts/deletes, MD5 hashing, and wire encode/decode.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import MD5HashFamily, PolynomialHashFamily
+from repro.protocol.update import build_dir_update_messages
+from repro.protocol.wire import IcpQuery, decode_message
+
+URLS = [f"http://server{i % 97}.example.net/path/{i}" for i in range(5000)]
+
+
+def test_micro_bloom_probe(benchmark):
+    filt = BloomFilter.for_capacity(5000, load_factor=8)
+    for url in URLS:
+        filt.add(url)
+    probe_urls = itertools.cycle(URLS)
+
+    def probe():
+        return filt.may_contain(next(probe_urls))
+
+    assert benchmark(probe) is True
+
+
+def test_micro_bloom_negative_probe(benchmark):
+    filt = BloomFilter.for_capacity(5000, load_factor=8)
+    for url in URLS:
+        filt.add(url)
+    absent = itertools.cycle(
+        [f"http://absent{i}.org/x" for i in range(1000)]
+    )
+
+    def probe():
+        return filt.may_contain(next(absent))
+
+    benchmark(probe)
+
+
+def test_micro_counting_add_remove(benchmark):
+    cbf = CountingBloomFilter.for_capacity(5000, load_factor=8)
+    urls = itertools.cycle(URLS)
+
+    def add_remove():
+        url = next(urls)
+        cbf.add(url)
+        cbf.remove(url)
+        # Bound the pending-flip list: a deployed proxy drains it on
+        # every update, so steady state never accumulates.
+        if cbf.pending_flip_count > 1024:
+            cbf.drain_flips()
+
+    benchmark(add_remove)
+
+
+def test_micro_md5_family(benchmark):
+    family = MD5HashFamily()
+    urls = itertools.cycle(URLS)
+    benchmark(lambda: family.hashes(next(urls), 40_000))
+
+
+def test_micro_polynomial_family(benchmark):
+    family = PolynomialHashFamily()
+    urls = itertools.cycle(URLS)
+    benchmark(lambda: family.hashes(next(urls), 40_000))
+
+
+def test_micro_query_encode_decode(benchmark):
+    urls = itertools.cycle(URLS)
+
+    def roundtrip():
+        query = IcpQuery(url=next(urls), request_number=7)
+        return decode_message(query.encode())
+
+    result = benchmark(roundtrip)
+    assert isinstance(result, IcpQuery)
+
+
+def test_micro_dirupdate_build(benchmark):
+    cbf = CountingBloomFilter.for_capacity(5000, load_factor=8)
+    for url in URLS[:1000]:
+        cbf.add(url)
+    flips = cbf.drain_flips()
+
+    def build():
+        return build_dir_update_messages(
+            flips, cbf.hash_family, cbf.num_bits
+        )
+
+    messages = benchmark(build)
+    assert messages

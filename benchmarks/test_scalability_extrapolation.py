@@ -1,0 +1,58 @@
+"""Section V-F: the 100-proxy scalability extrapolation, regenerated
+and checked against the paper's published numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.analysis.scalability import extrapolate
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import write_result
+
+
+def test_scalability_extrapolation(benchmark):
+    headers, rows = benchmark.pedantic(
+        experiments.scalability,
+        kwargs={"proxy_counts": (16, 32, 64, 100, 200)},
+        rounds=1,
+        iterations=1,
+    )
+
+    est = extrapolate(num_proxies=100)
+    # The paper's quantities, one by one:
+    # "about 200 MB to represent all the summaries"
+    assert est.summary_memory_bytes == pytest.approx(
+        200 * 2**20, rel=0.05
+    )
+    # "another 8 MB to represent its own counters"
+    assert est.counter_memory_bytes == 8 * 2**20
+    # "10 K requests between updates"
+    assert est.requests_between_updates == pytest.approx(10_486, rel=0.01)
+    # "the number of update messages per request is less than 0.01"
+    assert est.update_messages_per_request < 0.01
+    # "false hit ratios are around 4.7%"
+    assert est.false_hit_queries_per_request == pytest.approx(
+        0.047, abs=0.003
+    )
+    # "under 0.06 messages per request for 100 proxies"
+    assert est.protocol_messages_per_request < 0.06
+
+    # Overhead grows linearly, not quadratically, in the proxy count --
+    # the scalability claim itself.
+    per_n = {int(row[0]): float(row[5]) for row in rows}
+    assert per_n[200] / per_n[100] == pytest.approx(
+        199 / 99, rel=0.05
+    )
+
+    write_result(
+        "scalability_extrapolation",
+        format_table(
+            headers,
+            rows,
+            title="Section V-F: scalability extrapolation",
+        )
+        + "\n\n"
+        + est.summary(),
+    )

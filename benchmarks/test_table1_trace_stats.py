@@ -1,0 +1,30 @@
+"""Table I: statistics of the five workload stand-ins."""
+
+from __future__ import annotations
+
+from repro import experiments
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import SCALE, write_result
+
+
+def test_table1_trace_stats(benchmark):
+    headers, rows = benchmark.pedantic(
+        experiments.table1,
+        kwargs={"scale": SCALE},
+        rounds=1,
+        iterations=1,
+    )
+    assert len(rows) == 5
+    # Every trace achieves a substantial but sub-1 maximum hit ratio.
+    for row in rows:
+        max_hr = float(row[6])
+        assert 0.2 < max_hr < 0.95
+    write_result(
+        "table1_trace_stats",
+        format_table(
+            headers,
+            rows,
+            title=f"Table I: trace statistics (scale {SCALE:g})",
+        ),
+    )

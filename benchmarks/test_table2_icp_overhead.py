@@ -1,0 +1,65 @@
+"""Table II: overhead of ICP in the four-proxy benchmark.
+
+The paper's setup: 4 proxies, 120 clients issuing 200 requests each
+with no think time, origin replies delayed 1 s, no request overlap
+between clients (no remote hits -- ICP's worst case), at inherent hit
+ratios of 25% and 45%.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import experiments
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import write_result
+
+
+@pytest.mark.parametrize("hit_ratio", [0.25, 0.45])
+def test_table2_icp_overhead(benchmark, hit_ratio):
+    headers, rows = benchmark.pedantic(
+        experiments.table2,
+        kwargs={
+            "target_hit_ratio": hit_ratio,
+            "clients_per_proxy": 30,
+            "requests_per_client": 200,
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    by_config = {row[0]: row for row in rows}
+    # No remote hits: identical hit ratios in all three configurations.
+    assert (
+        by_config["no-icp"][1]
+        == by_config["icp"][1]
+        == by_config["sc-icp"][1]
+    )
+
+    # ICP's UDP factor lands in the paper's ballpark (73x-90x).
+    udp_factor = by_config["icp overhead"][5]
+    factor = float(udp_factor.rstrip("x"))
+    assert 40 < factor < 150
+
+    # ICP inflates CPU and latency; SC-ICP stays near no-ICP.
+    icp_user = float(by_config["icp overhead"][3].strip("+%"))
+    sc_user = float(by_config["sc-icp overhead"][3].strip("+%"))
+    assert icp_user > 10
+    assert sc_user < icp_user / 2
+    icp_latency = float(by_config["icp overhead"][2].strip("+%"))
+    sc_latency = float(by_config["sc-icp overhead"][2].strip("+%"))
+    assert icp_latency > 2
+    assert sc_latency < icp_latency
+
+    write_result(
+        f"table2_hit{int(hit_ratio * 100)}",
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table II: ICP overhead, 4 proxies, inherent hit ratio "
+                f"{hit_ratio:g} (120 clients x 200 requests)"
+            ),
+        ),
+    )

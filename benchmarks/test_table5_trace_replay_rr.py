@@ -1,0 +1,28 @@
+"""Table V: trace replay with round-robin request assignment (the
+paper's experiment 4: global request order preserved, client binding
+not; proxies are more load-balanced than in experiment 3)."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+from benchmarks._shared import write_result
+from benchmarks.test_table4_trace_replay import check_replay_rows, run_replay
+
+
+def test_table5_trace_replay_round_robin(benchmark):
+    headers, rows = benchmark.pedantic(
+        run_replay, args=("round-robin",), rounds=1, iterations=1
+    )
+    check_replay_rows(rows)
+    write_result(
+        "table5_trace_replay_rr",
+        format_table(
+            headers,
+            rows,
+            title=(
+                "Table V: UPisa-like replay, round-robin assignment "
+                "(experiment 4)"
+            ),
+        ),
+    )

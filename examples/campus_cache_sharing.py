@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Scenario: eight university departments deciding whether to share caches.
+
+This is the paper's motivating situation -- "each department in a
+university has its own proxy cache, and the caches collaborate."  The
+script answers the questions an administrator would ask, using the
+trace-driven simulators:
+
+1. How much does sharing improve our hit ratio?  (Fig. 1)
+2. What does discovery cost under ICP vs summary cache?  (Figs. 7/8)
+3. How stale can summaries be before we lose hits?  (Fig. 2)
+4. How much DRAM do the summaries take?  (Table III)
+
+Run:  python examples/campus_cache_sharing.py [--scale 1.0]
+"""
+
+import argparse
+
+from repro.analysis.tables import format_table
+from repro.core.summary import SummaryConfig
+from repro.sharing import (
+    SummarySharingConfig,
+    ThresholdUpdatePolicy,
+    simulate_global_cache,
+    simulate_icp,
+    simulate_no_sharing,
+    simulate_simple_sharing,
+    simulate_summary_sharing,
+)
+from repro.traces import compute_stats, make_workload, mean_cacheable_size
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0)
+    args = parser.parse_args()
+
+    # The UPisa preset models a university department population.
+    trace, groups = make_workload("upisa", scale=args.scale)
+    stats = compute_stats(trace)
+    capacity = int(stats.infinite_cache_bytes * 0.10 / groups)
+    doc_size = mean_cacheable_size(trace)
+    print(
+        f"workload: {stats.num_requests} requests from "
+        f"{stats.num_clients} clients across {groups} departments; "
+        f"each proxy gets {capacity / 1024:.0f} KB of cache "
+        f"(10% of the {stats.infinite_cache_bytes / 2**20:.1f} MB "
+        f"working set)\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Is sharing worth it at all?
+    # ------------------------------------------------------------------
+    alone = simulate_no_sharing(trace, groups, capacity)
+    shared = simulate_simple_sharing(trace, groups, capacity)
+    pooled = simulate_global_cache(trace, groups, capacity)
+    print(
+        format_table(
+            ("scheme", "hit ratio", "extra hits vs alone"),
+            [
+                ("each department alone", f"{alone.total_hit_ratio:.3f}", "-"),
+                (
+                    "simple sharing (ICP-style)",
+                    f"{shared.total_hit_ratio:.3f}",
+                    f"+{(shared.total_hit_ratio - alone.total_hit_ratio) * 100:.1f} pp",
+                ),
+                (
+                    "one pooled cache",
+                    f"{pooled.total_hit_ratio:.3f}",
+                    f"+{(pooled.total_hit_ratio - alone.total_hit_ratio) * 100:.1f} pp",
+                ),
+            ],
+            title="1. The benefit of sharing (Fig. 1)",
+        )
+    )
+    print(
+        "\n-> simple sharing captures nearly all of the pooled cache's"
+        " benefit without any coordination of replacements.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 2. Discovery cost: ICP floods vs Bloom summaries.
+    # ------------------------------------------------------------------
+    icp = simulate_icp(trace, groups, capacity)
+    # The update threshold is a fraction of *cached documents*: a campus
+    # cache at this scale holds only a few hundred documents, so the
+    # paper's 1% would ship an update every couple of requests.  Scale
+    # the threshold so updates fire about every ~150 requests per proxy,
+    # the regime the paper's full-size traces operate in.
+    docs_per_cache = max(1, capacity // doc_size)
+    threshold = min(0.10, max(0.01, 50.0 / docs_per_cache))
+    bloom_cfg = SummarySharingConfig(
+        summary=SummaryConfig(kind="bloom", load_factor=16),
+        update_policy=ThresholdUpdatePolicy(threshold),
+        expected_doc_size=doc_size,
+    )
+    bloom = simulate_summary_sharing(trace, groups, capacity, bloom_cfg)
+    rows = []
+    for name, r in (("ICP", icp), ("summary cache (bloom-16)", bloom)):
+        rows.append(
+            (
+                name,
+                f"{r.total_hit_ratio:.3f}",
+                f"{r.messages_per_request:.3f}",
+                f"{r.message_bytes_per_request:.0f}",
+            )
+        )
+    print(
+        format_table(
+            ("protocol", "hit ratio", "msgs/request", "bytes/request"),
+            rows,
+            title="2. Discovery cost (Figs. 7-8)",
+        )
+    )
+    factor = icp.messages_per_request / max(
+        1e-9, bloom.messages_per_request
+    )
+    query_factor = icp.messages.query_messages / max(
+        1, bloom.messages.query_messages
+    )
+    print(
+        f"\n-> summary cache sends {factor:.1f}x fewer interproxy"
+        f" messages overall ({query_factor:.0f}x fewer per-miss"
+        f" queries) at nearly the same hit ratio; the factor grows"
+        f" with cache size (the paper's full-size traces reach"
+        f" 25-60x).\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 3. How stale may summaries become?
+    # ------------------------------------------------------------------
+    rows = []
+    for threshold in (0.0, 0.01, 0.05, 0.10):
+        cfg = SummarySharingConfig(
+            summary=SummaryConfig(kind="exact-directory"),
+            update_policy=ThresholdUpdatePolicy(threshold),
+            expected_doc_size=doc_size,
+        )
+        r = simulate_summary_sharing(trace, groups, capacity, cfg)
+        rows.append(
+            (
+                f"{threshold * 100:g}%",
+                f"{r.total_hit_ratio:.4f}",
+                f"{r.false_miss_ratio:.4f}",
+            )
+        )
+    print(
+        format_table(
+            ("update threshold", "hit ratio", "false-miss ratio"),
+            rows,
+            title="3. Tolerating stale summaries (Fig. 2)",
+        )
+    )
+    print(
+        "\n-> delaying updates until 1% of the cache is new costs"
+        " almost nothing.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # 4. Memory bill per department.
+    # ------------------------------------------------------------------
+    rows = []
+    for kind, lf in (
+        ("exact-directory", 8),
+        ("bloom", 8),
+        ("bloom", 16),
+    ):
+        cfg = SummarySharingConfig(
+            summary=SummaryConfig(kind=kind, load_factor=lf),
+            update_policy=ThresholdUpdatePolicy(0.01),
+            expected_doc_size=doc_size,
+        )
+        r = simulate_summary_sharing(trace, groups, capacity, cfg)
+        label = kind if kind != "bloom" else f"bloom-{lf}"
+        rows.append(
+            (
+                label,
+                f"{r.summary_memory_bytes / 1024:.1f} KB",
+                f"{r.summary_memory_ratio * 100:.2f}%",
+            )
+        )
+    print(
+        format_table(
+            ("representation", "DRAM per proxy", "% of cache size"),
+            rows,
+            title="4. Summary memory (Table III)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

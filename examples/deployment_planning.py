@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Scenario: capacity-planning a national cache mesh (Section V-F).
+
+You operate N proxies and must pick the Bloom filter load factor, hash
+count, and update threshold.  This script explores the design space with
+the analytic model and prints the trade-off tables the paper's
+Section V-F sketches for 100 proxies, then sanity-checks one design
+point against the analytic false-positive formula with a real filter.
+
+Run:  python examples/deployment_planning.py [--proxies 100]
+"""
+
+import argparse
+
+from repro.analysis.scalability import extrapolate
+from repro.analysis.tables import format_table
+from repro.core.bfmath import (
+    false_positive_probability,
+    optimal_integer_num_hashes,
+)
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import MD5HashFamily
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--proxies", type=int, default=100)
+    parser.add_argument("--cache-gb", type=float, default=8.0)
+    args = parser.parse_args()
+    n = args.proxies
+    cache_bytes = int(args.cache_gb * 2**30)
+
+    # ------------------------------------------------------------------
+    # Sweep the load factor: memory vs false-hit queries.
+    # ------------------------------------------------------------------
+    rows = []
+    for load_factor in (4, 8, 16, 32):
+        k = optimal_integer_num_hashes(load_factor)
+        est = extrapolate(
+            num_proxies=n,
+            cache_bytes=cache_bytes,
+            load_factor=load_factor,
+            num_hashes=min(k, 10),
+        )
+        rows.append(
+            (
+                load_factor,
+                min(k, 10),
+                f"{est.summary_memory_bytes / 2**20:.0f} MB",
+                f"{est.false_positive_per_filter:.3%}",
+                f"{est.false_hit_queries_per_request:.4f}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "load factor",
+                "hashes",
+                "summary DRAM/proxy",
+                "p(false positive)",
+                "false-hit queries/req",
+            ),
+            rows,
+            title=f"Load factor trade-off for {n} proxies",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # Sweep the update threshold: staleness vs update traffic.
+    # ------------------------------------------------------------------
+    rows = []
+    for threshold in (0.001, 0.01, 0.05, 0.10):
+        est = extrapolate(
+            num_proxies=n,
+            cache_bytes=cache_bytes,
+            update_threshold=threshold,
+        )
+        rows.append(
+            (
+                f"{threshold * 100:g}%",
+                f"{est.requests_between_updates:,.0f}",
+                f"{est.update_messages_per_request:.4f}",
+            )
+        )
+    print()
+    print(
+        format_table(
+            (
+                "update threshold",
+                "requests between updates",
+                "update msgs/request",
+            ),
+            rows,
+            title="Update threshold trade-off",
+        )
+    )
+
+    # ------------------------------------------------------------------
+    # The paper's recommended design point, spelled out.
+    # ------------------------------------------------------------------
+    est = extrapolate(num_proxies=n, cache_bytes=cache_bytes)
+    print("\nRecommended configuration (paper Section V-E/V-F):")
+    print("  " + est.summary())
+
+    # ------------------------------------------------------------------
+    # Empirical spot-check of the analytic false-positive rate.
+    # ------------------------------------------------------------------
+    print("\nEmpirical check (10k keys, load factor 16, k = 4):")
+    filt = BloomFilter.for_capacity(
+        10_000, load_factor=16, hash_family=MD5HashFamily(4)
+    )
+    for i in range(10_000):
+        filt.add(f"http://host{i % 997}.net/obj/{i}")
+    trials = 20_000
+    false_hits = sum(
+        filt.may_contain(f"http://absent{i}.org/x") for i in range(trials)
+    )
+    predicted = false_positive_probability(16, 4)
+    print(
+        f"  measured {false_hits / trials:.4%} vs "
+        f"analytic {predicted:.4%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

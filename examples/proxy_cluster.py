@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Scenario: run a real SC-ICP proxy cluster on localhost.
+
+Boots one origin server and four cooperating proxies speaking actual
+ICP v2 (+ ``ICP_OP_DIRUPDATE``) over UDP and the HTTP subset over TCP,
+replays a synthetic regional-ISP workload through them in all three
+modes, and prints the Table II-style comparison from live socket
+traffic.
+
+Run:  python examples/proxy_cluster.py [--requests 1200]
+"""
+
+import argparse
+import asyncio
+import time
+
+from repro.analysis.tables import format_table
+from repro.core.summary import SummaryConfig
+from repro.proxy import ProxyCluster, ProxyConfig, ProxyMode
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+async def run_mode(mode: ProxyMode, trace, cache_capacity: int):
+    config = ProxyConfig(
+        summary=SummaryConfig(kind="bloom", load_factor=8),
+        expected_doc_size=2048,
+        update_threshold=0.01,
+    )
+    started = time.perf_counter()
+    async with ProxyCluster(
+        num_proxies=4,
+        mode=mode,
+        cache_capacity=cache_capacity,
+        origin_delay=0.002,  # stand-in for the paper's 1 s WAN delay
+        base_config=config,
+    ) as cluster:
+        result = await cluster.replay(trace, clients_per_proxy=4)
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+async def main_async(num_requests: int) -> None:
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            name="regional-isp",
+            num_requests=num_requests,
+            num_clients=32,
+            num_documents=max(200, num_requests // 3),
+            mean_size=2048,
+            max_size=64 * 1024,
+            mod_probability=0.0,
+            seed=77,
+        )
+    )
+    print(
+        f"replaying {len(trace)} requests from "
+        f"{len(trace.clients())} clients through 4 proxies "
+        f"(real sockets on localhost)\n"
+    )
+
+    rows = []
+    for mode in (ProxyMode.NO_ICP, ProxyMode.ICP, ProxyMode.SC_ICP):
+        result, wall = await run_mode(mode, trace, cache_capacity=2**20)
+        remote = sum(s.remote_hits for s in result.proxy_stats)
+        queries = sum(s.icp_queries_sent for s in result.proxy_stats)
+        updates = sum(s.dirupdates_sent for s in result.proxy_stats)
+        false_rounds = sum(
+            s.false_query_rounds for s in result.proxy_stats
+        )
+        rows.append(
+            (
+                mode.value,
+                f"{result.total_hit_ratio:.3f}",
+                remote,
+                result.udp_total,
+                queries,
+                updates,
+                false_rounds,
+                f"{result.client_report.mean_latency * 1000:.1f} ms",
+                f"{wall:.1f} s",
+            )
+        )
+
+    print(
+        format_table(
+            (
+                "mode",
+                "hit-ratio",
+                "remote-hits",
+                "udp-sent",
+                "queries",
+                "dir-updates",
+                "false-rounds",
+                "latency",
+                "wall",
+            ),
+            rows,
+            title="Prototype cluster, live measurement (cf. Table II)",
+        )
+    )
+    print(
+        "\nReading the table: ICP finds the same remote hits as SC-ICP"
+        "\nbut floods a query to every peer on every miss; SC-ICP's"
+        "\nqueries collapse to (almost) only the ones that pay off,"
+        "\ntraded against a stream of DIRUPDATE messages."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=1200)
+    args = parser.parse_args()
+    asyncio.run(main_async(args.requests))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Reproduction of *Summary Cache: A Scalable Wide-Area Web Cache Sharing
+Protocol* (Fan, Cao, Almeida, Broder; SIGCOMM 1998 / IEEE-ACM ToN 2000).
+
+The package is organized around the paper's structure:
+
+- :mod:`repro.core` -- Bloom filters, counting Bloom filters, summary
+  representations, and the analytic math (Sections V-B/C/D, Fig. 4).
+- :mod:`repro.cache` -- the proxy cache substrate (Section II).
+- :mod:`repro.traces` -- synthetic trace generation and statistics
+  standing in for the paper's five proxy traces (Table I).
+- :mod:`repro.sharing` -- trace-driven simulators for every sharing
+  scheme and summary form (Figs. 1, 2, 5-8; Table III).
+- :mod:`repro.protocol` -- the ICP v2 wire format plus the
+  ``ICP_OP_DIRUPDATE`` extension (Section VI-A).
+- :mod:`repro.proxy` -- an asyncio proxy prototype speaking the protocol
+  on localhost (Section VI-B).
+- :mod:`repro.simulation` -- a discrete-event proxy-cluster simulator
+  reproducing the overhead experiments (Tables II, IV, V).
+- :mod:`repro.benchmarkkit` -- a Wisconsin-proxy-benchmark-equivalent
+  workload generator (Section IV).
+- :mod:`repro.analysis` -- the 100-proxy scalability extrapolation
+  (Section V-F).
+
+Quickstart::
+
+    from repro import CountingBloomFilter
+
+    summary = CountingBloomFilter.for_capacity(10_000, load_factor=8)
+    summary.add("http://example.com/index.html")
+    assert summary.may_contain("http://example.com/index.html")
+    summary.remove("http://example.com/index.html")
+"""
+
+from repro.cache import CacheEntry, CacheStats, WebCache
+from repro.core import (
+    BitArray,
+    BloomFilter,
+    BloomSummary,
+    CounterArray,
+    CountingBloomFilter,
+    ExactDirectorySummary,
+    MD5HashFamily,
+    ServerNameSummary,
+    SummaryConfig,
+    false_positive_probability,
+    make_local_summary,
+    optimal_num_hashes,
+)
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    ProxyError,
+    ReproError,
+    SimulationError,
+    TraceFormatError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BitArray",
+    "BloomFilter",
+    "BloomSummary",
+    "CacheEntry",
+    "CacheStats",
+    "ConfigurationError",
+    "CounterArray",
+    "CountingBloomFilter",
+    "ExactDirectorySummary",
+    "MD5HashFamily",
+    "ProtocolError",
+    "ProxyError",
+    "ReproError",
+    "ServerNameSummary",
+    "SimulationError",
+    "SummaryConfig",
+    "TraceFormatError",
+    "WebCache",
+    "__version__",
+    "false_positive_probability",
+    "make_local_summary",
+    "optimal_num_hashes",
+]

@@ -1,0 +1,115 @@
+"""The Section V-F scalability extrapolation.
+
+The paper's back-of-the-envelope for 100 proxies with 8 GB caches:
+
+    "Each proxy stores on average about 1M Web pages.  The Bloom filter
+    memory needed to represent 1M pages is 2 MB at load factor 16.
+    Each proxy needs about 200 MB to represent all the summaries plus
+    another 8 MB to represent its own counters. ... The threshold of 1%
+    corresponds to 10 K requests between updates, each update consisting
+    of 99 messages, and the number of update messages per request is
+    less than 0.01.  The false hit ratios are around 4.7% for the load
+    factor of 16 with 10 hash functions. ... the overhead introduced by
+    the protocol is under 0.06 messages per request for 100 proxies."
+
+:func:`extrapolate` computes each of those quantities from first
+principles so the numbers can be regenerated for any configuration.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.bfmath import false_positive_probability
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class ScalabilityEstimate:
+    """The derived quantities of the Section V-F calculation."""
+
+    num_proxies: int
+    pages_per_proxy: int
+    filter_bytes_per_proxy: int
+    summary_memory_bytes: int
+    counter_memory_bytes: int
+    requests_between_updates: float
+    update_messages_per_request: float
+    false_positive_per_filter: float
+    false_hit_queries_per_request: float
+    protocol_messages_per_request: float
+
+    def summary(self) -> str:
+        """A one-paragraph rendering mirroring the paper's prose."""
+        return (
+            f"{self.num_proxies} proxies, ~{self.pages_per_proxy / 1e6:.1f}M "
+            f"pages each: filter = "
+            f"{self.filter_bytes_per_proxy / 2**20:.1f} MB/proxy, summaries = "
+            f"{self.summary_memory_bytes / 2**20:.0f} MB/proxy plus "
+            f"{self.counter_memory_bytes / 2**20:.0f} MB of counters; "
+            f"~{self.requests_between_updates:.0f} requests between updates "
+            f"(={self.update_messages_per_request:.4f} update msgs/request); "
+            f"per-filter false positive {self.false_positive_per_filter:.2%} "
+            f"-> {self.false_hit_queries_per_request:.4f} false-hit "
+            f"queries/request; protocol overhead "
+            f"{self.protocol_messages_per_request:.4f} msgs/request."
+        )
+
+
+def extrapolate(
+    num_proxies: int = 100,
+    cache_bytes: int = 8 * 2**30,
+    page_size: int = 8 * 1024,
+    load_factor: int = 16,
+    num_hashes: int = 10,
+    update_threshold: float = 0.01,
+    counter_bits: int = 4,
+    miss_ratio: float = 1.0,
+) -> ScalabilityEstimate:
+    """Compute the Section V-F estimate for an arbitrary configuration.
+
+    ``miss_ratio`` converts between requests and cache insertions; the
+    paper's calculation implicitly treats every request as potentially
+    inserting a document (miss_ratio = 1 gives its "10 K requests
+    between updates" for 1M pages at 1%).
+    """
+    if num_proxies < 2:
+        raise ConfigurationError("num_proxies must be >= 2")
+    if not 0.0 < update_threshold <= 1.0:
+        raise ConfigurationError("update_threshold must be in (0, 1]")
+    if not 0.0 < miss_ratio <= 1.0:
+        raise ConfigurationError("miss_ratio must be in (0, 1]")
+
+    pages = cache_bytes // page_size
+    filter_bits = pages * load_factor
+    filter_bytes = filter_bits // 8
+    peers = num_proxies - 1
+
+    summary_memory = filter_bytes * peers
+    counter_memory = (filter_bits * counter_bits) // 8
+
+    new_docs_per_update = pages * update_threshold
+    requests_between_updates = new_docs_per_update / miss_ratio
+    update_messages_per_request = peers / requests_between_updates
+
+    p_fp = false_positive_probability(load_factor, num_hashes)
+    # A false hit sends a query; with `peers` independent filters the
+    # expected number of spurious candidates per (missing) URL is the
+    # sum of the per-filter probabilities.
+    false_hit_queries = peers * p_fp * miss_ratio
+
+    return ScalabilityEstimate(
+        num_proxies=num_proxies,
+        pages_per_proxy=pages,
+        filter_bytes_per_proxy=filter_bytes,
+        summary_memory_bytes=summary_memory,
+        counter_memory_bytes=counter_memory,
+        requests_between_updates=requests_between_updates,
+        update_messages_per_request=update_messages_per_request,
+        false_positive_per_filter=p_fp,
+        false_hit_queries_per_request=false_hit_queries,
+        protocol_messages_per_request=(
+            update_messages_per_request + false_hit_queries
+        ),
+    )

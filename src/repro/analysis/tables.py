@@ -1,0 +1,45 @@
+"""Plain-text table rendering for the benchmark harness.
+
+The benchmarks print paper-style rows; keeping the renderer here (rather
+than in each benchmark) makes the output format uniform across all
+tables and figures.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render *rows* as an aligned monospace table.
+
+    Cells are stringified with ``str``; floats should be pre-formatted
+    by the caller so each table controls its own precision.
+    """
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            if i < len(widths):
+                widths[i] = max(widths[i], len(cell))
+            else:
+                widths.append(len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(
+            cell.ljust(widths[i]) for i, cell in enumerate(cells)
+        ).rstrip()
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(render_row(list(headers)))
+    lines.append(render_row(["-" * w for w in widths]))
+    for row in str_rows:
+        lines.append(render_row(row))
+    return "\n".join(lines)

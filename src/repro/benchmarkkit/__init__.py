@@ -1,0 +1,16 @@
+"""Workload generation mirroring the Wisconsin Proxy Benchmark 1.0.
+
+Section IV describes the benchmark: clients issue requests with no think
+time, "the document sizes follow the Pareto distribution with
+alpha = 1.1", each client's stream has a tunable inherent hit ratio via
+temporal locality, and -- for the overhead experiments -- "the requests
+issued by different clients do not overlap; there is no remote cache
+hit among proxies."
+"""
+
+from repro.benchmarkkit.wisconsin import (
+    WisconsinConfig,
+    generate_client_streams,
+)
+
+__all__ = ["WisconsinConfig", "generate_client_streams"]

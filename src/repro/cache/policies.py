@@ -1,0 +1,239 @@
+"""Replacement policies for :class:`repro.cache.webcache.WebCache`.
+
+The paper's headline results use LRU.  The other policies exist because
+Section III explicitly flags replacement as a sensitivity ("Different
+replacement algorithms may give different results"), and the benchmark
+suite includes a policy sweep.
+
+A policy tracks ordering metadata only; the cache owns the entries.  The
+contract:
+
+- :meth:`ReplacementPolicy.on_insert` -- a new key entered the cache.
+- :meth:`ReplacementPolicy.on_access` -- an existing key was hit.
+- :meth:`ReplacementPolicy.on_remove` -- a key left the cache (any reason).
+- :meth:`ReplacementPolicy.victim` -- choose the next key to evict.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Dict
+
+from repro.errors import ConfigurationError
+
+
+class ReplacementPolicy(ABC):
+    """Interface all replacement policies implement."""
+
+    @abstractmethod
+    def on_insert(self, key: str, size: int) -> None:
+        """Register a newly inserted *key* of *size* bytes."""
+
+    @abstractmethod
+    def on_access(self, key: str) -> None:
+        """Register a hit on *key*."""
+
+    @abstractmethod
+    def on_remove(self, key: str) -> None:
+        """Forget *key* (evicted or explicitly removed)."""
+
+    @abstractmethod
+    def victim(self) -> str:
+        """Return the key to evict next.  Undefined when empty."""
+
+    @abstractmethod
+    def __len__(self) -> int:
+        """Number of tracked keys."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Evict the least recently used key (the paper's default)."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: str) -> None:
+        self._order.move_to_end(key)
+
+    def on_remove(self, key: str) -> None:
+        del self._order[key]
+
+    def victim(self) -> str:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """Evict in insertion order; hits do not refresh position."""
+
+    def __init__(self) -> None:
+        self._order: "OrderedDict[str, None]" = OrderedDict()
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._order[key] = None
+
+    def on_access(self, key: str) -> None:
+        pass
+
+    def on_remove(self, key: str) -> None:
+        del self._order[key]
+
+    def victim(self) -> str:
+        return next(iter(self._order))
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+
+class LFUPolicy(ReplacementPolicy):
+    """Evict the least frequently used key; LRU among ties.
+
+    Implemented with a lazy heap of ``(frequency, sequence, key)``
+    entries: stale heap entries are skipped at :meth:`victim` time.
+    """
+
+    def __init__(self) -> None:
+        self._freq: Dict[str, int] = {}
+        self._heap: list = []
+        self._seq = 0
+
+    def _push(self, key: str) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self._freq[key], self._seq, key))
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._freq[key] = 1
+        self._push(key)
+
+    def on_access(self, key: str) -> None:
+        self._freq[key] += 1
+        self._push(key)
+
+    def on_remove(self, key: str) -> None:
+        del self._freq[key]
+
+    def victim(self) -> str:
+        while self._heap:
+            freq, _, key = self._heap[0]
+            current = self._freq.get(key)
+            if current is None or current != freq:
+                heapq.heappop(self._heap)  # stale entry
+                continue
+            return key
+        raise KeyError("victim() on empty LFU policy")
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+
+class SizePolicy(ReplacementPolicy):
+    """Evict the largest document first (the classic SIZE policy)."""
+
+    def __init__(self) -> None:
+        self._size: Dict[str, int] = {}
+        self._heap: list = []  # (-size, seq, key), lazy deletion
+        self._seq = 0
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._size[key] = size
+        self._seq += 1
+        heapq.heappush(self._heap, (-size, self._seq, key))
+
+    def on_access(self, key: str) -> None:
+        pass
+
+    def on_remove(self, key: str) -> None:
+        del self._size[key]
+
+    def victim(self) -> str:
+        while self._heap:
+            neg_size, _, key = self._heap[0]
+            current = self._size.get(key)
+            if current is None or current != -neg_size:
+                heapq.heappop(self._heap)
+                continue
+            return key
+        raise KeyError("victim() on empty SIZE policy")
+
+    def __len__(self) -> int:
+        return len(self._size)
+
+
+class GDSFPolicy(ReplacementPolicy):
+    """Greedy-Dual-Size-Frequency: evict min of ``L + freq / size``.
+
+    The inflation term ``L`` (the priority of the last victim) ages out
+    documents that were once popular, giving GDSF its scan resistance.
+    """
+
+    def __init__(self) -> None:
+        self._priority: Dict[str, float] = {}
+        self._freq: Dict[str, int] = {}
+        self._size: Dict[str, int] = {}
+        self._heap: list = []  # (priority, seq, key), lazy deletion
+        self._seq = 0
+        self._inflation = 0.0
+
+    def _score(self, key: str) -> float:
+        return self._inflation + self._freq[key] / max(1, self._size[key])
+
+    def _push(self, key: str) -> None:
+        self._priority[key] = self._score(key)
+        self._seq += 1
+        heapq.heappush(self._heap, (self._priority[key], self._seq, key))
+
+    def on_insert(self, key: str, size: int) -> None:
+        self._freq[key] = 1
+        self._size[key] = size
+        self._push(key)
+
+    def on_access(self, key: str) -> None:
+        self._freq[key] += 1
+        self._push(key)
+
+    def on_remove(self, key: str) -> None:
+        del self._freq[key]
+        del self._size[key]
+        del self._priority[key]
+
+    def victim(self) -> str:
+        while self._heap:
+            priority, _, key = self._heap[0]
+            current = self._priority.get(key)
+            if current is None or current != priority:
+                heapq.heappop(self._heap)
+                continue
+            self._inflation = priority
+            return key
+        raise KeyError("victim() on empty GDSF policy")
+
+    def __len__(self) -> int:
+        return len(self._freq)
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "lfu": LFUPolicy,
+    "size": SizePolicy,
+    "gdsf": GDSFPolicy,
+}
+
+
+def make_policy(name: str) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name (``lru``/``fifo``/``lfu``/``size``/``gdsf``)."""
+    try:
+        cls = _POLICIES[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown replacement policy {name!r}; "
+            f"expected one of {sorted(_POLICIES)}"
+        ) from None
+    return cls()

@@ -1,0 +1,228 @@
+"""Command-line interface: ``summary-cache <experiment> [options]``.
+
+Every table and figure in the paper can be regenerated from the shell::
+
+    summary-cache table1
+    summary-cache fig1 --workload upisa
+    summary-cache fig2 --workload dec --scale 2
+    summary-cache table2 --hit-ratio 0.45
+    summary-cache table3
+    summary-cache fig4
+    summary-cache representations --workload upisa   # Figs. 5-8
+    summary-cache table4                             # client-bound replay
+    summary-cache table5                             # round-robin replay
+    summary-cache scalability
+    summary-cache gen-trace --workload dec --out dec.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro import experiments
+from repro.analysis.tables import format_table
+from repro.traces.readers import write_jsonl
+from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workload",
+        default="upisa",
+        choices=sorted(WORKLOAD_PRESETS),
+        help="synthetic workload preset (default: upisa)",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=1.0,
+        help="workload scale factor (default: 1.0)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for shell-completion tools)."""
+    parser = argparse.ArgumentParser(
+        prog="summary-cache",
+        description=(
+            "Reproduction of 'Summary Cache: A Scalable Wide-Area Web "
+            "Cache Sharing Protocol' (Fan, Cao, Almeida, Broder)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("table1", help="trace statistics (Table I)")
+    p.add_argument("--scale", type=float, default=1.0)
+
+    p = sub.add_parser("fig1", help="sharing-scheme hit ratios (Fig. 1)")
+    _add_workload_args(p)
+
+    p = sub.add_parser("table2", help="ICP overhead benchmark (Table II)")
+    p.add_argument("--hit-ratio", type=float, default=0.25)
+    p.add_argument("--clients-per-proxy", type=int, default=30)
+    p.add_argument("--requests-per-client", type=int, default=200)
+
+    p = sub.add_parser("fig2", help="update-delay sweep (Fig. 2)")
+    _add_workload_args(p)
+
+    p = sub.add_parser("table3", help="summary memory (Table III)")
+    p.add_argument("--scale", type=float, default=1.0)
+    sub.add_parser("fig4", help="false-positive curves (Fig. 4)")
+
+    p = sub.add_parser(
+        "representations", help="summary representation sweep (Figs. 5-8)"
+    )
+    _add_workload_args(p)
+    p.add_argument("--threshold", type=float, default=0.01)
+
+    p = sub.add_parser("table4", help="client-bound replay (Table IV)")
+    _add_workload_args(p)
+    p = sub.add_parser("table5", help="round-robin replay (Table V)")
+    _add_workload_args(p)
+
+    sub.add_parser(
+        "scalability", help="100-proxy extrapolation (Section V-F)"
+    )
+
+    p = sub.add_parser(
+        "hierarchy", help="parent/child hierarchy extension (Section VIII)"
+    )
+    _add_workload_args(p)
+
+    p = sub.add_parser(
+        "alternatives",
+        help="summary cache vs ICP/CARP/directory-server comparison",
+    )
+    _add_workload_args(p)
+
+    p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
+    _add_workload_args(p)
+    p.add_argument("--out", required=True, help="output JSONL path")
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table1":
+        headers, rows = experiments.table1(scale=args.scale)
+        print(format_table(headers, rows, title="Table I: trace statistics"))
+    elif args.command == "fig1":
+        headers, rows = experiments.fig1(args.workload, scale=args.scale)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Fig. 1: hit ratios under sharing schemes ({args.workload})",
+            )
+        )
+    elif args.command == "table2":
+        headers, rows = experiments.table2(
+            target_hit_ratio=args.hit_ratio,
+            clients_per_proxy=args.clients_per_proxy,
+            requests_per_client=args.requests_per_client,
+        )
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Table II: ICP overhead (inherent hit ratio {args.hit_ratio:g})",
+            )
+        )
+    elif args.command == "fig2":
+        headers, rows = experiments.fig2(args.workload, scale=args.scale)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Fig. 2: update delay impact ({args.workload})",
+            )
+        )
+    elif args.command == "table3":
+        headers, rows = experiments.table3(scale=args.scale)
+        print(
+            format_table(headers, rows, title="Table III: summary memory")
+        )
+    elif args.command == "fig4":
+        headers, rows = experiments.fig4()
+        print(
+            format_table(
+                headers, rows, title="Fig. 4: false positive probability"
+            )
+        )
+    elif args.command == "representations":
+        results = experiments.representations(
+            args.workload, scale=args.scale, threshold=args.threshold
+        )
+        headers, rows = experiments.representation_rows(results)
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Figs. 5-8: summary representations ({args.workload}, "
+                    f"threshold {args.threshold:g})"
+                ),
+            )
+        )
+    elif args.command in ("table4", "table5"):
+        assignment = (
+            "client-bound" if args.command == "table4" else "round-robin"
+        )
+        headers, rows = experiments.table45(
+            assignment=assignment, workload=args.workload, scale=args.scale
+        )
+        label = "IV" if args.command == "table4" else "V"
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Table {label}: trace replay ({assignment})",
+            )
+        )
+    elif args.command == "scalability":
+        headers, rows = experiments.scalability()
+        print(
+            format_table(
+                headers, rows, title="Section V-F: scalability extrapolation"
+            )
+        )
+    elif args.command == "hierarchy":
+        headers, rows = experiments.hierarchy(
+            args.workload, scale=args.scale
+        )
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Section VIII: hierarchy extension ({args.workload})",
+            )
+        )
+    elif args.command == "alternatives":
+        headers, rows = experiments.alternatives(
+            args.workload, scale=args.scale
+        )
+        print(
+            format_table(
+                headers,
+                rows,
+                title=f"Related-work comparison ({args.workload})",
+            )
+        )
+    elif args.command == "gen-trace":
+        trace, groups = make_workload(args.workload, scale=args.scale)
+        write_jsonl(trace, args.out)
+        print(
+            f"wrote {len(trace)} requests ({groups} proxy groups) to {args.out}"
+        )
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Consistency policies: when is a cached copy trusted without asking?
+
+Each policy answers one question for a cached copy at lookup time:
+``trust(meta, now)`` -- serve it as-is, or revalidate with the origin
+first.  The simulator handles the rest (validation accounting, stale
+detection, refetching).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass
+class CopyMeta:
+    """What the cache knows about one stored copy."""
+
+    version: int
+    fetched_at: float
+    #: Origin-side last-modification time as known at fetch.
+    modified_at: float
+
+
+class ConsistencyPolicy(ABC):
+    """Decides whether a cached copy may be served without validation."""
+
+    #: Label used in result tables.
+    name = "abstract"
+
+    @abstractmethod
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        """True to serve the copy blindly, False to revalidate first."""
+
+    def label(self) -> str:
+        """Human-readable identifier."""
+        return self.name
+
+
+class OracleConsistency(ConsistencyPolicy):
+    """The paper's perfect-consistency assumption.
+
+    The cache magically knows whether the document changed ("if a
+    request hits on a document whose last-modified time or size is
+    changed, we count it as a cache miss") -- no validation messages,
+    no stale documents served.  The simulator special-cases this
+    policy: ``trust`` is never consulted blindly.
+    """
+
+    name = "oracle"
+
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        return True  # the simulator intercepts version mismatches
+
+
+class NeverValidate(ConsistencyPolicy):
+    """Serve any cached copy forever; staleness is maximal."""
+
+    name = "never-validate"
+
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        return True
+
+
+class PollEveryTime(ConsistencyPolicy):
+    """Revalidate on every hit; staleness is zero, traffic maximal."""
+
+    name = "poll-every-time"
+
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        return False
+
+
+class FixedTTL(ConsistencyPolicy):
+    """Trust a copy for a fixed number of seconds after fetch."""
+
+    name = "fixed-ttl"
+
+    def __init__(self, ttl: float) -> None:
+        if ttl <= 0:
+            raise ConfigurationError(f"ttl must be > 0, got {ttl}")
+        self.ttl = ttl
+
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        return now - meta.fetched_at <= self.ttl
+
+    def label(self) -> str:
+        return f"ttl={self.ttl:g}s"
+
+
+class AdaptiveTTL(ConsistencyPolicy):
+    """The Alex-protocol heuristic: lifetime proportional to age.
+
+    A document that had not changed for a long time when fetched is
+    trusted longer: ``ttl = factor * (fetched_at - modified_at)``,
+    clamped to ``[min_ttl, max_ttl]``.
+    """
+
+    name = "adaptive-ttl"
+
+    def __init__(
+        self,
+        factor: float = 0.2,
+        min_ttl: float = 30.0,
+        max_ttl: float = 86_400.0,
+    ) -> None:
+        if factor <= 0:
+            raise ConfigurationError(f"factor must be > 0, got {factor}")
+        if not 0 < min_ttl <= max_ttl:
+            raise ConfigurationError(
+                f"need 0 < min_ttl <= max_ttl, got "
+                f"({min_ttl}, {max_ttl})"
+            )
+        self.factor = factor
+        self.min_ttl = min_ttl
+        self.max_ttl = max_ttl
+
+    def trust(self, meta: CopyMeta, now: float) -> bool:
+        age_at_fetch = max(0.0, meta.fetched_at - meta.modified_at)
+        ttl = min(
+            self.max_ttl, max(self.min_ttl, self.factor * age_at_fetch)
+        )
+        return now - meta.fetched_at <= ttl
+
+    def label(self) -> str:
+        return f"adaptive-ttl(k={self.factor:g})"

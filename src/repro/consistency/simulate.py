@@ -1,0 +1,153 @@
+"""Trace-driven evaluation of consistency policies.
+
+Runs one cache over a trace under a policy and reports the trade-off
+between validation traffic and served staleness -- the cost surface the
+paper's perfect-consistency assumption sits at the origin of.
+
+Semantics per request:
+
+- **miss**: fetch from origin (one full fetch), store the copy with its
+  version and the document's modification time.
+- **hit, trusted**: serve the copy as-is; if its version is out of
+  date, a *stale document was served to the user*.
+- **hit, not trusted**: send a validation (If-Modified-Since); if the
+  copy is still current, serve it (a validated hit, one message); if it
+  changed, refetch (one message plus one full fetch).
+
+The oracle policy short-circuits: version mismatches are detected with
+no message, exactly the paper's simulation rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.cache import WebCache
+from repro.consistency.policies import (
+    ConsistencyPolicy,
+    CopyMeta,
+    OracleConsistency,
+)
+from repro.traces.model import Trace
+
+
+@dataclass
+class ConsistencyResult:
+    """Outcome of one consistency simulation."""
+
+    policy: str
+    trace_name: str
+    requests: int = 0
+    hits_served: int = 0
+    stale_served: int = 0
+    validations: int = 0
+    validated_hits: int = 0
+    origin_fetches: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Requests served from cache (fresh or stale, incl. validated)."""
+        return self.hits_served / self.requests if self.requests else 0.0
+
+    @property
+    def stale_serve_ratio(self) -> float:
+        """Requests answered with an outdated copy."""
+        return self.stale_served / self.requests if self.requests else 0.0
+
+    @property
+    def validations_per_request(self) -> float:
+        """Validation messages per request (the consistency traffic)."""
+        return self.validations / self.requests if self.requests else 0.0
+
+
+def _modification_times(trace: Trace) -> Dict[str, List[Tuple[float, int]]]:
+    """Per-URL version-change history: ``[(time, version), ...]``.
+
+    The synthetic generator bumps a document's version at some request;
+    the change time is approximated by that request's timestamp (the
+    first time the new version is observable).
+    """
+    history: Dict[str, List[Tuple[float, int]]] = {}
+    for req in trace:
+        changes = history.setdefault(req.url, [])
+        if not changes or changes[-1][1] != req.version:
+            changes.append((req.timestamp, req.version))
+    return history
+
+
+def simulate_consistency(
+    trace: Trace,
+    capacity: int,
+    policy: ConsistencyPolicy,
+) -> ConsistencyResult:
+    """Run *trace* through one cache of *capacity* bytes under *policy*."""
+    meta: Dict[str, CopyMeta] = {}
+    cache = WebCache(
+        capacity, on_evict=lambda url: meta.pop(url, None)
+    )
+    history = _modification_times(trace)
+    result = ConsistencyResult(
+        policy=policy.label(), trace_name=trace.name
+    )
+    oracle = isinstance(policy, OracleConsistency)
+
+    def modified_at(url: str, version: int) -> float:
+        for time, v in history.get(url, ()):
+            if v == version:
+                return time
+        return 0.0
+
+    for req in trace:
+        result.requests += 1
+        now = req.timestamp
+        entry = cache.peek(req.url)
+        if entry is None:
+            result.origin_fetches += 1
+            cache.put(req.url, req.size, version=req.version)
+            if req.url in cache:
+                meta[req.url] = CopyMeta(
+                    version=req.version,
+                    fetched_at=now,
+                    modified_at=modified_at(req.url, req.version),
+                )
+            continue
+
+        copy = meta[req.url]
+        is_current = copy.version == req.version
+
+        if oracle:
+            # The paper's rule: a changed document is simply a miss.
+            if is_current:
+                cache.touch(req.url)
+                result.hits_served += 1
+            else:
+                result.origin_fetches += 1
+                cache.put(req.url, req.size, version=req.version)
+                copy.version = req.version
+                copy.fetched_at = now
+                copy.modified_at = modified_at(req.url, req.version)
+            continue
+
+        if policy.trust(copy, now):
+            cache.touch(req.url)
+            result.hits_served += 1
+            if not is_current:
+                result.stale_served += 1
+            continue
+
+        # Revalidate with the origin.
+        result.validations += 1
+        if is_current:
+            result.validated_hits += 1
+            result.hits_served += 1
+            cache.touch(req.url)
+            copy.fetched_at = now  # freshness clock restarts on a 304
+        else:
+            result.origin_fetches += 1
+            cache.put(req.url, req.size, version=req.version)
+            copy.version = req.version
+            copy.fetched_at = now
+            copy.modified_at = modified_at(req.url, req.version)
+
+    return result

@@ -1,0 +1,59 @@
+"""Core data structures of the summary cache protocol.
+
+This subpackage contains the paper's primary algorithmic contribution:
+
+- :mod:`repro.core.hashing` -- the MD5-slice hash family of Section VI-A,
+  which derives ``Function_Num`` hash functions of ``Function_Bits`` bits
+  each from the MD5 signature of a URL.
+- :mod:`repro.core.bitarray` -- packed bit and small-counter arrays.
+- :mod:`repro.core.bloom` -- the plain Bloom filter used as the shipped
+  summary representation.
+- :mod:`repro.core.counting_bloom` -- the counting Bloom filter (4-bit
+  saturating counters) that lets a proxy maintain its own summary under
+  both insertions and deletions (Section V-C).
+- :mod:`repro.core.bfmath` -- the analytic false-positive and
+  counter-overflow formulas behind Fig. 4.
+- :mod:`repro.core.summary` -- the three summary representations compared
+  in Section V (exact-directory, server-name, Bloom filter).
+"""
+
+from repro.core.bfmath import (
+    false_positive_probability,
+    false_positive_probability_exact,
+    min_false_positive_probability,
+    optimal_num_hashes,
+    counter_overflow_probability,
+)
+from repro.core.bitarray import BitArray, CounterArray
+from repro.core.bloom import BloomFilter
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import MD5HashFamily, PolynomialHashFamily, md5_digest
+from repro.core.summary import (
+    BloomSummary,
+    DigestDelta,
+    ExactDirectorySummary,
+    ServerNameSummary,
+    SummaryConfig,
+    make_local_summary,
+)
+
+__all__ = [
+    "BitArray",
+    "BloomFilter",
+    "BloomSummary",
+    "CounterArray",
+    "CountingBloomFilter",
+    "DigestDelta",
+    "ExactDirectorySummary",
+    "MD5HashFamily",
+    "PolynomialHashFamily",
+    "ServerNameSummary",
+    "SummaryConfig",
+    "counter_overflow_probability",
+    "false_positive_probability",
+    "false_positive_probability_exact",
+    "make_local_summary",
+    "md5_digest",
+    "min_false_positive_probability",
+    "optimal_num_hashes",
+]

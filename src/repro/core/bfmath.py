@@ -1,0 +1,176 @@
+"""Analytic Bloom filter mathematics (Section V-C, Fig. 4).
+
+The paper derives:
+
+- the exact false-positive probability after inserting ``n`` keys into
+  ``m`` bits with ``k`` hash functions::
+
+      p = (1 - (1 - 1/m)**(k*n))**k
+
+- its standard approximation ``(1 - e**(-k*n/m))**k``;
+- the optimum ``k = ln 2 * (m/n)``, at which ``p = 0.6185**(m/n)``;
+- the probability that any counter in a counting Bloom filter reaches a
+  value >= j, bounded (for the optimal k) by ``m * (e * ln 2 / j)**j``,
+  which for j = 16 (4-bit counters) is "minuscule".
+
+These functions regenerate the Fig. 4 curves and the example-values table
+(k = 4 vs the optimal integral k), and back the scalability
+extrapolation of Section V-F.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+def _validate_mnk(m: int, n: int, k: int) -> None:
+    if m < 1:
+        raise ConfigurationError(f"m (bits) must be >= 1, got {m}")
+    if n < 0:
+        raise ConfigurationError(f"n (keys) must be >= 0, got {n}")
+    if k < 1:
+        raise ConfigurationError(f"k (hash functions) must be >= 1, got {k}")
+
+
+def false_positive_probability_exact(m: int, n: int, k: int) -> float:
+    """Exact false-positive probability: ``(1 - (1 - 1/m)**(k*n))**k``."""
+    _validate_mnk(m, n, k)
+    if n == 0:
+        return 0.0
+    return (1.0 - (1.0 - 1.0 / m) ** (k * n)) ** k
+
+
+def false_positive_probability(
+    bits_per_entry: float, num_hashes: int
+) -> float:
+    """Asymptotic false-positive probability ``(1 - e**(-k/(m/n)))**k``.
+
+    Parameterized by the load factor ``m/n`` (bits per entry), which is
+    how Fig. 4's x-axis is expressed.
+    """
+    if bits_per_entry <= 0:
+        raise ConfigurationError(
+            f"bits_per_entry must be > 0, got {bits_per_entry}"
+        )
+    if num_hashes < 1:
+        raise ConfigurationError(
+            f"num_hashes must be >= 1, got {num_hashes}"
+        )
+    return (1.0 - math.exp(-num_hashes / bits_per_entry)) ** num_hashes
+
+
+def optimal_num_hashes(bits_per_entry: float) -> float:
+    """The real-valued optimum ``k = ln 2 * (m/n)``."""
+    if bits_per_entry <= 0:
+        raise ConfigurationError(
+            f"bits_per_entry must be > 0, got {bits_per_entry}"
+        )
+    return math.log(2.0) * bits_per_entry
+
+
+def optimal_integer_num_hashes(bits_per_entry: float) -> int:
+    """The integral k minimizing the false-positive probability.
+
+    The paper notes "in fact k must be an integer"; the best integer is
+    one of the two nearest the real optimum.
+    """
+    opt = optimal_num_hashes(bits_per_entry)
+    candidates = {max(1, math.floor(opt)), max(1, math.ceil(opt))}
+    return min(
+        candidates,
+        key=lambda k: false_positive_probability(bits_per_entry, k),
+    )
+
+
+def min_false_positive_probability(bits_per_entry: float) -> float:
+    """False-positive probability at the real-valued optimal k: ``0.6185**(m/n)``.
+
+    (``(1/2)**(ln 2 * m/n)`` = ``0.6185...**(m/n)``.)
+    """
+    if bits_per_entry <= 0:
+        raise ConfigurationError(
+            f"bits_per_entry must be > 0, got {bits_per_entry}"
+        )
+    return 0.5 ** (math.log(2.0) * bits_per_entry)
+
+
+def counter_overflow_probability(m: int, n: int, j: int) -> float:
+    """Upper bound on Pr[any counter >= j] after n insertions into m counters.
+
+    The paper states (for ``k <= m/n * ln 2`` hash functions)::
+
+        Pr(max count >= j) <= m * (e * ln 2 / j)**j
+
+    For 4-bit counters (j = 16) and practical m this is ~1e-15 * m --
+    the basis for the "amply sufficient" claim.
+    """
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+    if n < 0:
+        raise ConfigurationError(f"n must be >= 0, got {n}")
+    if j < 1:
+        raise ConfigurationError(f"j must be >= 1, got {j}")
+    if n == 0:
+        return 0.0
+    bound = m * (math.e * math.log(2.0) / j) ** j
+    return min(1.0, bound)
+
+
+def expected_maximum_counter(m: int, n: int, k: int) -> float:
+    """Asymptotic expected maximum counter value, ``Theta(ln m / ln ln m)``.
+
+    Returns the leading-order term ``ln(m) / ln(ln(m))`` (the paper cites
+    the classical balls-in-bins result); useful only as a sanity scale,
+    not a tight estimate.
+    """
+    _validate_mnk(m, n, k)
+    if m <= math.e:
+        return 1.0
+    return math.log(m) / math.log(math.log(m))
+
+
+#: Rows of the example-values table in Section V-C: (m/n, k, false-positive
+#: probability) for selected configurations the paper tabulates.
+EXAMPLE_TABLE_LOAD_FACTORS: Sequence[int] = (4, 6, 8, 10, 12, 16, 24, 32)
+
+
+def example_table(
+    load_factors: Sequence[int] = EXAMPLE_TABLE_LOAD_FACTORS,
+) -> List[Tuple[int, int, float, int, float]]:
+    """Return ``(m/n, 4, p_k4, k_opt, p_opt)`` rows for the example table.
+
+    Each row compares the paper's fixed choice of four hash functions with
+    the optimal integral choice, mirroring the two curves of Fig. 4.
+    """
+    rows = []
+    for lf in load_factors:
+        p4 = false_positive_probability(lf, 4)
+        k_opt = optimal_integer_num_hashes(lf)
+        p_opt = false_positive_probability(lf, k_opt)
+        rows.append((lf, 4, p4, k_opt, p_opt))
+    return rows
+
+
+def fig4_series(
+    min_bits_per_entry: int = 2, max_bits_per_entry: int = 32
+) -> Tuple[List[int], List[float], List[float]]:
+    """Return Fig. 4's two series.
+
+    Returns ``(bits_per_entry, p_with_4_hashes, p_with_optimal_k)``
+    over the integer range of the x-axis.
+    """
+    if min_bits_per_entry < 1 or max_bits_per_entry < min_bits_per_entry:
+        raise ConfigurationError(
+            "invalid bits-per-entry range "
+            f"[{min_bits_per_entry}, {max_bits_per_entry}]"
+        )
+    xs = list(range(min_bits_per_entry, max_bits_per_entry + 1))
+    top = [false_positive_probability(x, 4) for x in xs]
+    bottom = [
+        false_positive_probability(x, optimal_integer_num_hashes(x))
+        for x in xs
+    ]
+    return xs, top, bottom

@@ -1,0 +1,276 @@
+"""The counting Bloom filter: a proxy's local, deletion-capable summary.
+
+This is the structure the paper introduced to the systems world
+(Section V-C): alongside the bit array, the owning proxy keeps one small
+counter per bit position recording how many cached documents hash to it.
+Inserting a URL increments its counters; evicting it decrements them.
+Only the 0 <-> 1 transitions flip bits in the public bit array, and each
+flip is recorded so a delta update (``ICP_OP_DIRUPDATE``) can later be
+assembled for peers.
+
+The counters themselves never leave the proxy; peers receive only the bit
+array (or bit-flip records).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.core.bitarray import CounterArray
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import Key, MD5HashFamily
+from repro.errors import ConfigurationError, ProtocolError
+
+#: Magic prefix of the serialized filter format.
+_MAGIC = b"SCBF"
+
+#: Serialization format version.
+_FORMAT_VERSION = 1
+
+_HEADER = struct.Struct("!4sBBHHIi")
+
+#: The paper's recommended counter width: "4 bits per count would be
+#: amply sufficient."
+DEFAULT_COUNTER_WIDTH = 4
+
+
+class CountingBloomFilter:
+    """A Bloom filter with per-bit saturating counters supporting deletion.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit vector / counter array.
+    hash_family:
+        Hash family shared with the shipped plain filter.
+    counter_width:
+        Bits per counter (1, 2, 4, or 8).  4 is the paper's choice; the
+        counter-width ablation benchmark sweeps the others.
+    """
+
+    __slots__ = ("filter", "counters", "_pending_flips", "_keys_added")
+
+    def __init__(
+        self,
+        num_bits: int,
+        hash_family: Optional[MD5HashFamily] = None,
+        counter_width: int = DEFAULT_COUNTER_WIDTH,
+    ) -> None:
+        self.filter = BloomFilter(num_bits, hash_family=hash_family)
+        self.counters = CounterArray(num_bits, width=counter_width)
+        #: Bit flips since the last :meth:`drain_flips`, in occurrence
+        #: order.  Later flips of the same bit supersede earlier ones;
+        #: :meth:`drain_flips` coalesces them.
+        self._pending_flips: List[Tuple[int, bool]] = []
+        self._keys_added = 0
+
+    @classmethod
+    def for_capacity(
+        cls,
+        expected_keys: int,
+        load_factor: int = 8,
+        hash_family: Optional[MD5HashFamily] = None,
+        counter_width: int = DEFAULT_COUNTER_WIDTH,
+    ) -> "CountingBloomFilter":
+        """Build a filter sized at ``load_factor`` bits per expected key."""
+        if expected_keys < 1:
+            raise ConfigurationError(
+                f"expected_keys must be >= 1, got {expected_keys}"
+            )
+        if load_factor < 1:
+            raise ConfigurationError(
+                f"load_factor must be >= 1, got {load_factor}"
+            )
+        return cls(
+            expected_keys * load_factor,
+            hash_family=hash_family,
+            counter_width=counter_width,
+        )
+
+    @property
+    def num_bits(self) -> int:
+        """Size of the bit vector in bits."""
+        return self.filter.num_bits
+
+    @property
+    def hash_family(self) -> MD5HashFamily:
+        """The hash family probing this filter."""
+        return self.filter.hash_family
+
+    @property
+    def keys_added(self) -> int:
+        """Net number of keys currently represented (adds minus removes)."""
+        return self._keys_added
+
+    def add(self, key: Key) -> None:
+        """Insert *key*, recording any 0 -> 1 bit flips for the next delta."""
+        for pos in self.filter.positions(key):
+            if self.counters.increment(pos) == 1:
+                self.filter.bits.set(pos, True)
+                self._pending_flips.append((pos, True))
+        self._keys_added += 1
+
+    def remove(self, key: Key) -> None:
+        """Delete *key*, recording any 1 -> 0 bit flips for the next delta.
+
+        Removing a key that was never added raises :class:`ValueError`
+        (counter underflow) rather than silently corrupting the filter.
+        """
+        positions = self.filter.positions(key)
+        # Validate all counters before mutating any, so a bad remove
+        # leaves the filter untouched.
+        for pos in positions:
+            if self.counters.get(pos) == 0:
+                raise ValueError(
+                    f"remove of key not present in filter (counter {pos} is 0)"
+                )
+        for pos in positions:
+            if self.counters.decrement(pos) == 0:
+                self.filter.bits.set(pos, False)
+                self._pending_flips.append((pos, False))
+        self._keys_added -= 1
+
+    def may_contain(self, key: Key) -> bool:
+        """Membership probe against the local bit array."""
+        return self.filter.may_contain(key)
+
+    def __contains__(self, key: Key) -> bool:
+        return self.may_contain(key)
+
+    @property
+    def pending_flip_count(self) -> int:
+        """Number of uncoalesced bit-flip records awaiting the next delta."""
+        return len(self._pending_flips)
+
+    def peek_flips(self) -> List[Tuple[int, bool]]:
+        """Return the coalesced pending flips without clearing them.
+
+        Multiple flips of the same bit collapse to the latest value, and
+        flips that restore a bit to its last-shipped state cancel out --
+        exactly what a delta update message should carry.
+        """
+        final_value = {}
+        first_value = {}
+        order = []
+        for index, value in self._pending_flips:
+            if index not in final_value:
+                order.append(index)
+                first_value[index] = value
+            final_value[index] = value
+        coalesced = []
+        for index in order:
+            # The bit's pre-delta (last shipped) state is the opposite of
+            # the first flip recorded for it; if the final value equals
+            # that state, the net change is zero and nothing is shipped.
+            shipped_state = not first_value[index]
+            if final_value[index] != shipped_state:
+                coalesced.append((index, final_value[index]))
+        return coalesced
+
+    def drain_flips(self) -> List[Tuple[int, bool]]:
+        """Return the coalesced pending flips and clear the pending list."""
+        flips = self.peek_flips()
+        self._pending_flips.clear()
+        return flips
+
+    def snapshot(self) -> BloomFilter:
+        """Return a plain-filter copy of the current bit array.
+
+        This is what a whole-filter ('cache digest' style) update ships.
+        """
+        return self.filter.copy()
+
+    def fill_ratio(self) -> float:
+        """Fraction of bits set in the public bit array."""
+        return self.filter.fill_ratio()
+
+    def size_bytes(self) -> int:
+        """Local footprint: bit array plus counters.
+
+        Section V-F's extrapolation separates the two ("about 200 MB to
+        represent all the summaries plus another 8 MB to represent its
+        own counters"); :meth:`remote_size_bytes` gives the former per
+        peer.
+        """
+        return self.filter.size_bytes() + self.counters.size_bytes()
+
+    def remote_size_bytes(self) -> int:
+        """Footprint of the shipped representation (bit array only)."""
+        return self.filter.size_bytes()
+
+    # ------------------------------------------------------------------
+    # Persistence (warm restart)
+    # ------------------------------------------------------------------
+    #
+    # The paper notes a saturated-counter false negative is less likely
+    # than "the proxy server would be rebooted in the meantime and the
+    # entire structure reconstructed."  Serializing the counters makes
+    # the reboot cheap instead: the filter restarts warm and the first
+    # post-restart update to peers is a small delta, not a full digest.
+
+    def to_bytes(self) -> bytes:
+        """Serialize the full filter state (counters included).
+
+        Layout: a fixed header (magic, format version, counter width,
+        hash spec, bit count, net key count) followed by the packed
+        counter array.  The bit array is derived from the counters at
+        load time, so it is not stored.
+        """
+        num, bits = self.hash_family.spec()
+        header = _HEADER.pack(
+            _MAGIC,
+            _FORMAT_VERSION,
+            self.counters.width,
+            num,
+            bits,
+            self.num_bits,
+            self._keys_added,
+        )
+        return header + self.counters.to_bytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "CountingBloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output.
+
+        Raises :class:`~repro.errors.ProtocolError` on a bad magic,
+        unsupported format version, or truncated payload.
+        """
+        if len(data) < _HEADER.size:
+            raise ProtocolError(
+                f"serialized filter truncated: {len(data)} bytes"
+            )
+        magic, version, width, num, bits, num_bits, keys_added = (
+            _HEADER.unpack_from(data)
+        )
+        if magic != _MAGIC:
+            raise ProtocolError(f"bad magic {magic!r}")
+        if version != _FORMAT_VERSION:
+            raise ProtocolError(
+                f"unsupported filter format version {version}"
+            )
+        filt = cls(
+            num_bits,
+            hash_family=MD5HashFamily.from_spec(num, bits),
+            counter_width=width,
+        )
+        payload = data[_HEADER.size :]
+        expected = filt.counters.size_bytes()
+        if len(payload) != expected:
+            raise ProtocolError(
+                f"counter payload is {len(payload)} bytes, "
+                f"expected {expected}"
+            )
+        filt.counters.load_bytes(payload)
+        for index in filt.counters.nonzero_indices():
+            filt.filter.bits.set(index, True)
+        filt._keys_added = keys_added
+        return filt
+
+    def __repr__(self) -> str:
+        return (
+            f"CountingBloomFilter(num_bits={self.num_bits}, "
+            f"keys_added={self._keys_added}, "
+            f"fill_ratio={self.fill_ratio():.4f}, "
+            f"counter_width={self.counters.width})"
+        )

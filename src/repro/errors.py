@@ -1,0 +1,30 @@
+"""Exception hierarchy for the summary cache reproduction.
+
+Every exception raised deliberately by this package derives from
+:class:`ReproError`, so callers can catch library failures without
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed with invalid or inconsistent parameters."""
+
+
+class ProtocolError(ReproError):
+    """A wire message could not be encoded or decoded."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record did not match the expected format."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class ProxyError(ReproError):
+    """The asyncio proxy prototype hit a fatal runtime condition."""

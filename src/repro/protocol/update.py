@@ -1,0 +1,177 @@
+"""Building and applying summary update messages.
+
+The prototype "sends updates whenever there are enough changes to fill
+an IP packet" (Section VI-B): :func:`build_dir_update_messages` batches
+a flip list into MTU-sized ``DirUpdate`` messages.  Because records are
+absolute set/clear operations, message loss degrades a peer's copy
+gracefully instead of corrupting it, and replay is idempotent.
+
+:func:`build_digest_messages` and :class:`DigestAssembler` implement the
+whole-filter alternative (Squid's cache digests), used when the delay
+threshold is large or a peer needs a full resynchronization (e.g. after
+the paper's failure/recovery reinitialization).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bloom import BloomFilter
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import MD5HashFamily
+from repro.errors import ProtocolError
+from repro.protocol.wire import (
+    DIGEST_HEADER_SIZE,
+    DIRUPDATE_HEADER_SIZE,
+    ICP_HEADER_SIZE,
+    DigestChunk,
+    DirUpdate,
+)
+
+#: A conservative Ethernet-path MTU for UDP payload sizing.
+DEFAULT_MTU = 1400
+
+
+def build_dir_update_messages(
+    flips: Sequence[Tuple[int, bool]],
+    hash_family: MD5HashFamily,
+    bit_array_size: int,
+    mtu: int = DEFAULT_MTU,
+    request_number: int = 0,
+    sender: int = 0,
+) -> List[DirUpdate]:
+    """Batch *flips* into ``DirUpdate`` messages no larger than *mtu* bytes.
+
+    Every message repeats the full hash-specification header so each is
+    independently verifiable (and the stream tolerates loss).
+    """
+    overhead = ICP_HEADER_SIZE + DIRUPDATE_HEADER_SIZE
+    if mtu <= overhead + 4:
+        raise ProtocolError(
+            f"mtu of {mtu} bytes cannot carry any flip records "
+            f"(fixed overhead is {overhead} bytes)"
+        )
+    per_message = (mtu - overhead) // 4
+    num, bits = hash_family.spec()
+    messages = []
+    for start in range(0, len(flips), per_message):
+        batch = tuple(flips[start : start + per_message])
+        messages.append(
+            DirUpdate(
+                function_num=num,
+                function_bits=bits,
+                bit_array_size=bit_array_size,
+                flips=batch,
+                request_number=request_number,
+                sender=sender,
+            )
+        )
+    return messages
+
+
+def apply_dir_update(target: BloomFilter, update: DirUpdate) -> int:
+    """Apply *update* to a peer-filter copy; return bits actually changed.
+
+    The receiver verifies the geometry announced in the header against
+    the filter it holds; a mismatch means the sender reconfigured (or
+    the copy was initialized against a different spec), which requires a
+    full resync rather than a patch, so it raises
+    :class:`~repro.errors.ProtocolError`.
+    """
+    expected_num, expected_bits = target.hash_family.spec()
+    if (
+        update.function_num != expected_num
+        or update.function_bits != expected_bits
+        or update.bit_array_size != target.num_bits
+    ):
+        raise ProtocolError(
+            "DIRUPDATE geometry mismatch: message specifies "
+            f"({update.function_num} fns x {update.function_bits} bits, "
+            f"{update.bit_array_size} array bits) but local copy is "
+            f"({expected_num} fns x {expected_bits} bits, "
+            f"{target.num_bits} array bits)"
+        )
+    return target.apply_flips(update.flips)
+
+
+def build_digest_messages(
+    source: CountingBloomFilter,
+    mtu: int = DEFAULT_MTU,
+    request_number: int = 0,
+    sender: int = 0,
+) -> List[DigestChunk]:
+    """Chunk a whole-filter snapshot into ``DigestChunk`` messages."""
+    overhead = ICP_HEADER_SIZE + DIGEST_HEADER_SIZE
+    if mtu <= overhead:
+        raise ProtocolError(
+            f"mtu of {mtu} bytes cannot carry any digest payload"
+        )
+    per_chunk = mtu - overhead
+    data = source.filter.to_bytes()
+    num, bits = source.hash_family.spec()
+    chunks = []
+    for offset in range(0, len(data), per_chunk):
+        chunks.append(
+            DigestChunk(
+                function_num=num,
+                function_bits=bits,
+                bit_array_size=source.num_bits,
+                byte_offset=offset,
+                total_bytes=len(data),
+                payload=data[offset : offset + per_chunk],
+                request_number=request_number,
+                sender=sender,
+            )
+        )
+    if not chunks:  # zero-bit filters cannot occur, but guard anyway
+        raise ProtocolError("cannot build digest messages for empty filter")
+    return chunks
+
+
+class DigestAssembler:
+    """Reassembles a peer's filter from ``DigestChunk`` messages.
+
+    Chunks may arrive out of order or duplicated; a chunk whose geometry
+    differs from previously seen chunks restarts assembly (the peer
+    rebuilt its filter mid-transfer).
+    """
+
+    def __init__(self) -> None:
+        self._spec: Optional[Tuple[int, int, int, int]] = None
+        self._pieces: Dict[int, bytes] = {}
+
+    def add(self, chunk: DigestChunk) -> Optional[BloomFilter]:
+        """Feed one chunk; return the completed filter or ``None``."""
+        spec = (
+            chunk.function_num,
+            chunk.function_bits,
+            chunk.bit_array_size,
+            chunk.total_bytes,
+        )
+        if self._spec != spec:
+            self._spec = spec
+            self._pieces = {}
+        self._pieces[chunk.byte_offset] = chunk.payload
+
+        received = sum(len(p) for p in self._pieces.values())
+        if received < chunk.total_bytes:
+            return None
+
+        data = bytearray(chunk.total_bytes)
+        covered = 0
+        for offset in sorted(self._pieces):
+            piece = self._pieces[offset]
+            data[offset : offset + len(piece)] = piece
+            covered += len(piece)
+        if covered != chunk.total_bytes:
+            return None  # duplicates overlapped; wait for real coverage
+
+        family = MD5HashFamily.from_spec(
+            chunk.function_num, chunk.function_bits
+        )
+        completed = BloomFilter.from_bytes(
+            chunk.bit_array_size, bytes(data), hash_family=family
+        )
+        self._spec = None
+        self._pieces = {}
+        return completed

@@ -1,0 +1,373 @@
+"""ICP v2 wire format plus the summary cache extensions.
+
+The base layout follows RFC 2186: a 20-byte header ::
+
+    opcode(1) version(1) length(2) request_number(4)
+    options(4) option_data(4) sender_host(4)
+
+followed by an opcode-specific payload.  The paper adds
+``ICP_OP_DIRUPDATE`` (Section VI-A), whose payload is ::
+
+    Function_Num(2) Function_Bits(2) BitArray_Size_InBits(4)
+    Number_of_Updates(4)
+
+followed by ``Number_of_Updates`` 32-bit records: "The most significant
+bit in an integer specifies whether the bit should be set to 0 or 1, and
+the rest of the bits specify the index of the bit that needs to be
+changed."  Records are absolute, so lost updates do not cascade, and
+"every update message carries the header, which specifies the hash
+functions, so that receivers can verify the information."  The header
+"limits the hash table size to be less than 2 billion."
+
+``ICP_OP_DIGEST`` implements the whole-bit-array alternative ("if the
+delay threshold is large, then it is more economical to send the entire
+bit array; this approach is adopted in the Cache Digest prototype in
+Squid"), chunked to fit a UDP MTU.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.errors import ProtocolError
+
+#: ICP protocol version implemented (the paper extends version 2).
+ICP_VERSION = 2
+
+#: Size of the fixed ICP header in bytes.
+ICP_HEADER_SIZE = 20
+
+#: Size of the DIRUPDATE extension header in bytes.
+DIRUPDATE_HEADER_SIZE = 12
+
+#: Size of the DIGEST chunk header in bytes.
+DIGEST_HEADER_SIZE = 16
+
+#: Maximum representable bit index (31 bits: the MSB carries the value).
+MAX_BIT_INDEX = (1 << 31) - 1
+
+_HEADER = struct.Struct("!BBHIIII")
+_DIRUPDATE_HEADER = struct.Struct("!HHII")
+_DIGEST_HEADER = struct.Struct("!HHIII")
+
+
+class Opcode(enum.IntEnum):
+    """ICP opcodes (RFC 2186 values plus the summary cache extensions)."""
+
+    INVALID = 0
+    QUERY = 1
+    HIT = 2
+    MISS = 3
+    ERR = 4
+    SECHO = 10
+    DECHO = 11
+    MISS_NOFETCH = 21
+    DENIED = 22
+    HIT_OBJ = 23
+    #: Summary cache extension: directory (bit-flip) update.
+    DIRUPDATE = 32
+    #: Summary cache extension: whole-filter chunk (cache-digest style).
+    DIGEST = 33
+
+
+def _encode(opcode: Opcode, request_number: int, sender: int, payload: bytes) -> bytes:
+    length = ICP_HEADER_SIZE + len(payload)
+    if length > 0xFFFF:
+        raise ProtocolError(
+            f"message of {length} bytes exceeds the 16-bit ICP length field"
+        )
+    header = _HEADER.pack(
+        opcode, ICP_VERSION, length, request_number & 0xFFFFFFFF, 0, 0, sender
+    )
+    return header + payload
+
+
+def _url_payload(url: str) -> bytes:
+    data = url.encode("utf-8")
+    if b"\x00" in data:
+        raise ProtocolError("URL may not contain NUL bytes")
+    return data + b"\x00"
+
+
+def _parse_url(payload: bytes, what: str) -> str:
+    end = payload.find(b"\x00")
+    if end == -1:
+        raise ProtocolError(f"{what}: URL payload is not NUL-terminated")
+    return payload[:end].decode("utf-8")
+
+
+@dataclass(frozen=True)
+class IcpQuery:
+    """An ``ICP_OP_QUERY``: "is this URL a fresh hit in your cache?"."""
+
+    url: str
+    request_number: int = 0
+    requester: int = 0
+    sender: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        payload = struct.pack("!I", self.requester) + _url_payload(self.url)
+        return _encode(Opcode.QUERY, self.request_number, self.sender, payload)
+
+
+@dataclass(frozen=True)
+class IcpHit:
+    """An ``ICP_OP_HIT`` reply."""
+
+    url: str
+    request_number: int = 0
+    sender: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        return _encode(
+            Opcode.HIT, self.request_number, self.sender, _url_payload(self.url)
+        )
+
+
+@dataclass(frozen=True)
+class IcpMiss:
+    """An ``ICP_OP_MISS`` reply."""
+
+    url: str
+    request_number: int = 0
+    sender: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        return _encode(
+            Opcode.MISS, self.request_number, self.sender, _url_payload(self.url)
+        )
+
+
+@dataclass(frozen=True)
+class IcpMissNoFetch:
+    """An ``ICP_OP_MISS_NOFETCH`` reply (peer overloaded / do not fetch)."""
+
+    url: str
+    request_number: int = 0
+    sender: int = 0
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        return _encode(
+            Opcode.MISS_NOFETCH,
+            self.request_number,
+            self.sender,
+            _url_payload(self.url),
+        )
+
+
+def encode_flip(index: int, value: bool) -> int:
+    """Pack one bit-flip record: MSB = new value, low 31 bits = index."""
+    if not 0 <= index <= MAX_BIT_INDEX:
+        raise ProtocolError(
+            f"bit index {index} exceeds the 31-bit record limit"
+        )
+    return ((1 << 31) | index) if value else index
+
+
+def decode_flip(record: int) -> Tuple[int, bool]:
+    """Unpack one bit-flip record into ``(index, value)``."""
+    return record & MAX_BIT_INDEX, bool(record >> 31)
+
+
+@dataclass(frozen=True)
+class DirUpdate:
+    """An ``ICP_OP_DIRUPDATE``: a batch of absolute bit set/clear records.
+
+    The extension header (``function_num``, ``function_bits``,
+    ``bit_array_size``) pins down the filter geometry so a receiver can
+    verify the update matches the structure it holds.
+    """
+
+    function_num: int
+    function_bits: int
+    bit_array_size: int
+    flips: Tuple[Tuple[int, bool], ...] = field(default_factory=tuple)
+    request_number: int = 0
+    sender: int = 0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.function_num <= 0xFFFF:
+            raise ProtocolError(
+                f"function_num {self.function_num} out of 16-bit range"
+            )
+        if not 1 <= self.function_bits <= 0xFFFF:
+            raise ProtocolError(
+                f"function_bits {self.function_bits} out of 16-bit range"
+            )
+        if not 1 <= self.bit_array_size <= MAX_BIT_INDEX + 1:
+            raise ProtocolError(
+                f"bit_array_size {self.bit_array_size} exceeds the "
+                "2-billion-bit protocol limit"
+            )
+        for index, _value in self.flips:
+            if index >= self.bit_array_size:
+                raise ProtocolError(
+                    f"flip index {index} outside bit array of "
+                    f"{self.bit_array_size} bits"
+                )
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        payload = bytearray(
+            _DIRUPDATE_HEADER.pack(
+                self.function_num,
+                self.function_bits,
+                self.bit_array_size,
+                len(self.flips),
+            )
+        )
+        for index, value in self.flips:
+            payload += struct.pack("!I", encode_flip(index, value))
+        return _encode(
+            Opcode.DIRUPDATE, self.request_number, self.sender, bytes(payload)
+        )
+
+    def wire_size(self) -> int:
+        """Total encoded size in bytes."""
+        return ICP_HEADER_SIZE + DIRUPDATE_HEADER_SIZE + 4 * len(self.flips)
+
+
+@dataclass(frozen=True)
+class DigestChunk:
+    """An ``ICP_OP_DIGEST``: one chunk of a whole-bit-array transfer."""
+
+    function_num: int
+    function_bits: int
+    bit_array_size: int
+    byte_offset: int
+    total_bytes: int
+    payload: bytes
+    request_number: int = 0
+    sender: int = 0
+
+    def __post_init__(self) -> None:
+        expected_total = (self.bit_array_size + 7) // 8
+        if self.total_bytes != expected_total:
+            raise ProtocolError(
+                f"total_bytes {self.total_bytes} inconsistent with "
+                f"{self.bit_array_size} bits"
+            )
+        if self.byte_offset + len(self.payload) > self.total_bytes:
+            raise ProtocolError(
+                f"chunk [{self.byte_offset}, "
+                f"{self.byte_offset + len(self.payload)}) overruns "
+                f"{self.total_bytes}-byte digest"
+            )
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        header = _DIGEST_HEADER.pack(
+            self.function_num,
+            self.function_bits,
+            self.bit_array_size,
+            self.byte_offset,
+            self.total_bytes,
+        )
+        return _encode(
+            Opcode.DIGEST,
+            self.request_number,
+            self.sender,
+            header + self.payload,
+        )
+
+
+IcpMessage = object  # union marker for documentation purposes
+
+
+def decode_message(data: bytes):
+    """Decode one ICP datagram into its message dataclass.
+
+    Raises :class:`~repro.errors.ProtocolError` for short datagrams,
+    version mismatches, inconsistent length fields, and unknown opcodes.
+    """
+    if len(data) < ICP_HEADER_SIZE:
+        raise ProtocolError(
+            f"datagram of {len(data)} bytes is shorter than the "
+            f"{ICP_HEADER_SIZE}-byte ICP header"
+        )
+    opcode, version, length, request_number, _opts, _optdata, sender = (
+        _HEADER.unpack_from(data)
+    )
+    if version != ICP_VERSION:
+        raise ProtocolError(f"unsupported ICP version {version}")
+    if length != len(data):
+        raise ProtocolError(
+            f"length field says {length} bytes but datagram has {len(data)}"
+        )
+    payload = data[ICP_HEADER_SIZE:]
+
+    if opcode == Opcode.QUERY:
+        if len(payload) < 5:
+            raise ProtocolError("QUERY payload too short")
+        (requester,) = struct.unpack_from("!I", payload)
+        url = _parse_url(payload[4:], "QUERY")
+        return IcpQuery(
+            url=url,
+            request_number=request_number,
+            requester=requester,
+            sender=sender,
+        )
+    if opcode == Opcode.HIT:
+        return IcpHit(
+            url=_parse_url(payload, "HIT"),
+            request_number=request_number,
+            sender=sender,
+        )
+    if opcode == Opcode.MISS:
+        return IcpMiss(
+            url=_parse_url(payload, "MISS"),
+            request_number=request_number,
+            sender=sender,
+        )
+    if opcode == Opcode.MISS_NOFETCH:
+        return IcpMissNoFetch(
+            url=_parse_url(payload, "MISS_NOFETCH"),
+            request_number=request_number,
+            sender=sender,
+        )
+    if opcode == Opcode.DIRUPDATE:
+        if len(payload) < DIRUPDATE_HEADER_SIZE:
+            raise ProtocolError("DIRUPDATE payload too short")
+        fnum, fbits, asize, count = _DIRUPDATE_HEADER.unpack_from(payload)
+        records = payload[DIRUPDATE_HEADER_SIZE:]
+        if len(records) != 4 * count:
+            raise ProtocolError(
+                f"DIRUPDATE announces {count} records but carries "
+                f"{len(records)} payload bytes"
+            )
+        flips: List[Tuple[int, bool]] = []
+        for i in range(count):
+            (record,) = struct.unpack_from("!I", records, 4 * i)
+            flips.append(decode_flip(record))
+        return DirUpdate(
+            function_num=fnum,
+            function_bits=fbits,
+            bit_array_size=asize,
+            flips=tuple(flips),
+            request_number=request_number,
+            sender=sender,
+        )
+    if opcode == Opcode.DIGEST:
+        if len(payload) < DIGEST_HEADER_SIZE:
+            raise ProtocolError("DIGEST payload too short")
+        fnum, fbits, asize, offset, total = struct.unpack_from(
+            "!HHIII", payload
+        )
+        return DigestChunk(
+            function_num=fnum,
+            function_bits=fbits,
+            bit_array_size=asize,
+            byte_offset=offset,
+            total_bytes=total,
+            payload=payload[DIGEST_HEADER_SIZE:],
+            request_number=request_number,
+            sender=sender,
+        )
+    raise ProtocolError(f"unknown or unsupported opcode {opcode}")

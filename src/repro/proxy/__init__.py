@@ -1,0 +1,38 @@
+"""An asyncio prototype of the summary-cache enhanced proxy (Section VI-B).
+
+The prototype runs real sockets on localhost:
+
+- :mod:`repro.proxy.origin` -- an origin HTTP server with configurable
+  reply delay (the paper's benchmark servers "wait for one second before
+  sending the reply to simulate the network latency");
+- :mod:`repro.proxy.server` -- the proxy itself: a TCP HTTP front end, a
+  UDP ICP endpoint, a local cache with a counting Bloom filter summary,
+  and three cooperation modes (``no-icp``, ``icp``, ``sc-icp``);
+- :mod:`repro.proxy.client` -- a trace-replaying client driver;
+- :mod:`repro.proxy.cluster` -- one-call construction of an
+  origin + N proxies + clients experiment, used by the prototype
+  benchmarks (Tables II, IV, V analogues) and the examples.
+
+The HTTP spoken is a deliberately small HTTP/1.0 subset (GET only, one
+request per connection) -- enough to exercise the protocol paths the
+paper measures without reimplementing an RFC 7230 stack.
+"""
+
+from repro.proxy.client import ClientDriver, ReplayReport
+from repro.proxy.cluster import ClusterResult, ProxyCluster
+from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
+from repro.proxy.origin import OriginServer
+from repro.proxy.server import ProxyStats, SummaryCacheProxy
+
+__all__ = [
+    "ClientDriver",
+    "ClusterResult",
+    "OriginServer",
+    "PeerAddress",
+    "ProxyCluster",
+    "ProxyConfig",
+    "ProxyMode",
+    "ProxyStats",
+    "ReplayReport",
+    "SummaryCacheProxy",
+]

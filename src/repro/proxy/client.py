@@ -1,0 +1,111 @@
+"""Client drivers replaying workloads against a prototype proxy.
+
+The paper's replay experiments bind clients to proxies two ways
+(Section VII): experiment 3 preserves the client-to-proxy binding
+("client processes on the same workstation connect to the same proxy
+server"), experiment 4 round-robins requests across clients.  The
+cluster harness implements both assignments on top of this driver.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.proxy.http import read_response, write_request
+from repro.traces.model import Request
+
+
+@dataclass
+class ReplayReport:
+    """What one client driver observed."""
+
+    requests: int = 0
+    errors: int = 0
+    bytes_received: int = 0
+    total_latency: float = 0.0
+    cache_sources: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean per-request latency in seconds."""
+        return self.total_latency / self.requests if self.requests else 0.0
+
+    def merge(self, other: "ReplayReport") -> "ReplayReport":
+        """Element-wise sum of two reports."""
+        sources = dict(self.cache_sources)
+        for key, count in other.cache_sources.items():
+            sources[key] = sources.get(key, 0) + count
+        return ReplayReport(
+            requests=self.requests + other.requests,
+            errors=self.errors + other.errors,
+            bytes_received=self.bytes_received + other.bytes_received,
+            total_latency=self.total_latency + other.total_latency,
+            cache_sources=sources,
+        )
+
+
+class ClientDriver:
+    """Issues GET requests sequentially (no think time) to one proxy."""
+
+    def __init__(self, host: str, port: int) -> None:
+        self.host = host
+        self.port = port
+        self.report = ReplayReport()
+
+    async def fetch(self, url: str, size: int = 0) -> bytes:
+        """Fetch one URL through the proxy; returns the body."""
+        start = time.perf_counter()
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            headers = {"X-Size": str(size)} if size else {}
+            write_request(writer, url, headers)
+            await writer.drain()
+            response = await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+        elapsed = time.perf_counter() - start
+        self.report.requests += 1
+        self.report.total_latency += elapsed
+        if response.status != 200:
+            self.report.errors += 1
+            raise ProtocolError(
+                f"proxy returned {response.status} for {url!r}"
+            )
+        self.report.bytes_received += len(response.body)
+        source = response.header("x-cache", "UNKNOWN")
+        self.report.cache_sources[source] = (
+            self.report.cache_sources.get(source, 0) + 1
+        )
+        return response.body
+
+    async def replay(self, requests: Sequence[Request]) -> ReplayReport:
+        """Replay *requests* back-to-back; returns the accumulated report."""
+        for req in requests:
+            await self.fetch(req.url, size=req.size)
+        return self.report
+
+
+async def replay_concurrently(
+    assignments: Sequence[Tuple["ClientDriver", Sequence[Request]]],
+) -> ReplayReport:
+    """Run several drivers' replays concurrently and merge their reports.
+
+    Mirrors the benchmark's "client processes issue requests with no
+    thinking time in between" -- each driver is serial, drivers run in
+    parallel.
+    """
+    reports: List[ReplayReport] = await asyncio.gather(
+        *(driver.replay(reqs) for driver, reqs in assignments)
+    )
+    merged = ReplayReport()
+    for report in reports:
+        merged = merged.merge(report)
+    return merged

@@ -1,0 +1,171 @@
+"""One-call construction of a prototype experiment cluster.
+
+A cluster is one origin server plus N proxies (all on localhost,
+OS-assigned ports) wired as full-mesh neighbours, plus client drivers.
+This is the harness behind the prototype benchmarks and the
+``proxy_cluster`` example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional
+
+from repro.errors import ConfigurationError
+from repro.proxy.client import ClientDriver, ReplayReport, replay_concurrently
+from repro.proxy.config import ProxyConfig, ProxyMode
+from repro.proxy.origin import OriginServer
+from repro.proxy.server import ProxyStats, SummaryCacheProxy
+from repro.traces.model import Request, Trace
+from repro.traces.partition import group_of
+
+
+@dataclass
+class ClusterResult:
+    """Merged outcome of one cluster replay."""
+
+    client_report: ReplayReport
+    proxy_stats: List[ProxyStats]
+    origin_requests: int
+
+    @property
+    def total_hit_ratio(self) -> float:
+        """Local + remote hits over all client requests."""
+        requests = sum(s.http_requests for s in self.proxy_stats)
+        hits = sum(s.local_hits + s.remote_hits for s in self.proxy_stats)
+        return hits / requests if requests else 0.0
+
+    @property
+    def udp_total(self) -> int:
+        """UDP datagrams sent by all proxies (the paper's headline
+        ICP-overhead number)."""
+        return sum(s.udp_sent for s in self.proxy_stats)
+
+
+class ProxyCluster:
+    """An origin + N cooperating proxies on localhost.
+
+    Use as an async context manager::
+
+        async with ProxyCluster(num_proxies=4, mode=ProxyMode.SC_ICP) as cluster:
+            result = await cluster.replay(trace)
+    """
+
+    def __init__(
+        self,
+        num_proxies: int = 4,
+        mode: ProxyMode = ProxyMode.SC_ICP,
+        cache_capacity: int = 4 * 1024 * 1024,
+        origin_delay: float = 0.0,
+        base_config: Optional[ProxyConfig] = None,
+    ) -> None:
+        if num_proxies < 1:
+            raise ConfigurationError("num_proxies must be >= 1")
+        self.num_proxies = num_proxies
+        self.mode = mode
+        template = base_config or ProxyConfig()
+        self._configs = [
+            replace(
+                template,
+                name=f"proxy{i}",
+                mode=mode,
+                cache_capacity=cache_capacity,
+                http_port=0,
+                icp_port=0,
+            )
+            for i in range(num_proxies)
+        ]
+        self.origin = OriginServer(delay=origin_delay)
+        self.proxies: List[SummaryCacheProxy] = []
+
+    async def __aenter__(self) -> "ProxyCluster":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        """Start the origin, the proxies, and wire the full mesh."""
+        await self.origin.start()
+        self.proxies = [
+            SummaryCacheProxy(cfg, self.origin.address)
+            for cfg in self._configs
+        ]
+        for proxy in self.proxies:
+            await proxy.start()
+        addresses = [proxy.address() for proxy in self.proxies]
+        for i, proxy in enumerate(self.proxies):
+            proxy.set_peers(
+                [addr for j, addr in enumerate(addresses) if j != i]
+            )
+
+    async def stop(self) -> None:
+        """Stop every proxy and the origin."""
+        for proxy in self.proxies:
+            await proxy.stop()
+        self.proxies = []
+        await self.origin.stop()
+
+    def driver_for(self, proxy_index: int) -> ClientDriver:
+        """A client driver bound to proxy *proxy_index*."""
+        proxy = self.proxies[proxy_index]
+        return ClientDriver(proxy.config.host, proxy.http_port)
+
+    async def replay(
+        self,
+        trace: Trace,
+        assignment: str = "client-bound",
+        clients_per_proxy: int = 4,
+    ) -> ClusterResult:
+        """Replay *trace* through the cluster.
+
+        ``assignment`` selects the paper's two replay modes:
+
+        - ``"client-bound"`` (experiment 3): a trace client's requests
+          all go to the proxy its id maps to, preserving the
+          client/proxy binding but not cross-client order;
+        - ``"round-robin"`` (experiment 4): requests are dealt to
+          proxies in trace order, preserving global order but not the
+          binding.
+
+        Each proxy's share is further dealt to ``clients_per_proxy``
+        serial drivers that run concurrently (the benchmark's
+        no-think-time client processes).
+        """
+        per_proxy: List[List[Request]] = [[] for _ in range(self.num_proxies)]
+        if assignment == "client-bound":
+            for req in trace:
+                per_proxy[group_of(req.client_id, self.num_proxies)].append(
+                    req
+                )
+        elif assignment == "round-robin":
+            for i, req in enumerate(trace):
+                per_proxy[i % self.num_proxies].append(req)
+        else:
+            raise ConfigurationError(
+                f"unknown assignment {assignment!r}; expected "
+                "'client-bound' or 'round-robin'"
+            )
+
+        assignments = []
+        for proxy_index, requests in enumerate(per_proxy):
+            if not requests:
+                continue
+            # Deal the proxy's stream to serial drivers round-robin so
+            # each driver preserves its own request order.
+            shares: List[List[Request]] = [
+                [] for _ in range(clients_per_proxy)
+            ]
+            for i, req in enumerate(requests):
+                shares[i % clients_per_proxy].append(req)
+            for share in shares:
+                if share:
+                    assignments.append((self.driver_for(proxy_index), share))
+
+        report = await replay_concurrently(assignments)
+        return ClusterResult(
+            client_report=report,
+            proxy_stats=[proxy.stats for proxy in self.proxies],
+            origin_requests=self.origin.stats.requests,
+        )

@@ -1,0 +1,99 @@
+"""Configuration records for the proxy prototype."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.core.summary import SummaryConfig
+from repro.errors import ConfigurationError
+
+
+class ProxyMode(str, enum.Enum):
+    """Cooperation mode of a proxy (the three columns of Table II)."""
+
+    #: No cooperation: misses go straight to the origin server.
+    NO_ICP = "no-icp"
+    #: Classic ICP: multicast a query to every peer on every miss.
+    ICP = "icp"
+    #: Summary cache enhanced ICP: query only peers whose Bloom summary
+    #: predicts a hit; disseminate DIRUPDATE messages.
+    SC_ICP = "sc-icp"
+
+
+@dataclass(frozen=True)
+class PeerAddress:
+    """How to reach one neighbour proxy."""
+
+    name: str
+    host: str
+    http_port: int
+    icp_port: int
+
+    @property
+    def icp_addr(self) -> Tuple[str, int]:
+        """The UDP ``(host, port)`` this peer's ICP endpoint listens on."""
+        return (self.host, self.icp_port)
+
+
+@dataclass(frozen=True)
+class ProxyConfig:
+    """Parameters of one prototype proxy instance.
+
+    ``icp_timeout`` bounds how long a miss waits for peer replies; the
+    classic Squid default is 2 s, but on loopback a few hundred ms is
+    plenty and keeps experiment wall-clock low.
+    """
+
+    name: str = "proxy"
+    host: str = "127.0.0.1"
+    http_port: int = 0  # 0 = let the OS pick
+    icp_port: int = 0
+    mode: ProxyMode = ProxyMode.SC_ICP
+    cache_capacity: int = 16 * 1024 * 1024
+    max_object_size: Optional[int] = 250 * 1024
+    summary: SummaryConfig = field(default_factory=SummaryConfig)
+    #: Average document size used to size the Bloom filter.
+    expected_doc_size: int = 8 * 1024
+    #: Ship a summary update when this fraction of cached documents is
+    #: new (the paper's recommended 1%-10% range).
+    update_threshold: float = 0.01
+    #: Seconds to wait for ICP replies before falling back to the origin.
+    icp_timeout: float = 0.5
+    #: UDP payload budget for DIRUPDATE batching.
+    mtu: int = 1400
+    #: How summary updates are shipped: ``"delta"`` sends
+    #: ICP_OP_DIRUPDATE bit-flip batches (the paper's SC-ICP design);
+    #: ``"digest"`` sends the whole bit array in ICP_OP_DIGEST chunks
+    #: (the Squid cache-digest variant, "more economical" when the
+    #: delay threshold is large).
+    update_encoding: str = "delta"
+    #: Rebuild the filter at double the bits once the cache holds this
+    #: many times the expected document count ("proxies can lower or
+    #: raise it depending on their memory and network traffic
+    #: concerns").  0 disables auto-resizing.
+    resize_threshold: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 1:
+            raise ConfigurationError("cache_capacity must be >= 1")
+        if not 0.0 < self.update_threshold <= 1.0:
+            raise ConfigurationError(
+                "update_threshold must be in (0, 1]"
+            )
+        if self.icp_timeout <= 0:
+            raise ConfigurationError("icp_timeout must be > 0")
+        if self.resize_threshold < 0:
+            raise ConfigurationError("resize_threshold must be >= 0")
+        if self.update_encoding not in ("delta", "digest"):
+            raise ConfigurationError(
+                f"update_encoding must be 'delta' or 'digest', "
+                f"got {self.update_encoding!r}"
+            )
+        if self.summary.kind != "bloom":
+            raise ConfigurationError(
+                "the prototype ships Bloom summaries only (the paper's "
+                "SC-ICP protocol); use the trace simulators for other "
+                "representations"
+            )

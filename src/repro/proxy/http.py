@@ -1,0 +1,162 @@
+"""The minimal HTTP/1.0 subset the prototype speaks.
+
+One GET per connection, ``Content-Length``-framed bodies, a handful of
+extension headers:
+
+- ``X-Size`` on requests -- the trace-replay drivers carry the desired
+  body size in the request (the paper's replay experiments do exactly
+  this: "each request's URL carries the size of the request in the
+  trace file, and the server replies with the specified number of
+  bytes");
+- ``X-Only-If-Cached`` on proxy-to-proxy fetches -- the serving peer
+  must answer from cache or return 504, never recurse into its own
+  cooperation logic;
+- ``X-Cache`` on responses -- ``HIT``, ``REMOTE-HIT`` or ``MISS``, for
+  the drivers' accounting.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.errors import ProtocolError
+
+#: Upper bound on a request/response head, to bound memory per connection.
+MAX_HEAD_BYTES = 16 * 1024
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """A parsed GET request."""
+
+    url: str
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+
+@dataclass
+class HttpResponse:
+    """A parsed response."""
+
+    status: int
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def header(self, name: str, default: str = "") -> str:
+        """Case-insensitive header lookup."""
+        return self.headers.get(name.lower(), default)
+
+
+async def _read_head(reader: asyncio.StreamReader) -> bytes:
+    head = await reader.readuntil(b"\r\n\r\n")
+    if len(head) > MAX_HEAD_BYTES:
+        raise ProtocolError("HTTP head exceeds size limit")
+    return head
+
+
+def _parse_headers(lines) -> Dict[str, str]:
+    headers: Dict[str, str] = {}
+    for line in lines:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    return headers
+
+
+async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
+    """Read and parse one GET request."""
+    try:
+        head = await _read_head(reader)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("HTTP head exceeds stream limit") from exc
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or parts[0] != "GET":
+        raise ProtocolError(f"unsupported request line {lines[0]!r}")
+    return HttpRequest(url=parts[1], headers=_parse_headers(lines[1:]))
+
+
+async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
+    """Read and parse one Content-Length-framed response."""
+    try:
+        head = await _read_head(reader)
+    except asyncio.IncompleteReadError as exc:
+        raise ProtocolError("connection closed mid-response") from exc
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ", 2)
+    if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+        raise ProtocolError(f"malformed status line {lines[0]!r}")
+    try:
+        status = int(parts[1])
+    except ValueError as exc:
+        raise ProtocolError(f"malformed status code {parts[1]!r}") from exc
+    headers = _parse_headers(lines[1:])
+    length_text = headers.get("content-length", "0")
+    try:
+        length = int(length_text)
+    except ValueError as exc:
+        raise ProtocolError(
+            f"malformed Content-Length {length_text!r}"
+        ) from exc
+    body = await reader.readexactly(length) if length else b""
+    return HttpResponse(status=status, headers=headers, body=body)
+
+
+def write_request(
+    writer: asyncio.StreamWriter,
+    url: str,
+    headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialize one GET request onto *writer* (caller drains)."""
+    head = [f"GET {url} HTTP/1.0"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    head.append("\r\n")
+    writer.write("\r\n".join(head).encode("latin-1"))
+
+
+def write_response(
+    writer: asyncio.StreamWriter,
+    status: int,
+    body: bytes = b"",
+    headers: Optional[Dict[str, str]] = None,
+) -> None:
+    """Serialize one response onto *writer* (caller drains)."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [f"HTTP/1.0 {status} {reason}", f"Content-Length: {len(body)}"]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    head.append("\r\n")
+    writer.write("\r\n".join(head).encode("latin-1") + body)
+
+
+def synth_body(url: str, size: int) -> bytes:
+    """Deterministic body bytes for *url* of exactly *size* bytes.
+
+    Origin servers in the experiments serve synthetic content; making it
+    a pure function of the URL lets tests verify end-to-end integrity of
+    proxy-cached copies.
+    """
+    if size <= 0:
+        return b""
+    seed = (url.encode("utf-8") + b"|") * (size // (len(url) + 1) + 1)
+    return seed[:size]

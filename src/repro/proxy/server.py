@@ -1,0 +1,642 @@
+"""The summary-cache proxy prototype.
+
+Each proxy runs two endpoints on localhost:
+
+- a **TCP HTTP front end** serving clients (and peer proxies fetching
+  remote hits), backed by an in-memory :class:`~repro.cache.WebCache`
+  of document bodies;
+- a **UDP ICP endpoint** answering ``ICP_OP_QUERY`` and absorbing
+  ``ICP_OP_DIRUPDATE`` messages from peers.
+
+Cooperation modes (:class:`~repro.proxy.config.ProxyMode`):
+
+``no-icp``
+    misses go straight to the origin server.
+``icp``
+    every miss multicasts an ``ICP_OP_QUERY`` to all peers and waits for
+    the first HIT (or all MISSes / timeout) -- the overhead pattern
+    measured in Section IV.
+``sc-icp``
+    the paper's protocol: the proxy keeps a counting Bloom filter of its
+    own directory and a plain-filter copy per peer (initialized by the
+    first DIRUPDATE received, per Section VI-B), probes the copies on a
+    miss, and queries only promising peers.  When the fraction of new
+    documents since the last update reaches the threshold, the pending
+    bit flips are drained into MTU-sized DIRUPDATE messages and sent to
+    every peer.  With ``update_encoding="digest"`` the whole bit array
+    is shipped in ICP_OP_DIGEST chunks instead (the Squid cache-digest
+    variant).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache import WebCache
+from repro.core.bloom import BloomFilter
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import MD5HashFamily
+from repro.core.summary import expected_documents_for_cache
+from repro.errors import ProtocolError, ProxyError
+from repro.protocol.update import (
+    DigestAssembler,
+    apply_dir_update,
+    build_digest_messages,
+    build_dir_update_messages,
+)
+from repro.protocol.wire import (
+    DigestChunk,
+    DirUpdate,
+    IcpHit,
+    IcpMiss,
+    IcpQuery,
+    decode_message,
+)
+from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
+from repro.proxy.http import (
+    HttpResponse,
+    read_request,
+    read_response,
+    write_request,
+    write_response,
+)
+
+
+@dataclass
+class ProxyStats:
+    """Counters mirroring what the paper measures per proxy.
+
+    UDP counters correspond to the paper's ``netstat`` UDP datagram
+    counts; ``false_query_rounds`` are SC-ICP query rounds in which no
+    queried peer actually held the document (false hits).
+    """
+
+    http_requests: int = 0
+    local_hits: int = 0
+    remote_hits: int = 0
+    remote_fetch_failures: int = 0
+    false_query_rounds: int = 0
+    origin_fetches: int = 0
+    bytes_served: int = 0
+    icp_queries_sent: int = 0
+    icp_queries_received: int = 0
+    icp_replies_sent: int = 0
+    icp_replies_received: int = 0
+    dirupdates_sent: int = 0
+    dirupdates_received: int = 0
+    summary_resizes: int = 0
+    udp_sent: int = 0
+    udp_received: int = 0
+    peer_served_requests: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Local + remote hits over client requests."""
+        if not self.http_requests:
+            return 0.0
+        return (self.local_hits + self.remote_hits) / self.http_requests
+
+
+class _PeerState:
+    """What a proxy knows about one neighbour."""
+
+    __slots__ = ("address", "summary", "alive", "assembler")
+
+    def __init__(self, address: PeerAddress) -> None:
+        self.address = address
+        #: Plain Bloom filter copy; ``None`` until the first DIRUPDATE
+        #: arrives ("The structure is initialized when the first summary
+        #: update message is received from the neighbor").
+        self.summary: Optional[BloomFilter] = None
+        self.alive = True
+        #: Reassembles whole-filter transfers in digest mode.
+        self.assembler = DigestAssembler()
+
+
+class _IcpProtocol(asyncio.DatagramProtocol):
+    """Datagram glue delivering packets to the owning proxy."""
+
+    def __init__(self, proxy: "SummaryCacheProxy") -> None:
+        self._proxy = proxy
+        self.transport: Optional[asyncio.DatagramTransport] = None
+
+    def connection_made(self, transport) -> None:
+        self.transport = transport
+
+    def datagram_received(self, data: bytes, addr) -> None:
+        self._proxy._on_datagram(data, addr)
+
+
+class _PendingQuery:
+    """Bookkeeping for one outstanding ICP query round."""
+
+    __slots__ = ("future", "outstanding")
+
+    def __init__(self, outstanding: set) -> None:
+        self.future: asyncio.Future = (
+            asyncio.get_event_loop().create_future()
+        )
+        self.outstanding = outstanding
+
+
+class SummaryCacheProxy:
+    """One prototype proxy instance.
+
+    Parameters
+    ----------
+    config:
+        Ports, mode, cache size, summary geometry, update threshold.
+    origin_address:
+        ``(host, port)`` of the origin server all misses go to.  (The
+        experiments use a single origin; a resolver callable could
+        replace this without touching the protocol paths.)
+    """
+
+    def __init__(
+        self,
+        config: ProxyConfig,
+        origin_address: Tuple[str, int],
+    ) -> None:
+        self.config = config
+        self.origin_address = origin_address
+        self.stats = ProxyStats()
+        self._bodies: Dict[str, bytes] = {}
+        self._summary = CountingBloomFilter.for_capacity(
+            expected_documents_for_cache(
+                config.cache_capacity, config.expected_doc_size
+            ),
+            load_factor=config.summary.load_factor,
+            hash_family=MD5HashFamily(
+                num_functions=config.summary.num_hashes
+            ),
+            counter_width=config.summary.counter_width,
+        )
+        self._cache = WebCache(
+            config.cache_capacity,
+            max_object_size=config.max_object_size,
+            on_insert=self._on_cache_insert,
+            on_evict=self._on_cache_evict,
+        )
+        self._new_since_update = 0
+        self._peers: Dict[Tuple[str, int], _PeerState] = {}
+        self._pending: Dict[int, _PendingQuery] = {}
+        self._request_counter = 0
+        self._http_server: Optional[asyncio.AbstractServer] = None
+        self._icp: Optional[_IcpProtocol] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the HTTP and ICP endpoints."""
+        loop = asyncio.get_event_loop()
+        self._http_server = await asyncio.start_server(
+            self._handle_http, self.config.host, self.config.http_port
+        )
+        _transport, protocol = await loop.create_datagram_endpoint(
+            lambda: _IcpProtocol(self),
+            local_addr=(self.config.host, self.config.icp_port),
+        )
+        self._icp = protocol
+
+    async def stop(self) -> None:
+        """Shut both endpoints down."""
+        if self._http_server is not None:
+            self._http_server.close()
+            await self._http_server.wait_closed()
+            self._http_server = None
+        if self._icp is not None and self._icp.transport is not None:
+            self._icp.transport.close()
+            self._icp = None
+        for pending in self._pending.values():
+            if not pending.future.done():
+                pending.future.cancel()
+        self._pending.clear()
+
+    @property
+    def http_port(self) -> int:
+        """Bound HTTP port (valid after :meth:`start`)."""
+        if self._http_server is None:
+            raise ProxyError(f"{self.config.name}: proxy is not running")
+        return self._http_server.sockets[0].getsockname()[1]
+
+    @property
+    def icp_port(self) -> int:
+        """Bound ICP/UDP port (valid after :meth:`start`)."""
+        if self._icp is None or self._icp.transport is None:
+            raise ProxyError(f"{self.config.name}: proxy is not running")
+        return self._icp.transport.get_extra_info("sockname")[1]
+
+    def address(self) -> PeerAddress:
+        """This proxy's address record, for handing to its peers."""
+        return PeerAddress(
+            name=self.config.name,
+            host=self.config.host,
+            http_port=self.http_port,
+            icp_port=self.icp_port,
+        )
+
+    def set_peers(self, peers: List[PeerAddress]) -> None:
+        """Install the neighbour set (call after all proxies started)."""
+        self._peers = {peer.icp_addr: _PeerState(peer) for peer in peers}
+
+    def reset_peer(self, icp_addr: Tuple[str, int]) -> None:
+        """Forget a peer's summary (Squid-style failure/recovery reinit)."""
+        state = self._peers.get(icp_addr)
+        if state is not None:
+            state.summary = None
+
+    # ------------------------------------------------------------------
+    # Cache bookkeeping
+    # ------------------------------------------------------------------
+
+    def _on_cache_insert(self, url: str) -> None:
+        self._summary.add(url)
+        self._new_since_update += 1
+
+    def _on_cache_evict(self, url: str) -> None:
+        self._summary.remove(url)
+        self._bodies.pop(url, None)
+
+    def _store(self, url: str, body: bytes) -> None:
+        """Admit a fetched document and maybe broadcast an update."""
+        self._bodies[url] = body
+        self._cache.put(url, len(body))
+        if url not in self._cache:
+            self._bodies.pop(url, None)  # rejected (too large)
+        if self.config.mode is ProxyMode.SC_ICP:
+            self._maybe_resize_summary()
+            self._maybe_broadcast_update()
+
+    def _maybe_resize_summary(self) -> None:
+        """Grow the filter when the cache outruns its expected size.
+
+        The filter was sized for ``cache_capacity / expected_doc_size``
+        documents; if the cache holds far more (documents smaller than
+        anticipated), the effective load factor -- and with it the
+        false-hit rate at every peer -- degrades.  Rebuilding at double
+        the bits from the live directory restores it; peers resync via
+        a whole-filter digest (a delta cannot describe a geometry
+        change).
+        """
+        threshold = self.config.resize_threshold
+        if threshold <= 0:
+            return
+        expected = self._summary.num_bits // self.config.summary.load_factor
+        if len(self._cache) <= expected * threshold:
+            return
+        rebuilt = CountingBloomFilter(
+            self._summary.num_bits * 2,
+            hash_family=self._summary.hash_family,
+            counter_width=self.config.summary.counter_width,
+        )
+        for url in self._cache.urls():
+            rebuilt.add(url)
+        rebuilt.drain_flips()  # peers get a digest, not a delta
+        self._summary = rebuilt
+        self._new_since_update = 0
+        self.stats.summary_resizes += 1
+        self._broadcast_digest()
+
+    def _broadcast_digest(self) -> None:
+        """Ship the whole filter to every peer (resync after a resize)."""
+        if not self._peers or self._icp is None:
+            return
+        transport = self._icp.transport
+        messages = build_digest_messages(
+            self._summary, mtu=self.config.mtu
+        )
+        for peer_addr, state in self._peers.items():
+            if not state.alive:
+                continue
+            for message in messages:
+                transport.sendto(message.encode(), peer_addr)
+                self.stats.dirupdates_sent += 1
+                self.stats.udp_sent += 1
+
+    def _maybe_broadcast_update(self) -> None:
+        docs = max(1, len(self._cache))
+        if self._new_since_update / docs < self.config.update_threshold:
+            return
+        flips = self._summary.drain_flips()
+        self._new_since_update = 0
+        if not flips or not self._peers or self._icp is None:
+            return
+        if self.config.update_encoding == "digest":
+            # Squid cache-digest style: ship the whole bit array.
+            messages = build_digest_messages(
+                self._summary, mtu=self.config.mtu
+            )
+        else:
+            messages = build_dir_update_messages(
+                flips,
+                self._summary.hash_family,
+                self._summary.num_bits,
+                mtu=self.config.mtu,
+            )
+        transport = self._icp.transport
+        for peer_addr, state in self._peers.items():
+            if not state.alive:
+                continue
+            for message in messages:
+                transport.sendto(message.encode(), peer_addr)
+                self.stats.dirupdates_sent += 1
+                self.stats.udp_sent += 1
+
+    # ------------------------------------------------------------------
+    # ICP datagram path
+    # ------------------------------------------------------------------
+
+    def _on_datagram(self, data: bytes, addr) -> None:
+        self.stats.udp_received += 1
+        try:
+            message = decode_message(data)
+        except ProtocolError:
+            return  # garbage on the wire is dropped, never fatal
+        if isinstance(message, IcpQuery):
+            self._handle_query(message, addr)
+        elif isinstance(message, (IcpHit, IcpMiss)):
+            self._handle_reply(message, addr)
+        elif isinstance(message, DirUpdate):
+            self._handle_dir_update(message, addr)
+        elif isinstance(message, DigestChunk):
+            self._handle_digest_chunk(message, addr)
+
+    def _handle_query(self, query: IcpQuery, addr) -> None:
+        self.stats.icp_queries_received += 1
+        if self._icp is None or self._icp.transport is None:
+            return
+        if query.url in self._cache:
+            reply = IcpHit(
+                url=query.url, request_number=query.request_number
+            )
+        else:
+            reply = IcpMiss(
+                url=query.url, request_number=query.request_number
+            )
+        self._icp.transport.sendto(reply.encode(), addr)
+        self.stats.icp_replies_sent += 1
+        self.stats.udp_sent += 1
+
+    def _handle_reply(self, reply, addr) -> None:
+        self.stats.icp_replies_received += 1
+        pending = self._pending.get(reply.request_number)
+        if pending is None or pending.future.done():
+            return
+        if isinstance(reply, IcpHit):
+            pending.future.set_result(addr)
+            return
+        pending.outstanding.discard(addr)
+        if not pending.outstanding:
+            pending.future.set_result(None)
+
+    def _handle_dir_update(self, update: DirUpdate, addr) -> None:
+        self.stats.dirupdates_received += 1
+        state = self._peers.get(addr)
+        if state is None:
+            return  # update from an unconfigured peer
+        if (
+            state.summary is None
+            or state.summary.num_bits != update.bit_array_size
+            or state.summary.hash_family.spec()
+            != (update.function_num, update.function_bits)
+        ):
+            # First update from this peer, or the peer rebuilt its
+            # filter (e.g. after restart): reinitialize from the
+            # header's geometry.
+            state.summary = BloomFilter(
+                update.bit_array_size,
+                hash_family=MD5HashFamily.from_spec(
+                    update.function_num, update.function_bits
+                ),
+            )
+        apply_dir_update(state.summary, update)
+
+    def _handle_digest_chunk(self, chunk: DigestChunk, addr) -> None:
+        """Feed a whole-filter chunk to the peer's reassembler."""
+        self.stats.dirupdates_received += 1
+        state = self._peers.get(addr)
+        if state is None:
+            return
+        completed = state.assembler.add(chunk)
+        if completed is not None:
+            state.summary = completed
+
+    # ------------------------------------------------------------------
+    # HTTP path
+    # ------------------------------------------------------------------
+
+    async def _handle_http(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                request = await read_request(reader)
+            except ProtocolError:
+                write_response(writer, 400)
+                await writer.drain()
+                return
+            if request.url == "/__stats__":
+                await self._serve_stats(writer)
+            elif request.header("x-only-if-cached"):
+                await self._serve_peer(request, writer)
+            else:
+                await self._serve_client(request, writer)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    async def _serve_stats(self, writer) -> None:
+        """Serve the admin endpoint: counters and cache state as JSON."""
+        payload = dict(asdict(self.stats))
+        payload.update(
+            {
+                "name": self.config.name,
+                "mode": self.config.mode.value,
+                "cache_entries": len(self._cache),
+                "cache_used_bytes": self._cache.used_bytes,
+                "cache_capacity_bytes": self._cache.capacity_bytes,
+                "summary_fill_ratio": self._summary.fill_ratio(),
+                "peers": len(self._peers),
+            }
+        )
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        write_response(
+            writer,
+            200,
+            body,
+            headers={"Content-Type": "application/json"},
+        )
+        await writer.drain()
+
+    async def _serve_peer(self, request, writer) -> None:
+        """Serve a proxy-to-proxy fetch: cache or 504, never recurse."""
+        body = self._lookup_local(request.url)
+        if body is None:
+            write_response(writer, 504, headers={"X-Cache": "MISS"})
+        else:
+            self.stats.peer_served_requests += 1
+            write_response(
+                writer, 200, body, headers={"X-Cache": "HIT"}
+            )
+        await writer.drain()
+
+    async def _serve_client(self, request, writer) -> None:
+        self.stats.http_requests += 1
+        url = request.url
+        size_hint = request.header("x-size")
+
+        body = self._lookup_local(url)
+        source = "HIT"
+        if body is None:
+            body, source = await self._miss_path(url, size_hint)
+        else:
+            self.stats.local_hits += 1
+
+        self.stats.bytes_served += len(body)
+        write_response(writer, 200, body, headers={"X-Cache": source})
+        await writer.drain()
+
+    def _lookup_local(self, url: str) -> Optional[bytes]:
+        entry = self._cache.get(url)
+        if entry is None:
+            return None
+        body = self._bodies.get(url)
+        if body is None:  # cache/body desync would be a bug
+            self._cache.remove(url)
+            return None
+        return body
+
+    async def _miss_path(self, url: str, size_hint: str):
+        """Resolve a local miss via peers (per mode) then the origin."""
+        candidates = self._candidate_peers(url)
+        if candidates:
+            holder = await self._query_peers(url, candidates)
+            if holder is not None:
+                body = await self._fetch_from_peer(holder, url, size_hint)
+                if body is not None:
+                    self.stats.remote_hits += 1
+                    self._store(url, body)
+                    return body, "REMOTE-HIT"
+                self.stats.remote_fetch_failures += 1
+            else:
+                self.stats.false_query_rounds += 1
+
+        body = await self._fetch_from_origin(url, size_hint)
+        self._store(url, body)
+        return body, "MISS"
+
+    def _candidate_peers(self, url: str) -> List[_PeerState]:
+        """Which peers to query for *url*, per the cooperation mode."""
+        if self.config.mode is ProxyMode.NO_ICP or not self._peers:
+            return []
+        alive = [s for s in self._peers.values() if s.alive]
+        if self.config.mode is ProxyMode.ICP:
+            return alive
+        return [
+            s
+            for s in alive
+            if s.summary is not None and s.summary.may_contain(url)
+        ]
+
+    async def _query_peers(
+        self, url: str, candidates: List[_PeerState]
+    ) -> Optional[_PeerState]:
+        """Send ICP queries; return the first peer replying HIT."""
+        if self._icp is None or self._icp.transport is None:
+            return None
+        self._request_counter += 1
+        reqnum = self._request_counter & 0xFFFFFFFF
+        outstanding = {s.address.icp_addr for s in candidates}
+        pending = _PendingQuery(outstanding)
+        self._pending[reqnum] = pending
+        transport = self._icp.transport
+        query = IcpQuery(url=url, request_number=reqnum)
+        encoded = query.encode()
+        for state in candidates:
+            transport.sendto(encoded, state.address.icp_addr)
+            self.stats.icp_queries_sent += 1
+            self.stats.udp_sent += 1
+        try:
+            winner_addr = await asyncio.wait_for(
+                pending.future, timeout=self.config.icp_timeout
+            )
+        except asyncio.TimeoutError:
+            winner_addr = None
+        finally:
+            self._pending.pop(reqnum, None)
+        if winner_addr is None:
+            return None
+        return self._peers.get(winner_addr)
+
+    async def _fetch_from_peer(
+        self, peer: _PeerState, url: str, size_hint: str
+    ) -> Optional[bytes]:
+        """HTTP-fetch a remote hit; ``None`` if the peer no longer has it."""
+        headers = {"X-Only-If-Cached": "1"}
+        if size_hint:
+            headers["X-Size"] = size_hint
+        try:
+            response = await self._fetch(
+                peer.address.host, peer.address.http_port, url, headers
+            )
+        except (ConnectionError, ProtocolError, OSError):
+            return None
+        if response.status != 200:
+            return None
+        return response.body
+
+    async def _fetch_from_origin(self, url: str, size_hint: str) -> bytes:
+        headers = {"X-Size": size_hint} if size_hint else {}
+        self.stats.origin_fetches += 1
+        response = await self._fetch(
+            self.origin_address[0], self.origin_address[1], url, headers
+        )
+        if response.status != 200:
+            raise ProxyError(
+                f"origin returned {response.status} for {url!r}"
+            )
+        return response.body
+
+    async def _fetch(
+        self, host: str, port: int, url: str, headers
+    ) -> HttpResponse:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            write_request(writer, url, headers)
+            await writer.drain()
+            return await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
+
+    # ------------------------------------------------------------------
+    # Introspection used by tests and benchmarks
+    # ------------------------------------------------------------------
+
+    @property
+    def cache(self) -> WebCache:
+        """The document cache (read-only use expected)."""
+        return self._cache
+
+    @property
+    def summary(self) -> CountingBloomFilter:
+        """This proxy's own counting Bloom filter."""
+        return self._summary
+
+    def peer_summary(self, icp_addr: Tuple[str, int]) -> Optional[BloomFilter]:
+        """The current filter copy held for the peer at *icp_addr*."""
+        state = self._peers.get(icp_addr)
+        return state.summary if state else None

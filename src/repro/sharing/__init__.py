@@ -1,0 +1,67 @@
+"""Trace-driven cache-sharing simulators.
+
+This subpackage reproduces the paper's simulation studies:
+
+- :mod:`repro.sharing.schemes` -- the four cooperation schemes of
+  Section III (no sharing, simple sharing, single-copy sharing, global
+  cache) behind Fig. 1;
+- :mod:`repro.sharing.summary_sharing` -- the summary cache simulator of
+  Section V, parameterized by update policy and summary representation
+  (Figs. 2, 5, 6, 7, 8; Table III), plus the ICP message baseline;
+- :mod:`repro.sharing.messages` -- the paper's message-size accounting
+  (Section V-D);
+- :mod:`repro.sharing.results` -- result records shared by all
+  simulators.
+"""
+
+from repro.sharing.carp import CarpResult, carp_owner, simulate_carp
+from repro.sharing.directory_server import (
+    DirectoryServerLoad,
+    simulate_directory_server,
+)
+from repro.sharing.hierarchy import HierarchyResult, simulate_hierarchy
+from repro.sharing.messages import (
+    QUERY_MESSAGE_BYTES,
+    bloom_update_bytes,
+    digest_update_bytes,
+)
+from repro.sharing.results import MessageCounts, SharingResult
+from repro.sharing.schemes import (
+    simulate_global_cache,
+    simulate_no_sharing,
+    simulate_simple_sharing,
+    simulate_single_copy_sharing,
+)
+from repro.sharing.summary_sharing import (
+    IntervalUpdatePolicy,
+    PacketFillUpdatePolicy,
+    SummarySharingConfig,
+    ThresholdUpdatePolicy,
+    simulate_icp,
+    simulate_summary_sharing,
+)
+
+__all__ = [
+    "CarpResult",
+    "DirectoryServerLoad",
+    "HierarchyResult",
+    "IntervalUpdatePolicy",
+    "MessageCounts",
+    "PacketFillUpdatePolicy",
+    "QUERY_MESSAGE_BYTES",
+    "SharingResult",
+    "SummarySharingConfig",
+    "ThresholdUpdatePolicy",
+    "bloom_update_bytes",
+    "carp_owner",
+    "digest_update_bytes",
+    "simulate_carp",
+    "simulate_directory_server",
+    "simulate_global_cache",
+    "simulate_hierarchy",
+    "simulate_icp",
+    "simulate_no_sharing",
+    "simulate_simple_sharing",
+    "simulate_single_copy_sharing",
+    "simulate_summary_sharing",
+]

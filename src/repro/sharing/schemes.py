@@ -1,0 +1,232 @@
+"""The four cooperation schemes of Section III (Fig. 1).
+
+All four simulators consume the same input: a trace and a group count.
+The trace is processed in global timestamp order; each request belongs to
+the proxy its client maps to (clientid mod groups).  Cache capacity is
+specified per proxy; the global-cache scheme pools the capacities.
+
+Remote lookups here are *oracle* lookups -- the schemes of Section III
+study the benefit of sharing assuming a perfect discovery mechanism
+(the paper simulates ICP-style sharing without modelling its messages;
+message overhead is the subject of Sections IV-V).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+from repro.cache import WebCache
+from repro.errors import ConfigurationError
+from repro.sharing.results import SharingResult
+from repro.traces.model import Trace
+from repro.traces.partition import group_of
+
+#: Per-proxy capacity: one size for all, or one size per proxy (the
+#: paper's prescription under load imbalance is "to allocate cache size
+#: of each proxy to be proportional to its user population size").
+Capacity = Union[int, Sequence[int]]
+
+
+def resolve_capacities(
+    num_proxies: int, capacity: Capacity
+) -> List[int]:
+    """Expand a scalar or per-proxy capacity spec into one int per proxy."""
+    if isinstance(capacity, int):
+        sizes = [capacity] * num_proxies
+    else:
+        sizes = list(capacity)
+        if len(sizes) != num_proxies:
+            raise ConfigurationError(
+                f"got {len(sizes)} capacities for {num_proxies} proxies"
+            )
+    if any(size < 1 for size in sizes):
+        raise ConfigurationError("every capacity must be >= 1")
+    return sizes
+
+
+def _make_caches(
+    num_proxies: int, capacity_per_proxy: Capacity, policy: str
+) -> List[WebCache]:
+    return [
+        WebCache(size, policy=policy)
+        for size in resolve_capacities(num_proxies, capacity_per_proxy)
+    ]
+
+
+def simulate_no_sharing(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+) -> SharingResult:
+    """Each proxy serves only its own clients; misses go to the origin."""
+    caches = _make_caches(num_proxies, capacity_per_proxy, policy)
+    result = SharingResult(
+        scheme="no-sharing",
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
+        // num_proxies,
+    )
+    for req in trace:
+        g = group_of(req.client_id, num_proxies)
+        cache = caches[g]
+        result.requests += 1
+        result.bytes_requested += req.size
+        entry = cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+        cache.put(req.url, req.size, version=req.version)
+    result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
+    return result
+
+
+def simulate_simple_sharing(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+) -> SharingResult:
+    """ICP-style sharing: fetch from a fresh peer copy, then cache locally.
+
+    "Once a proxy fetches a document from another proxy, it caches the
+    document locally.  Proxies do not coordinate cache replacements."
+    """
+    caches = _make_caches(num_proxies, capacity_per_proxy, policy)
+    result = SharingResult(
+        scheme="simple-sharing",
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
+        // num_proxies,
+    )
+    for req in trace:
+        g = group_of(req.client_id, num_proxies)
+        cache = caches[g]
+        result.requests += 1
+        result.bytes_requested += req.size
+        entry = cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+        holder = _find_fresh_peer(caches, g, req.url, req.version)
+        if holder is not None:
+            result.remote_hits += 1
+            result.bytes_hit += req.size
+            caches[holder].touch(req.url)  # serving peer refreshes recency
+        else:
+            if _any_stale_peer(caches, g, req.url, req.version):
+                result.remote_stale_hits += 1
+        cache.put(req.url, req.size, version=req.version)
+    result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
+    return result
+
+
+def simulate_single_copy_sharing(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+) -> SharingResult:
+    """Sharing without duplication: a remote hit only touches the peer copy.
+
+    "A proxy does not cache documents fetched from another proxy.
+    Rather, the other proxy marks the document as most-recently-accessed,
+    and increases its caching priority."
+    """
+    caches = _make_caches(num_proxies, capacity_per_proxy, policy)
+    result = SharingResult(
+        scheme="single-copy",
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
+        // num_proxies,
+    )
+    for req in trace:
+        g = group_of(req.client_id, num_proxies)
+        cache = caches[g]
+        result.requests += 1
+        result.bytes_requested += req.size
+        entry = cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+        holder = _find_fresh_peer(caches, g, req.url, req.version)
+        if holder is not None:
+            result.remote_hits += 1
+            result.bytes_hit += req.size
+            caches[holder].touch(req.url)
+            continue  # not cached locally -- that is the point
+        if _any_stale_peer(caches, g, req.url, req.version):
+            result.remote_stale_hits += 1
+        cache.put(req.url, req.size, version=req.version)
+    result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
+    return result
+
+
+def simulate_global_cache(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+    capacity_scale: float = 1.0,
+) -> SharingResult:
+    """Fully coordinated caching: one unified LRU of the pooled capacity.
+
+    *capacity_scale* shrinks the pooled capacity; the paper also runs a
+    "global cache 10% smaller" variant (``capacity_scale=0.9``) to bound
+    the space wasted by duplicate copies in simple sharing.
+    """
+    if capacity_scale <= 0:
+        raise ConfigurationError(
+            f"capacity_scale must be > 0, got {capacity_scale}"
+        )
+    total = sum(resolve_capacities(num_proxies, capacity_per_proxy))
+    pooled = max(1, int(total * capacity_scale))
+    cache = WebCache(pooled, policy=policy)
+    label = "global" if capacity_scale == 1.0 else f"global-{capacity_scale:g}x"
+    result = SharingResult(
+        scheme=label,
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=pooled // num_proxies,
+    )
+    for req in trace:
+        result.requests += 1
+        result.bytes_requested += req.size
+        entry = cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+        cache.put(req.url, req.size, version=req.version)
+    result.local_stale_hits = cache.stats.stale_hits
+    return result
+
+
+def _find_fresh_peer(
+    caches: List[WebCache], requester: int, url: str, version: int
+) -> Optional[int]:
+    """Index of a peer holding a fresh copy, or ``None``."""
+    for i, cache in enumerate(caches):
+        if i == requester:
+            continue
+        if cache.probe(url, version) == "hit":
+            return i
+    return None
+
+
+def _any_stale_peer(
+    caches: List[WebCache], requester: int, url: str, version: int
+) -> bool:
+    """True if some peer holds a stale copy of *url*."""
+    for i, cache in enumerate(caches):
+        if i == requester:
+            continue
+        if cache.probe(url, version) == "stale":
+            return True
+    return False

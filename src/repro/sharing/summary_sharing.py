@@ -1,0 +1,418 @@
+"""The summary cache simulator (Section V) and the ICP message baseline.
+
+Each proxy maintains:
+
+- its document cache (:class:`repro.cache.WebCache`);
+- a **local summary** of its own directory, updated on every insert and
+  evict via cache callbacks;
+- a **shipped summary** -- the copy its peers currently hold.  The
+  simulation assumes updates reach all peers reliably and atomically
+  (the paper's simulation assumption), so one shipped copy per proxy
+  stands in for the n-1 identical peer copies.
+
+On a local miss, the requesting proxy probes every peer's shipped
+summary and queries exactly the peers whose summaries say "maybe"
+(sending one query and receiving one reply per queried peer).  The
+four outcome classes of Section V -- remote hit, false hit, false miss,
+remote stale hit -- are tallied along with message counts and bytes
+under the paper's size model (:mod:`repro.sharing.messages`).
+
+Update dissemination is governed by an update policy:
+
+- :class:`ThresholdUpdatePolicy` -- ship when the fraction of cached
+  documents not yet reflected in the shipped summary reaches a
+  threshold (the paper's main design, studied at 0.1%..10% in Fig. 2);
+- :class:`IntervalUpdatePolicy` -- ship every fixed simulated-time
+  interval (the alternative Section V-A mentions, used by the update
+  -policy ablation benchmark).
+
+A threshold of 0 means peers always see the live directory (the "no
+update delay" top line of Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from repro.cache import WebCache
+from repro.core.summary import (
+    AVERAGE_DOCUMENT_SIZE,
+    BitFlipDelta,
+    BloomSummary as BloomSummaryType,
+    DigestDelta,
+    SummaryConfig,
+    make_local_summary,
+)
+from repro.errors import ConfigurationError
+from repro.sharing.messages import (
+    QUERY_MESSAGE_BYTES,
+    bloom_update_bytes,
+    digest_update_bytes,
+    whole_filter_update_bytes,
+)
+from repro.sharing.results import SharingResult
+from repro.sharing.schemes import Capacity, resolve_capacities
+from repro.traces.model import Trace
+from repro.traces.partition import group_of
+
+
+@dataclass(frozen=True)
+class ThresholdUpdatePolicy:
+    """Ship an update when new-document fraction reaches *threshold*.
+
+    "the update can occur ... when a certain percentage of the cached
+    documents are not reflected in the summary."  A threshold of 0
+    disables delay entirely (peers probe the live directory).
+    """
+
+    threshold: float = 0.01
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ConfigurationError(
+                f"threshold must be in [0, 1], got {self.threshold}"
+            )
+
+    def label(self) -> str:
+        return f"threshold={self.threshold:g}"
+
+
+@dataclass(frozen=True)
+class IntervalUpdatePolicy:
+    """Ship an update every *interval* simulated seconds."""
+
+    interval: float = 300.0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise ConfigurationError(
+                f"interval must be > 0, got {self.interval}"
+            )
+
+    def label(self) -> str:
+        return f"interval={self.interval:g}s"
+
+
+@dataclass(frozen=True)
+class PacketFillUpdatePolicy:
+    """Ship an update once pending changes fill one IP packet.
+
+    The Squid prototype's behaviour: "sends updates whenever there are
+    enough changes to fill an IP packet" (Section VI-B).  The default
+    of 342 records is an MTU-sized DIRUPDATE: (1400 - 32) / 4.
+    """
+
+    records: int = (1400 - 32) // 4
+
+    def __post_init__(self) -> None:
+        if self.records < 1:
+            raise ConfigurationError(
+                f"records must be >= 1, got {self.records}"
+            )
+
+    def label(self) -> str:
+        return f"packet-fill={self.records}"
+
+
+UpdatePolicy = Union[
+    ThresholdUpdatePolicy, IntervalUpdatePolicy, PacketFillUpdatePolicy
+]
+
+
+@dataclass(frozen=True)
+class SummarySharingConfig:
+    """Configuration of one summary cache simulation."""
+
+    summary: SummaryConfig = field(default_factory=SummaryConfig)
+    update_policy: UpdatePolicy = field(
+        default_factory=ThresholdUpdatePolicy
+    )
+    policy: str = "lru"
+    #: Average cacheable document size used to size Bloom filters
+    #: (cache bytes / doc size = expected documents).  The paper divides
+    #: by 8 KB; heavy-tailed synthetic workloads should pass their
+    #: actual mean cacheable size (:func:`repro.traces.stats.
+    #: mean_cacheable_size`) or the effective load factor degrades.
+    expected_doc_size: int = AVERAGE_DOCUMENT_SIZE
+
+    def label(self) -> str:
+        return f"{self.summary.label()}/{self.update_policy.label()}"
+
+
+class _ProxyState:
+    """Per-proxy simulation state."""
+
+    __slots__ = (
+        "cache",
+        "local_summary",
+        "shipped_summary",
+        "new_since_update",
+        "last_update_time",
+    )
+
+    def __init__(self, capacity: int, config: SummarySharingConfig) -> None:
+        self.local_summary = make_local_summary(
+            config.summary, capacity, doc_size=config.expected_doc_size
+        )
+        self.cache = WebCache(
+            capacity,
+            policy=config.policy,
+            on_insert=self._on_insert,
+            on_evict=self._on_evict,
+        )
+        self.shipped_summary = self.local_summary.export()
+        self.new_since_update = 0
+        self.last_update_time = 0.0
+
+    def _on_insert(self, url: str) -> None:
+        self.local_summary.add(url)
+        self.new_since_update += 1
+
+    def _on_evict(self, url: str) -> None:
+        self.local_summary.remove(url)
+
+    def due_for_update(self, policy: UpdatePolicy, now: float) -> bool:
+        """Check whether the shipped summary should be refreshed."""
+        if isinstance(policy, ThresholdUpdatePolicy):
+            if policy.threshold == 0.0:
+                return False  # live probing handles this case
+            docs = max(1, len(self.cache))
+            return self.new_since_update / docs >= policy.threshold
+        if isinstance(policy, PacketFillUpdatePolicy):
+            return (
+                self.local_summary.pending_change_count()
+                >= policy.records
+            )
+        return now - self.last_update_time >= policy.interval
+
+    def publish(self, now: float):
+        """Drain the pending delta into the shipped summary.
+
+        Returns the delta (for message-size accounting).
+        """
+        delta = self.local_summary.drain_delta()
+        self.shipped_summary.apply_delta(delta)
+        self.new_since_update = 0
+        self.last_update_time = now
+        return delta
+
+
+def _delta_bytes(delta, num_bits: Optional[int] = None) -> int:
+    """Wire size of one update carrying *delta*.
+
+    For Bloom summaries the sender picks the cheaper encoding between
+    the flip-record delta and the whole bit array ("the proxy can
+    either specify which bits in the bit array are flipped, or send the
+    whole array, whichever is smaller"); pass *num_bits* to enable that
+    comparison.
+    """
+    if isinstance(delta, BitFlipDelta):
+        delta_cost = bloom_update_bytes(delta.change_count)
+        if num_bits is not None:
+            return min(delta_cost, whole_filter_update_bytes(num_bits))
+        return delta_cost
+    if isinstance(delta, DigestDelta):
+        return digest_update_bytes(delta.change_count)
+    raise ConfigurationError(f"unknown delta type {type(delta).__name__}")
+
+
+def simulate_summary_sharing(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    config: Optional[SummarySharingConfig] = None,
+) -> SharingResult:
+    """Run the summary cache protocol over *trace*.
+
+    Returns a :class:`~repro.sharing.results.SharingResult` with the full
+    hit taxonomy, message counts, and summary memory footprint.
+    *capacity_per_proxy* may be one size for all proxies or a per-proxy
+    sequence (proportional allocation under load imbalance).
+    """
+    cfg = config or SummarySharingConfig()
+    capacities = resolve_capacities(num_proxies, capacity_per_proxy)
+    proxies = [_ProxyState(size, cfg) for size in capacities]
+    live = (
+        isinstance(cfg.update_policy, ThresholdUpdatePolicy)
+        and cfg.update_policy.threshold == 0.0
+    )
+    result = SharingResult(
+        scheme=f"summary/{cfg.label()}",
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=sum(capacities) // num_proxies,
+    )
+    msgs = result.messages
+    # All proxies share one hash family and filter geometry, so the
+    # probe key (MD5 digest / server name / bit positions) of a URL is
+    # identical at every peer: derive it once per URL, ever.
+    key_cache: dict = {}
+    key_of = proxies[0].local_summary.key_of if proxies else None
+
+    for req in trace:
+        g = group_of(req.client_id, num_proxies)
+        me = proxies[g]
+        result.requests += 1
+        result.bytes_requested += req.size
+
+        entry = me.cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+
+        # Probe peers' summaries (live or shipped) and query the
+        # promising ones.
+        key = key_cache.get(req.url)
+        if key is None:
+            key = key_of(req.url)
+            key_cache[req.url] = key
+        candidates = []
+        for j, peer in enumerate(proxies):
+            if j == g:
+                continue
+            summary = (
+                peer.local_summary if live else peer.shipped_summary
+            )
+            if summary.contains_key(key):
+                candidates.append(j)
+
+        if candidates:
+            msgs.query_messages += len(candidates)
+            msgs.reply_messages += len(candidates)
+            msgs.query_bytes += QUERY_MESSAGE_BYTES * len(candidates)
+            msgs.reply_bytes += QUERY_MESSAGE_BYTES * len(candidates)
+            fresh = None
+            stale_seen = False
+            for j in candidates:
+                outcome = proxies[j].cache.probe(req.url, req.version)
+                if outcome == "hit":
+                    fresh = j
+                    break
+                if outcome == "stale":
+                    stale_seen = True
+            if fresh is not None:
+                result.remote_hits += 1
+                result.bytes_hit += req.size
+                proxies[fresh].cache.touch(req.url)
+            elif stale_seen:
+                result.remote_stale_hits += 1
+                if _oracle_fresh_elsewhere(
+                    proxies, g, candidates, req.url, req.version
+                ):
+                    result.false_misses += 1
+            else:
+                result.false_hits += 1
+                if _oracle_fresh_elsewhere(
+                    proxies, g, candidates, req.url, req.version
+                ):
+                    result.false_misses += 1
+        else:
+            if _oracle_fresh_elsewhere(
+                proxies, g, (), req.url, req.version
+            ):
+                result.false_misses += 1
+
+        # Fetch (from peer or origin) and cache locally, then check the
+        # update trigger -- insertion may have pushed us past threshold.
+        me.cache.put(req.url, req.size, version=req.version)
+        if not live and me.due_for_update(cfg.update_policy, req.timestamp):
+            delta = me.publish(req.timestamp)
+            fanout = num_proxies - 1
+            num_bits = (
+                me.local_summary.num_bits
+                if isinstance(me.local_summary, BloomSummaryType)
+                else None
+            )
+            msgs.update_messages += fanout
+            msgs.update_bytes += _delta_bytes(delta, num_bits) * fanout
+
+    result.local_stale_hits = sum(
+        p.cache.stats.stale_hits for p in proxies
+    )
+    # Memory per proxy: one remote copy per peer, plus this proxy's own
+    # local structure (counters included for Bloom summaries).
+    if proxies:
+        remote = proxies[0].local_summary.remote_size_bytes()
+        local = proxies[0].local_summary.size_bytes()
+        result.summary_memory_bytes = remote * (num_proxies - 1) + local
+    return result
+
+
+def _oracle_fresh_elsewhere(
+    proxies: List[_ProxyState],
+    requester: int,
+    already_queried,
+    url: str,
+    version: int,
+) -> bool:
+    """True if a *non-queried* peer holds a fresh copy (a false miss)."""
+    queried = set(already_queried)
+    for j, peer in enumerate(proxies):
+        if j == requester or j in queried:
+            continue
+        if peer.cache.probe(url, version) == "hit":
+            return True
+    return False
+
+
+def simulate_icp(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+) -> SharingResult:
+    """Simple sharing with ICP's message pattern.
+
+    "Every time one proxy has a cache miss, everyone else receives and
+    processes a query message" -- each local miss multicasts a query to
+    all n-1 peers, and each peer replies.
+    """
+    capacities = resolve_capacities(num_proxies, capacity_per_proxy)
+    caches = [WebCache(size, policy=policy) for size in capacities]
+    result = SharingResult(
+        scheme="icp",
+        trace_name=trace.name,
+        num_proxies=num_proxies,
+        cache_capacity_bytes=sum(capacities) // num_proxies,
+    )
+    msgs = result.messages
+
+    for req in trace:
+        g = group_of(req.client_id, num_proxies)
+        cache = caches[g]
+        result.requests += 1
+        result.bytes_requested += req.size
+        entry = cache.get(req.url, version=req.version, size=req.size)
+        if entry is not None:
+            result.local_hits += 1
+            result.bytes_hit += entry.size
+            continue
+
+        fanout = num_proxies - 1
+        msgs.query_messages += fanout
+        msgs.reply_messages += fanout
+        msgs.query_bytes += QUERY_MESSAGE_BYTES * fanout
+        msgs.reply_bytes += QUERY_MESSAGE_BYTES * fanout
+
+        fresh = None
+        stale_seen = False
+        for j, peer in enumerate(caches):
+            if j == g:
+                continue
+            outcome = peer.probe(req.url, req.version)
+            if outcome == "hit" and fresh is None:
+                fresh = j
+            elif outcome == "stale":
+                stale_seen = True
+        if fresh is not None:
+            result.remote_hits += 1
+            result.bytes_hit += req.size
+            caches[fresh].touch(req.url)
+        elif stale_seen:
+            result.remote_stale_hits += 1
+        cache.put(req.url, req.size, version=req.version)
+
+    result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
+    return result

@@ -1,0 +1,40 @@
+"""Discrete-event simulation of proxy clusters (Tables II, IV, V).
+
+The paper measures ICP's overhead on real hardware: 4 Squid proxies on
+SPARC-20s, 120 benchmark clients, origin servers that delay replies by
+one second, with ``netstat`` counting UDP/TCP traffic and ``time``
+counting CPU.  This subpackage rebuilds that testbed as a discrete-event
+simulation:
+
+- :mod:`repro.simulation.engine` -- a small process-based DES kernel
+  (event heap, generator processes, FIFO resources, signals);
+- :mod:`repro.simulation.network` -- message latency/bandwidth and
+  netstat-style per-node packet counters;
+- :mod:`repro.simulation.costs` -- the CPU cost model (per-request,
+  per-ICP-message, per-MD5, per-byte service times);
+- :mod:`repro.simulation.nodes` -- client, proxy, and origin processes
+  implementing the no-ICP / ICP / SC-ICP protocols;
+- :mod:`repro.simulation.experiment` -- harnesses producing the paper's
+  table rows.
+"""
+
+from repro.simulation.costs import CostModel
+from repro.simulation.engine import Engine, Resource, Signal
+from repro.simulation.experiment import (
+    ExperimentResult,
+    run_overhead_experiment,
+    run_replay_experiment,
+)
+from repro.simulation.network import NetworkModel, PacketCounters
+
+__all__ = [
+    "CostModel",
+    "Engine",
+    "ExperimentResult",
+    "NetworkModel",
+    "PacketCounters",
+    "Resource",
+    "Signal",
+    "run_overhead_experiment",
+    "run_replay_experiment",
+]

@@ -1,0 +1,411 @@
+"""Client, proxy, and origin processes of the simulated testbed.
+
+The simulated proxy runs the same protocol decision logic as the
+prototype (local cache -> peer summaries / queries -> origin) but in
+simulated time: every activity charges the proxy's FIFO CPU resource
+with the cost model's service time, every message crosses the network
+model's latency, and every packet increments netstat-style counters.
+
+Clients are closed-loop: each issues its next request as soon as the
+previous response arrives ("client processes issue requests with no
+thinking time in between").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache import WebCache
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.core.hashing import MD5HashFamily
+from repro.core.summary import SummaryConfig, expected_documents_for_cache
+from repro.proxy.config import ProxyMode
+from repro.simulation.costs import CostModel, CpuAccount
+from repro.simulation.engine import Engine, Resource
+from repro.simulation.network import NetworkModel, PacketCounters
+from repro.traces.model import Request
+
+#: Wire size assumed for one ICP query/reply datagram (20-byte header
+#: plus a 50-byte average URL, the paper's Fig. 8 assumption).
+ICP_DATAGRAM_BYTES = 70
+
+#: DIRUPDATE capacity at the default MTU: (1400 - 32) / 4 records.
+DIRUPDATE_RECORDS_PER_MESSAGE = (1400 - 32) // 4
+
+#: Approximate HTTP request head size on the wire.
+HTTP_REQUEST_BYTES = 200
+
+#: Approximate HTTP response head size (body added separately).
+HTTP_RESPONSE_HEAD_BYTES = 160
+
+
+@dataclass
+class SimProxyConfig:
+    """Parameters of one simulated proxy."""
+
+    mode: ProxyMode = ProxyMode.NO_ICP
+    cache_capacity: int = 75 * 1024 * 1024  # the benchmark's 75 MB
+    max_object_size: Optional[int] = 250 * 1024
+    summary: SummaryConfig = field(default_factory=SummaryConfig)
+    expected_doc_size: int = 8 * 1024
+    update_threshold: float = 0.01
+    #: ``"packet-fill"`` ships an update once pending flips fill one
+    #: MTU-sized DIRUPDATE (the Squid prototype's behaviour, Section
+    #: VI-B); ``"threshold"`` uses the new-document fraction.
+    update_policy: str = "packet-fill"
+
+
+class SimOrigin:
+    """The origin-server pool: a fixed reply delay, no queueing.
+
+    The benchmark runs 30 server processes; each forks per request, so
+    server-side parallelism is effectively unbounded and the 1-second
+    sleep dominates -- modelled as pure delay with +-10% deterministic
+    per-URL jitter (a real testbed's scheduling/network noise; without
+    it the closed-loop clients lock into thundering herds that never
+    occur on hardware).
+    """
+
+    def __init__(self, engine: Engine, delay: float = 1.0) -> None:
+        self.engine = engine
+        self.delay = delay
+        self.counters = PacketCounters()
+        self.requests = 0
+
+    def delay_for(self, url: str) -> float:
+        """The reply delay for *url* (deterministic jitter around
+        :attr:`delay`)."""
+        if self.delay <= 0:
+            return 0.0
+        frac = (hash(url) & 0xFFFF) / 0xFFFF
+        return self.delay * (0.9 + 0.2 * frac)
+
+
+class SimProxy:
+    """One simulated proxy node."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        index: int,
+        config: SimProxyConfig,
+        costs: CostModel,
+        network: NetworkModel,
+        origin: SimOrigin,
+    ) -> None:
+        self.engine = engine
+        self.index = index
+        self.config = config
+        self.costs = costs
+        self.network = network
+        self.origin = origin
+        self.cpu: Resource = engine.resource(f"cpu{index}")
+        self.cpu_account = CpuAccount()
+        self.counters = PacketCounters()
+        self.local_summary = CountingBloomFilter.for_capacity(
+            expected_documents_for_cache(
+                config.cache_capacity, config.expected_doc_size
+            ),
+            load_factor=config.summary.load_factor,
+            hash_family=MD5HashFamily(
+                num_functions=config.summary.num_hashes
+            ),
+            counter_width=config.summary.counter_width,
+        )
+        #: The summary copy peers currently hold (updates are applied
+        #: here when DIRUPDATE dissemination completes).
+        self.shipped_summary = self.local_summary.snapshot()
+        self._new_since_update = 0
+        self.cache = WebCache(
+            config.cache_capacity,
+            max_object_size=config.max_object_size,
+            on_insert=self._on_insert,
+            on_evict=self._on_evict,
+        )
+        self.peers: List["SimProxy"] = []
+        # Outcome tallies.
+        self.http_requests = 0
+        self.local_hits = 0
+        self.remote_hits = 0
+        self.false_query_rounds = 0
+        self.remote_stale_hits = 0
+        self.icp_queries_sent = 0
+        self.icp_replies_received = 0
+        self.dirupdates_sent = 0
+        self.bytes_served = 0
+
+    # -- cache/summary bookkeeping ------------------------------------
+
+    def _on_insert(self, url: str) -> None:
+        self.local_summary.add(url)
+        self._new_since_update += 1
+
+    def _on_evict(self, url: str) -> None:
+        self.local_summary.remove(url)
+
+    def _charge(self, user: float = 0.0, system: float = 0.0):
+        """Charge CPU and return the completion signal to yield on."""
+        total = self.cpu_account.charge(user=user, system=system)
+        return self.cpu.serve(total)
+
+    # -- the request path ---------------------------------------------
+
+    def handle_request(self, request: Request):
+        """Generator process serving one client request end to end."""
+        self.http_requests += 1
+        costs = self.costs
+
+        # Base HTTP handling cost plus per-byte copy cost for the body
+        # this request will serve.
+        yield self._charge(
+            user=costs.http_user,
+            system=costs.http_system + request.size * costs.byte_system,
+        )
+
+        entry = self.cache.get(
+            request.url, version=request.version, size=request.size
+        )
+        if entry is not None:
+            self.local_hits += 1
+            self.bytes_served += entry.size
+            return
+
+        served = False
+        if self.config.mode is not ProxyMode.NO_ICP and self.peers:
+            served = yield from self._try_peers(request)
+        if not served:
+            yield from self._fetch_origin(request)
+
+        self.cache.put(request.url, request.size, version=request.version)
+        if (
+            self.config.mode is ProxyMode.SC_ICP
+            and self._update_due()
+        ):
+            yield from self._broadcast_update()
+
+    def _candidates(self, request: Request) -> List["SimProxy"]:
+        if self.config.mode is ProxyMode.ICP:
+            return list(self.peers)
+        # SC-ICP: probe the peers' shipped summaries (one MD5 per URL).
+        self.cpu_account.charge(user=self.costs.md5_user)
+        key = None
+        candidates = []
+        for peer in self.peers:
+            if key is None:
+                key = peer.shipped_summary.positions(request.url)
+            bits = peer.shipped_summary.bits
+            if all(bits.get(p) for p in key):
+                candidates.append(peer)
+        return candidates
+
+    def _try_peers(self, request: Request):
+        """Query candidate peers; fetch from the first fresh holder."""
+        candidates = self._candidates(request)
+        if not candidates:
+            return False
+
+        costs = self.costs
+        # Send one query per candidate (cost at sender, UDP counters).
+        yield self._charge(
+            user=costs.icp_user * len(candidates),
+            system=costs.icp_system * len(candidates),
+        )
+        self.icp_queries_sent += len(candidates)
+
+        reply_signals = []
+        outcomes: Dict[int, str] = {}
+        for peer in candidates:
+            self.counters.count_udp(peer.counters)
+            outcomes[peer.index] = peer.cache.probe(
+                request.url, request.version
+            )
+            # The peer processes the query and replies after the
+            # network latency each way plus its own CPU queueing.
+            done = self.engine.signal()
+            self.engine.call_later(
+                self.network.transfer_time(ICP_DATAGRAM_BYTES),
+                self._peer_reply,
+                peer,
+                done,
+            )
+            reply_signals.append(done)
+
+        # Wait for all replies (yielding signals sequentially still ends
+        # at the latest completion, since each fires independently).
+        for signal in reply_signals:
+            yield signal
+            self.icp_replies_received += 1
+        # Receiving each reply costs CPU at the requester.
+        yield self._charge(
+            user=costs.icp_user * len(candidates),
+            system=costs.icp_system * len(candidates),
+        )
+
+        holder = next(
+            (p for p in candidates if outcomes[p.index] == "hit"), None
+        )
+        if holder is None:
+            if any(o == "stale" for o in outcomes.values()):
+                self.remote_stale_hits += 1
+            elif self.config.mode is ProxyMode.SC_ICP:
+                self.false_query_rounds += 1
+            return False
+
+        # Fetch the document from the holder over TCP.
+        yield self.network_delay(HTTP_REQUEST_BYTES)
+        yield holder._charge(
+            user=self.costs.peer_fetch_user,
+            system=self.costs.peer_fetch_system
+            + request.size * self.costs.byte_system,
+        )
+        holder.cache.touch(request.url)
+        holder.bytes_served += request.size
+        self.counters.count_tcp_exchange(
+            holder.counters,
+            HTTP_REQUEST_BYTES,
+            HTTP_RESPONSE_HEAD_BYTES + request.size,
+        )
+        yield self.network_delay(HTTP_RESPONSE_HEAD_BYTES + request.size)
+        self.remote_hits += 1
+        self.bytes_served += request.size
+        return True
+
+    def _peer_reply(self, peer: "SimProxy", done) -> None:
+        """Run the peer-side share of one query/reply exchange.
+
+        The peer processes the query on its (single-threaded, FIFO)
+        CPU -- ICP work contends with HTTP work, which is where the
+        paper's latency overhead comes from -- then sends the reply.
+        """
+
+        def process():
+            yield peer._charge(
+                user=peer.costs.icp_user * 2,
+                system=peer.costs.icp_system * 2,
+            )
+            peer.counters.count_udp(self.counters)
+            yield self.network_delay(ICP_DATAGRAM_BYTES)
+            done.fire()
+
+        self.engine.spawn(process())
+
+    def _fetch_origin(self, request: Request):
+        """Fetch from the origin pool: latency-dominated."""
+        self.origin.requests += 1
+        self.counters.count_tcp_exchange(
+            self.origin.counters,
+            HTTP_REQUEST_BYTES,
+            HTTP_RESPONSE_HEAD_BYTES + request.size,
+        )
+        yield (
+            self.network.transfer_time(HTTP_REQUEST_BYTES)
+            + self.origin.delay_for(request.url)
+            + self.network.transfer_time(
+                HTTP_RESPONSE_HEAD_BYTES + request.size
+            )
+        )
+        self.bytes_served += request.size
+
+    # -- summary update dissemination -----------------------------------
+
+    def _update_due(self) -> bool:
+        if self.config.update_policy == "packet-fill":
+            return (
+                self.local_summary.pending_flip_count
+                >= DIRUPDATE_RECORDS_PER_MESSAGE
+            )
+        docs = max(1, len(self.cache))
+        return (
+            self._new_since_update / docs >= self.config.update_threshold
+        )
+
+    def _broadcast_update(self):
+        flips = self.local_summary.drain_flips()
+        self._new_since_update = 0
+        if not flips or not self.peers:
+            return
+        num_messages = -(-len(flips) // DIRUPDATE_RECORDS_PER_MESSAGE)
+        message_bytes = 32 + 4 * min(
+            len(flips), DIRUPDATE_RECORDS_PER_MESSAGE
+        )
+        yield self._charge(
+            user=self.costs.dirupdate_user * num_messages * len(self.peers),
+            system=self.costs.dirupdate_system
+            * num_messages
+            * len(self.peers),
+        )
+        for peer in self.peers:
+            for _ in range(num_messages):
+                self.counters.count_udp(peer.counters)
+                self.dirupdates_sent += 1
+            peer.cpu_account.charge(
+                user=peer.costs.dirupdate_user * num_messages,
+                system=peer.costs.dirupdate_system * num_messages,
+            )
+        # Model delivery: after the LAN latency all peers hold the new
+        # bits (applied to the single shared shipped copy).
+        done = self.engine.signal()
+        self.engine.call_later(
+            self.network.transfer_time(message_bytes),
+            self._apply_update,
+            list(flips),
+            done,
+        )
+        yield done
+
+    def _apply_update(self, flips, done) -> None:
+        self.shipped_summary.apply_flips(flips)
+        done.fire()
+
+    # -- helpers ---------------------------------------------------------
+
+    def network_delay(self, num_bytes: int):
+        """A signal firing after one-way delivery of *num_bytes*."""
+        done = self.engine.signal()
+        self.engine.call_later(
+            self.network.transfer_time(num_bytes), done.fire
+        )
+        return done
+
+
+class SimClient:
+    """A closed-loop client bound to one proxy."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        proxy: SimProxy,
+        requests: Sequence[Request],
+        network: NetworkModel,
+    ) -> None:
+        self.engine = engine
+        self.proxy = proxy
+        self.requests = requests
+        self.network = network
+        self.counters = PacketCounters()
+        self.latencies: List[float] = []
+        self.done = engine.signal()
+
+    def run(self):
+        """Generator process issuing requests back to back."""
+        for request in self.requests:
+            start = self.engine.now
+            # Request travels to the proxy ...
+            yield self.network.transfer_time(HTTP_REQUEST_BYTES)
+            self.proxy.counters.count_tcp_exchange(
+                self.counters,
+                HTTP_RESPONSE_HEAD_BYTES + request.size,
+                HTTP_REQUEST_BYTES,
+            )
+            yield from self.proxy.handle_request(request)
+            # ... and the response travels back.
+            yield self.network.transfer_time(
+                HTTP_RESPONSE_HEAD_BYTES + request.size
+            )
+            self.latencies.append(self.engine.now - start)
+        self.done.fire()
+
+    def start(self) -> None:
+        """Spawn this client's process on the engine."""
+        self.engine.spawn(self.run())

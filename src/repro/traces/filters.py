@@ -1,0 +1,129 @@
+"""Trace slicing and transformation utilities.
+
+Operators working with real logs routinely need to cut a trace down
+before simulating: a time window (warm-up removal), a client subset, or
+a remapping of sparse client ids onto a dense range (the paper's
+clientid-mod-N grouping behaves badly when ids are sparse hashes).
+All functions return new traces; inputs are never mutated.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, Optional
+
+from repro.errors import ConfigurationError
+from repro.traces.model import Request, Trace
+
+
+def time_window(
+    trace: Trace,
+    start: float = 0.0,
+    end: Optional[float] = None,
+    rebase: bool = True,
+) -> Trace:
+    """Keep requests with ``start <= timestamp < end``.
+
+    ``rebase=True`` shifts timestamps so the window starts at zero
+    (interval-based update policies then behave as if the trace began
+    there).
+    """
+    if end is not None and end < start:
+        raise ConfigurationError(
+            f"end ({end}) must be >= start ({start})"
+        )
+    kept = [
+        req
+        for req in trace
+        if req.timestamp >= start
+        and (end is None or req.timestamp < end)
+    ]
+    if rebase and kept:
+        offset = kept[0].timestamp
+        kept = [
+            Request(
+                timestamp=req.timestamp - offset,
+                client_id=req.client_id,
+                url=req.url,
+                size=req.size,
+                version=req.version,
+            )
+            for req in kept
+        ]
+    return Trace(requests=kept, name=f"{trace.name}[{start:g}:{end if end is not None else ''}]")
+
+
+def filter_clients(
+    trace: Trace, predicate: Callable[[int], bool]
+) -> Trace:
+    """Keep only requests whose client id satisfies *predicate*."""
+    kept = [req for req in trace if predicate(req.client_id)]
+    return Trace(requests=kept, name=f"{trace.name}/filtered")
+
+
+def densify_clients(trace: Trace) -> Trace:
+    """Remap client ids onto ``0..k-1`` in order of first appearance.
+
+    Sparse ids (hashes, IP-derived integers) make ``clientid mod N``
+    grouping uneven; densified ids restore the paper's balanced
+    partitioning behaviour.
+    """
+    mapping: Dict[int, int] = {}
+    requests = []
+    for req in trace:
+        dense = mapping.setdefault(req.client_id, len(mapping))
+        requests.append(
+            Request(
+                timestamp=req.timestamp,
+                client_id=dense,
+                url=req.url,
+                size=req.size,
+                version=req.version,
+            )
+        )
+    return Trace(requests=requests, name=f"{trace.name}/dense")
+
+
+def merge_traces(traces: Iterable[Trace], name: str = "merged") -> Trace:
+    """Interleave several traces by timestamp (stable for ties).
+
+    Client ids are offset per source trace so distinct sources never
+    collide (source i's clients map to ``i * stride + client_id``).
+    """
+    trace_list = list(traces)
+    if not trace_list:
+        raise ConfigurationError("merge_traces needs at least one trace")
+    stride = 1 + max(
+        (max((r.client_id for r in t), default=0) for t in trace_list),
+        default=0,
+    )
+    tagged = []
+    for index, trace in enumerate(trace_list):
+        for req in trace:
+            tagged.append(
+                Request(
+                    timestamp=req.timestamp,
+                    client_id=index * stride + req.client_id,
+                    url=req.url,
+                    size=req.size,
+                    version=req.version,
+                )
+            )
+    tagged.sort(key=lambda r: r.timestamp)
+    return Trace(requests=tagged, name=name)
+
+
+def sample_requests(trace: Trace, keep_every: int) -> Trace:
+    """Systematic 1-in-``keep_every`` sampling (for quick-look runs).
+
+    Systematic (rather than random) sampling keeps the result
+    deterministic; note that sampling breaks reuse patterns, so hit
+    ratios from sampled traces underestimate the originals.
+    """
+    if keep_every < 1:
+        raise ConfigurationError(
+            f"keep_every must be >= 1, got {keep_every}"
+        )
+    kept = [req for i, req in enumerate(trace) if i % keep_every == 0]
+    return Trace(
+        requests=kept, name=f"{trace.name}/1in{keep_every}"
+    )

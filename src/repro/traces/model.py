@@ -1,0 +1,87 @@
+"""Request records and trace containers.
+
+A trace is an ordered sequence of :class:`Request` records.  Each request
+carries the document's *current* version, standing in for the
+last-modified time the paper's traces record: "most traces come with the
+last-modified time or the size of a document for every request, and if a
+request hits on a document whose last-modified time or size is changed,
+we count it as a cache miss."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.urlutil import server_of
+
+
+@dataclass(frozen=True)
+class Request:
+    """One HTTP GET in a trace.
+
+    Attributes
+    ----------
+    timestamp:
+        Seconds since trace start.
+    client_id:
+        Integer client identifier (group assignment hashes this).
+    url:
+        Requested URL.
+    size:
+        Response body size in bytes.
+    version:
+        The document's version at request time.  A cached copy with an
+        older version is stale.
+    """
+
+    timestamp: float
+    client_id: int
+    url: str
+    size: int
+    version: int = 0
+
+    @property
+    def server(self) -> str:
+        """Server-name component of the URL."""
+        return server_of(self.url)
+
+
+@dataclass
+class Trace:
+    """An ordered request stream plus identifying metadata."""
+
+    requests: List[Request] = field(default_factory=list)
+    name: str = "unnamed"
+
+    def __iter__(self) -> Iterator[Request]:
+        return iter(self.requests)
+
+    def __len__(self) -> int:
+        return len(self.requests)
+
+    def __getitem__(self, index):
+        return self.requests[index]
+
+    @property
+    def duration(self) -> float:
+        """Seconds between the first and last request."""
+        if len(self.requests) < 2:
+            return 0.0
+        return self.requests[-1].timestamp - self.requests[0].timestamp
+
+    def clients(self) -> Sequence[int]:
+        """Sorted distinct client ids."""
+        return sorted({r.client_id for r in self.requests})
+
+    def head(self, n: int) -> "Trace":
+        """Return a trace of the first *n* requests (the paper replays
+        the first 24,000 UPisa requests this way)."""
+        return Trace(requests=self.requests[:n], name=f"{self.name}[:{n}]")
+
+    @classmethod
+    def from_requests(
+        cls, requests: Iterable[Request], name: str = "unnamed"
+    ) -> "Trace":
+        """Build a trace from any request iterable."""
+        return cls(requests=list(requests), name=name)

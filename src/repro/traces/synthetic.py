@@ -1,0 +1,299 @@
+"""Synthetic proxy-trace generation.
+
+The paper's five traces are proprietary, so experiments run over
+synthetic traces engineered to exhibit the properties its results
+actually depend on:
+
+- **popularity skew** -- document popularity follows a bounded Zipf
+  distribution, the empirical regularity behind the logarithmic
+  hit-ratio growth the paper cites (Section III references [10], [25],
+  [16]);
+- **temporal locality** -- each client re-references its own recent
+  documents with a configurable probability, with stack-position recency
+  bias (the Wisconsin benchmark's locality model, Section IV);
+- **heavy-tailed sizes** -- body sizes are Pareto with alpha = 1.1, the
+  exact distribution the paper's benchmark uses ("the document sizes
+  follow the Pareto distribution");
+- **document modification** -- each document's version advances under a
+  per-access modification probability, producing the (remote) stale hits
+  of Fig. 2;
+- **shared working set across clients** -- different clients draw from
+  the same global popularity law, which is what makes cache sharing pay
+  off at all;
+- **10:1 URL-to-server ratio** -- documents are grouped ~10 per server
+  name, the ratio the paper observed and the server-name summary
+  representation exploits.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.traces.model import Request, Trace
+from repro.urlutil import make_url
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Parameters of the synthetic trace generator.
+
+    The defaults produce a mid-sized departmental workload; the presets
+    in :mod:`repro.traces.workloads` override them per trace.
+    """
+
+    name: str = "synthetic"
+    num_requests: int = 50_000
+    num_clients: int = 200
+    num_documents: int = 20_000
+    #: Zipf exponent for document popularity (web studies report 0.6-0.9).
+    zipf_alpha: float = 0.75
+    #: Zipf exponent for client activity (a few clients dominate).
+    client_alpha: float = 0.4
+    #: Probability a request re-references from the client's recent stack.
+    locality_probability: float = 0.5
+    #: Depth of the per-client recency stack.
+    locality_stack_depth: int = 64
+    #: Probability a *new*-document request stays on the same site as
+    #: the client's previous request (browsing-session behaviour).
+    #: This is what concentrates a cache's documents onto few servers,
+    #: giving the in-cache URL:server ratio the server-name summary
+    #: representation banks on.
+    server_locality: float = 0.5
+    #: Pareto shape for body sizes (the paper's benchmark uses 1.1).
+    pareto_alpha: float = 1.1
+    #: Mean body size in bytes (the paper divides cache size by 8 KB).
+    mean_size: int = 8 * 1024
+    #: Ceiling on body size; a few documents exceed the 250 KB
+    #: cacheability limit, exercising the admission rule.
+    max_size: int = 4 * 1024 * 1024
+    #: Per-access probability the document was modified since last seen.
+    mod_probability: float = 0.005
+    #: Mean request arrival rate, requests/second (for timestamps).
+    request_rate: float = 20.0
+    #: Average documents per server name (paper observes ~10:1).
+    docs_per_server: int = 10
+    #: Zipf exponent of server *sizes*: site sizes are heavy-tailed (a
+    #: few large sites host many pages).  0 gives equal-size servers.
+    server_size_alpha: float = 0.8
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_requests < 1:
+            raise ConfigurationError("num_requests must be >= 1")
+        if self.num_clients < 1:
+            raise ConfigurationError("num_clients must be >= 1")
+        if self.num_documents < 1:
+            raise ConfigurationError("num_documents must be >= 1")
+        if not 0.0 <= self.locality_probability <= 1.0:
+            raise ConfigurationError(
+                "locality_probability must be in [0, 1]"
+            )
+        if not 0.0 <= self.server_locality <= 1.0:
+            raise ConfigurationError(
+                "server_locality must be in [0, 1]"
+            )
+        if self.pareto_alpha <= 1.0:
+            raise ConfigurationError(
+                "pareto_alpha must be > 1 for a finite mean"
+            )
+        if not 0.0 <= self.mod_probability <= 1.0:
+            raise ConfigurationError("mod_probability must be in [0, 1]")
+        if self.request_rate <= 0:
+            raise ConfigurationError("request_rate must be > 0")
+        if self.docs_per_server < 1:
+            raise ConfigurationError("docs_per_server must be >= 1")
+
+    def scaled(self, factor: float) -> "SyntheticTraceConfig":
+        """Return a copy with request/client/document counts scaled."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be > 0")
+        return replace(
+            self,
+            num_requests=max(1, int(self.num_requests * factor)),
+            num_clients=max(1, int(self.num_clients * factor)),
+            num_documents=max(1, int(self.num_documents * factor)),
+        )
+
+
+def _server_boundaries(
+    num_documents: int, docs_per_server: int, alpha: float
+) -> np.ndarray:
+    """Cumulative popularity-rank boundaries of the servers.
+
+    Server *k* hosts the documents whose popularity ranks fall in
+    ``[bounds[k-1], bounds[k])``.  Sizes follow a Zipf(alpha) law over
+    servers with mean ``docs_per_server`` (every server hosts at least
+    one document).
+    """
+    num_servers = max(1, num_documents // docs_per_server)
+    ranks = np.arange(1, num_servers + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    sizes = np.maximum(
+        1, np.floor(weights / weights.sum() * num_documents)
+    ).astype(np.int64)
+    bounds = np.cumsum(sizes)
+    # Clip to the document count and make the final server absorb any
+    # remainder so every rank has an owner.
+    bounds = np.minimum(bounds, num_documents)
+    bounds[-1] = num_documents
+    return bounds
+
+
+def _zipf_cdf(n: int, alpha: float) -> np.ndarray:
+    """CDF of a bounded Zipf(alpha) distribution over ranks 1..n."""
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    weights = ranks ** (-alpha)
+    cdf = np.cumsum(weights)
+    cdf /= cdf[-1]
+    return cdf
+
+
+def _pareto_sizes(
+    rng: np.random.Generator, count: int, alpha: float, mean: int, cap: int
+) -> np.ndarray:
+    """Draw *count* Pareto body sizes with the requested mean, capped."""
+    # Pareto(scale, alpha) has mean scale * alpha / (alpha - 1); invert
+    # for the scale that yields the configured mean.
+    scale = mean * (alpha - 1.0) / alpha
+    sizes = scale * (1.0 + rng.pareto(alpha, size=count))
+    return np.minimum(sizes, cap).astype(np.int64).clip(min=64)
+
+
+class _RecencyStack:
+    """A client's bounded LRU stack of recently referenced documents."""
+
+    __slots__ = ("_stack", "_depth")
+
+    def __init__(self, depth: int) -> None:
+        self._stack: "OrderedDict[int, None]" = OrderedDict()
+        self._depth = depth
+
+    def push(self, doc_id: int) -> None:
+        if doc_id in self._stack:
+            self._stack.move_to_end(doc_id)
+        else:
+            self._stack[doc_id] = None
+            if len(self._stack) > self._depth:
+                self._stack.popitem(last=False)
+
+    def sample(self, rng: random.Random) -> Optional[int]:
+        """Pick a document with recency bias (recent = more likely)."""
+        if not self._stack:
+            return None
+        items = list(self._stack)  # oldest first
+        # Geometric preference for the most recent entries.
+        index = len(items) - 1 - min(
+            int(rng.expovariate(0.5)), len(items) - 1
+        )
+        return items[index]
+
+
+def generate_trace(config: SyntheticTraceConfig) -> Trace:
+    """Generate a synthetic trace per *config*.
+
+    Deterministic for a fixed config (including seed).
+    """
+    np_rng = np.random.default_rng(config.seed)
+    py_rng = random.Random(config.seed ^ 0x5EED)
+
+    doc_cdf = _zipf_cdf(config.num_documents, config.zipf_alpha)
+    client_cdf = _zipf_cdf(config.num_clients, config.client_alpha)
+    sizes = _pareto_sizes(
+        np_rng,
+        config.num_documents,
+        config.pareto_alpha,
+        config.mean_size,
+        config.max_size,
+    )
+
+    # Shuffle the doc-rank -> doc-id mapping (so document ids carry no
+    # popularity information), then assign servers by *popularity
+    # rank*: pages of one site are collectively popular, so
+    # rank-adjacent documents share a server.  Server sizes are
+    # heavy-tailed (Zipf over servers) with mean ``docs_per_server``;
+    # together these give a cache of N documents far fewer than N
+    # distinct server names -- the URL:server concentration the paper's
+    # server-name summary representation exploits.
+    doc_ids = np_rng.permutation(config.num_documents)
+    server_rank_bounds = _server_boundaries(
+        config.num_documents,
+        config.docs_per_server,
+        config.server_size_alpha,
+    )
+    server_of_rank = np.searchsorted(
+        server_rank_bounds, np.arange(config.num_documents), side="right"
+    )
+    server_for_doc = np.empty(config.num_documents, dtype=np.int64)
+    server_for_doc[doc_ids] = server_of_rank
+    client_ids = np_rng.permutation(config.num_clients)
+
+    # Pre-draw the bulk random streams with numpy for speed.
+    n = config.num_requests
+    doc_rank_draws = np.searchsorted(doc_cdf, np_rng.random(n))
+    client_rank_draws = np.searchsorted(client_cdf, np_rng.random(n))
+    locality_draws = np_rng.random(n)
+    server_draws = np_rng.random(n)
+    mod_draws = np_rng.random(n)
+    interarrivals = np_rng.exponential(1.0 / config.request_rate, size=n)
+    timestamps = np.cumsum(interarrivals)
+
+    versions: Dict[int, int] = {}
+    stacks: Dict[int, _RecencyStack] = {}
+    last_rank: Dict[int, int] = {}
+    rank_of_doc = np.empty(config.num_documents, dtype=np.int64)
+    rank_of_doc[doc_ids] = np.arange(config.num_documents)
+    requests: List[Request] = []
+
+    for i in range(n):
+        client = int(client_ids[client_rank_draws[i]])
+        stack = stacks.get(client)
+        if stack is None:
+            stack = _RecencyStack(config.locality_stack_depth)
+            stacks[client] = stack
+
+        doc = None
+        if locality_draws[i] < config.locality_probability:
+            doc = stack.sample(py_rng)
+        if doc is None:
+            prev_rank = last_rank.get(client)
+            if (
+                prev_rank is not None
+                and server_draws[i] < config.server_locality
+            ):
+                # Stay on the same site: another page of the previous
+                # request's server (a rank range of its boundary table).
+                server = int(server_of_rank[prev_rank])
+                low = (
+                    int(server_rank_bounds[server - 1])
+                    if server > 0
+                    else 0
+                )
+                high = int(server_rank_bounds[server])
+                rank = low + py_rng.randrange(max(1, high - low))
+            else:
+                rank = int(doc_rank_draws[i])
+            doc = int(doc_ids[rank])
+        last_rank[client] = int(rank_of_doc[doc])
+        stack.push(doc)
+
+        if mod_draws[i] < config.mod_probability:
+            versions[doc] = versions.get(doc, 0) + 1
+
+        server = int(server_for_doc[doc])
+        requests.append(
+            Request(
+                timestamp=float(timestamps[i]),
+                client_id=client,
+                url=make_url(server, doc),
+                size=int(sizes[doc]),
+                version=versions.get(doc, 0),
+            )
+        )
+
+    return Trace(requests=requests, name=config.name)

@@ -1,0 +1,31 @@
+"""Small URL helpers shared by summaries, traces, and the proxy prototype.
+
+The paper's server-name summary representation keeps only "the server
+name component of the URL's in cache", observing roughly a 10:1 ratio of
+distinct URLs to distinct server names.  :func:`server_of` extracts that
+component.
+"""
+
+from __future__ import annotations
+
+
+def server_of(url: str) -> str:
+    """Return the server-name component of *url*.
+
+    Handles ``scheme://host[:port]/path`` as well as bare ``host/path``
+    forms seen in proxy logs.  The port, if present, is kept: two ports on
+    one host are distinct servers to a proxy.
+    """
+    rest = url
+    scheme_sep = rest.find("://")
+    if scheme_sep != -1:
+        rest = rest[scheme_sep + 3 :]
+    slash = rest.find("/")
+    if slash != -1:
+        rest = rest[:slash]
+    return rest.lower()
+
+
+def make_url(server_id: int, doc_id: int, domain: str = "example.com") -> str:
+    """Build a synthetic URL for document *doc_id* hosted on *server_id*."""
+    return f"http://server{server_id}.{domain}/doc/{doc_id}"

@@ -1,0 +1,121 @@
+"""Tests for the Section V-F extrapolation against the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scalability import extrapolate
+from repro.errors import ConfigurationError
+
+
+class TestPaperNumbers:
+    """The paper's 100-proxy back-of-the-envelope, quantity by quantity."""
+
+    @pytest.fixture(scope="class")
+    def estimate(self):
+        return extrapolate(
+            num_proxies=100,
+            cache_bytes=8 * 2**30,
+            page_size=8 * 1024,
+            load_factor=16,
+            num_hashes=10,
+            update_threshold=0.01,
+        )
+
+    def test_one_million_pages(self, estimate):
+        # "Each proxy stores on average about 1M Web pages."
+        assert estimate.pages_per_proxy == 2**20
+
+    def test_two_megabyte_filter(self, estimate):
+        # "The Bloom filter memory needed to represent 1M pages is 2 MB
+        # at load factor 16."
+        assert estimate.filter_bytes_per_proxy == 2 * 2**20
+
+    def test_about_200mb_of_summaries(self, estimate):
+        # "Each proxy needs about 200 MB to represent all the summaries"
+        assert estimate.summary_memory_bytes == 99 * 2 * 2**20
+        assert 190 * 2**20 < estimate.summary_memory_bytes < 210 * 2**20
+
+    def test_8mb_of_counters(self, estimate):
+        # "plus another 8 MB to represent its own counters" (4-bit
+        # counters over 16M bits).
+        assert estimate.counter_memory_bytes == 8 * 2**20
+
+    def test_10k_requests_between_updates(self, estimate):
+        # "The threshold of 1% corresponds to 10 K requests between
+        # updates"
+        assert estimate.requests_between_updates == pytest.approx(
+            10_485.76
+        )
+
+    def test_update_messages_below_001(self, estimate):
+        # "the number of update messages per request is less than 0.01."
+        assert estimate.update_messages_per_request < 0.01
+
+    def test_false_hit_ratio_about_4_7_percent(self, estimate):
+        # "The false hit ratios are around 4.7% for the load factor of
+        # 16 with 10 hash functions."
+        assert estimate.false_hit_queries_per_request == pytest.approx(
+            0.047, abs=0.003
+        )
+
+    def test_total_overhead_below_006(self, estimate):
+        # "the overhead introduced by the protocol is under 0.06
+        # messages per request for 100 proxies."
+        assert estimate.protocol_messages_per_request < 0.06
+
+    def test_summary_renders(self, estimate):
+        text = estimate.summary()
+        assert "100 proxies" in text
+        assert "MB" in text
+
+
+class TestScalingBehaviour:
+    def test_overhead_grows_linearly_with_proxies(self):
+        small = extrapolate(num_proxies=50)
+        large = extrapolate(num_proxies=100)
+        ratio = (
+            large.protocol_messages_per_request
+            / small.protocol_messages_per_request
+        )
+        assert ratio == pytest.approx(99 / 49, rel=0.02)
+
+    def test_higher_load_factor_cuts_false_hits(self):
+        lf8 = extrapolate(load_factor=8, num_hashes=4)
+        lf32 = extrapolate(load_factor=32, num_hashes=4)
+        assert (
+            lf32.false_hit_queries_per_request
+            < lf8.false_hit_queries_per_request / 5
+        )
+        assert lf32.summary_memory_bytes == 4 * lf8.summary_memory_bytes
+
+    def test_larger_threshold_fewer_updates(self):
+        t1 = extrapolate(update_threshold=0.01)
+        t10 = extrapolate(update_threshold=0.10)
+        assert t10.update_messages_per_request == pytest.approx(
+            t1.update_messages_per_request / 10
+        )
+
+    def test_miss_ratio_scales_both_overheads(self):
+        full = extrapolate(miss_ratio=1.0)
+        half = extrapolate(miss_ratio=0.5)
+        assert half.update_messages_per_request == pytest.approx(
+            full.update_messages_per_request / 2
+        )
+        assert half.false_hit_queries_per_request == pytest.approx(
+            full.false_hit_queries_per_request / 2
+        )
+
+
+class TestValidation:
+    def test_needs_two_proxies(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate(num_proxies=1)
+
+    def test_threshold_range(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate(update_threshold=0)
+
+    def test_miss_ratio_range(self):
+        with pytest.raises(ConfigurationError):
+            extrapolate(miss_ratio=1.5)

@@ -1,0 +1,36 @@
+"""Tests for the table renderer."""
+
+from __future__ import annotations
+
+from repro.analysis.tables import format_table
+
+
+def test_alignment_and_title():
+    out = format_table(
+        ("name", "value"),
+        [("a", 1), ("longer-name", 22)],
+        title="My Table",
+    )
+    lines = out.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "========"
+    assert "name" in lines[2] and "value" in lines[2]
+    # Columns align: 'value' column starts at the same offset everywhere.
+    offset = lines[2].index("value")
+    assert lines[4][offset:].startswith("1")
+    assert lines[5][offset:].startswith("22")
+
+
+def test_no_title():
+    out = format_table(("h",), [("x",)])
+    assert out.splitlines()[0] == "h"
+
+
+def test_ragged_rows_tolerated():
+    out = format_table(("a", "b"), [("1", "2", "3")])
+    assert "3" in out
+
+
+def test_empty_rows():
+    out = format_table(("a", "b"), [])
+    assert "a" in out and "b" in out

@@ -1,0 +1,97 @@
+"""Tests for the Wisconsin-benchmark workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarkkit.wisconsin import (
+    WisconsinConfig,
+    generate_client_streams,
+)
+from repro.cache import WebCache
+from repro.errors import ConfigurationError
+
+
+class TestStructure:
+    def test_counts(self):
+        streams = generate_client_streams(
+            WisconsinConfig(num_clients=8, requests_per_client=50)
+        )
+        assert len(streams) == 8
+        assert all(len(s) == 50 for s in streams)
+
+    def test_clients_never_overlap(self):
+        # "the requests issued by different clients do not overlap" --
+        # the Table II worst case.
+        streams = generate_client_streams(
+            WisconsinConfig(num_clients=10, requests_per_client=80)
+        )
+        url_sets = [{r.url for r in s} for s in streams]
+        for i in range(len(url_sets)):
+            for j in range(i + 1, len(url_sets)):
+                assert not (url_sets[i] & url_sets[j])
+
+    def test_deterministic_for_seed(self):
+        cfg = WisconsinConfig(num_clients=4, requests_per_client=30, seed=9)
+        a = generate_client_streams(cfg)
+        b = generate_client_streams(cfg)
+        assert [[r.url for r in s] for s in a] == [
+            [r.url for r in s] for s in b
+        ]
+
+    def test_same_doc_same_size(self):
+        streams = generate_client_streams(
+            WisconsinConfig(num_clients=2, requests_per_client=200)
+        )
+        sizes = {}
+        for stream in streams:
+            for req in stream:
+                assert sizes.setdefault(req.url, req.size) == req.size
+
+    def test_sizes_bounded(self):
+        cfg = WisconsinConfig(
+            num_clients=2, requests_per_client=100, max_size=100_000
+        )
+        for stream in generate_client_streams(cfg):
+            for req in stream:
+                assert 64 <= req.size <= 100_000
+
+
+class TestHitRatioTarget:
+    @pytest.mark.parametrize("target", [0.25, 0.45])
+    def test_inherent_hit_ratio_close_to_target(self, target):
+        """Replaying one client's stream through a big cache should hit
+        at roughly the configured ratio (the benchmark's "inherent cache
+        hit ratio in the request stream can be adjusted")."""
+        cfg = WisconsinConfig(
+            num_clients=6,
+            requests_per_client=400,
+            target_hit_ratio=target,
+            seed=13,
+        )
+        hits = requests = 0
+        for stream in generate_client_streams(cfg):
+            cache = WebCache(10**9, max_object_size=None)
+            for req in stream:
+                if cache.get(req.url) is not None:
+                    hits += 1
+                else:
+                    cache.put(req.url, req.size)
+                requests += 1
+        assert hits / requests == pytest.approx(target, abs=0.05)
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_clients": 0},
+            {"requests_per_client": 0},
+            {"target_hit_ratio": 1.0},
+            {"target_hit_ratio": -0.1},
+            {"pareto_alpha": 1.0},
+        ],
+    )
+    def test_rejects_bad_config(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            WisconsinConfig(**kwargs)

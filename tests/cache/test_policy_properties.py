@@ -1,0 +1,112 @@
+"""Property-based tests of replacement policies against reference models."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.policies import FIFOPolicy, LFUPolicy, LRUPolicy
+
+KEYS = [f"k{i}" for i in range(12)]
+
+# An operation stream: (key, is_access). Inserts happen implicitly the
+# first time a key appears; accesses of untracked keys are skipped.
+ops_strategy = st.lists(
+    st.tuples(st.sampled_from(KEYS), st.booleans()), max_size=150
+)
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_lru_matches_ordered_dict_model(ops):
+    policy = LRUPolicy()
+    model: "OrderedDict[str, None]" = OrderedDict()
+    for key, is_access in ops:
+        if key in model:
+            if is_access:
+                policy.on_access(key)
+                model.move_to_end(key)
+        else:
+            policy.on_insert(key, 1)
+            model[key] = None
+    while model:
+        expected = next(iter(model))
+        assert policy.victim() == expected
+        policy.on_remove(expected)
+        del model[expected]
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_fifo_ignores_accesses(ops):
+    policy = FIFOPolicy()
+    insertion_order = []
+    for key, is_access in ops:
+        if key in insertion_order:
+            if is_access:
+                policy.on_access(key)
+        else:
+            policy.on_insert(key, 1)
+            insertion_order.append(key)
+    for expected in insertion_order:
+        assert policy.victim() == expected
+        policy.on_remove(expected)
+
+
+@given(ops_strategy)
+@settings(max_examples=80, deadline=None)
+def test_lfu_victim_has_minimal_frequency(ops):
+    policy = LFUPolicy()
+    freq = {}
+    for key, is_access in ops:
+        if key in freq:
+            if is_access:
+                policy.on_access(key)
+                freq[key] += 1
+        else:
+            policy.on_insert(key, 1)
+            freq[key] = 1
+    while freq:
+        victim = policy.victim()
+        assert freq[victim] == min(freq.values())
+        policy.on_remove(victim)
+        del freq[victim]
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(KEYS),
+            st.integers(1, 500),
+            st.booleans(),
+        ),
+        max_size=120,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_every_policy_tracks_exact_key_set(ops):
+    """Whatever the op stream, len(policy) equals the live key count and
+    draining victims empties each policy exactly once per key."""
+    from repro.cache.policies import make_policy
+
+    for name in ("lru", "fifo", "lfu", "size", "gdsf"):
+        policy = make_policy(name)
+        live = set()
+        for key, size, is_access in ops:
+            if key in live:
+                if is_access:
+                    policy.on_access(key)
+            else:
+                policy.on_insert(key, size)
+                live.add(key)
+        assert len(policy) == len(live)
+        drained = set()
+        while live:
+            victim = policy.victim()
+            assert victim in live
+            assert victim not in drained
+            policy.on_remove(victim)
+            live.discard(victim)
+            drained.add(victim)

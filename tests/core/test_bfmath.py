@@ -1,0 +1,145 @@
+"""Tests for the analytic Bloom filter math (Section V-C, Fig. 4)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core import bfmath
+from repro.errors import ConfigurationError
+
+
+class TestFalsePositiveProbability:
+    def test_paper_example_load_factor_10_four_hashes(self):
+        # "for a bit array 10 times larger than the number of entries,
+        # the probability of a false positive is 1.2% for four hash
+        # functions"
+        assert bfmath.false_positive_probability(10, 4) == pytest.approx(
+            0.0118, abs=0.0005
+        )
+
+    def test_paper_example_five_hashes(self):
+        # "... and 0.9% for ... five hash functions."
+        assert bfmath.false_positive_probability(10, 5) == pytest.approx(
+            0.0094, abs=0.0005
+        )
+
+    def test_exact_formula_converges_to_asymptotic(self):
+        m, n, k = 100_000, 10_000, 4
+        exact = bfmath.false_positive_probability_exact(m, n, k)
+        asymptotic = bfmath.false_positive_probability(m / n, k)
+        assert exact == pytest.approx(asymptotic, rel=1e-3)
+
+    def test_zero_keys_is_zero(self):
+        assert bfmath.false_positive_probability_exact(100, 0, 4) == 0.0
+
+    def test_monotone_decreasing_in_bits(self):
+        probs = [
+            bfmath.false_positive_probability(m_over_n, 4)
+            for m_over_n in range(4, 33)
+        ]
+        assert probs == sorted(probs, reverse=True)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"bits_per_entry": 0, "num_hashes": 4},
+            {"bits_per_entry": 8, "num_hashes": 0},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            bfmath.false_positive_probability(**kwargs)
+
+    def test_exact_validation(self):
+        with pytest.raises(ConfigurationError):
+            bfmath.false_positive_probability_exact(0, 1, 1)
+
+
+class TestOptimalHashes:
+    def test_real_optimum_is_ln2_times_ratio(self):
+        assert bfmath.optimal_num_hashes(16) == pytest.approx(
+            math.log(2) * 16
+        )
+
+    def test_integer_optimum_beats_neighbours(self):
+        for m_over_n in (6, 8, 10, 16, 32):
+            k = bfmath.optimal_integer_num_hashes(m_over_n)
+            best = bfmath.false_positive_probability(m_over_n, k)
+            for other in (k - 1, k + 1):
+                if other >= 1:
+                    assert best <= bfmath.false_positive_probability(
+                        m_over_n, other
+                    )
+
+    def test_min_probability_formula(self):
+        # p_min = 0.6185 ** (m/n)
+        assert bfmath.min_false_positive_probability(
+            10
+        ) == pytest.approx(0.6185 ** 10, rel=1e-3)
+
+    def test_min_is_lower_bound_for_integer_choices(self):
+        for m_over_n in (4, 8, 16):
+            floor = bfmath.min_false_positive_probability(m_over_n)
+            k = bfmath.optimal_integer_num_hashes(m_over_n)
+            assert bfmath.false_positive_probability(m_over_n, k) >= floor * 0.999
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bfmath.optimal_num_hashes(0)
+        with pytest.raises(ConfigurationError):
+            bfmath.min_false_positive_probability(-1)
+
+
+class TestCounterOverflow:
+    def test_sixteen_is_minuscule(self):
+        # The paper's 4-bit-counter argument: Pr(any counter >= 16) is
+        # tiny for any realistic m.
+        p = bfmath.counter_overflow_probability(m=2**24, n=2**20, j=16)
+        assert p < 1e-7
+
+    def test_small_j_is_likely(self):
+        assert bfmath.counter_overflow_probability(10_000, 10_000, 2) == 1.0
+
+    def test_capped_at_one(self):
+        assert bfmath.counter_overflow_probability(10**9, 10**6, 1) == 1.0
+
+    def test_zero_keys(self):
+        assert bfmath.counter_overflow_probability(100, 0, 4) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            bfmath.counter_overflow_probability(0, 1, 1)
+        with pytest.raises(ConfigurationError):
+            bfmath.counter_overflow_probability(1, -1, 1)
+        with pytest.raises(ConfigurationError):
+            bfmath.counter_overflow_probability(1, 1, 0)
+
+
+class TestTablesAndSeries:
+    def test_example_table_shape(self):
+        rows = bfmath.example_table()
+        assert len(rows) == len(bfmath.EXAMPLE_TABLE_LOAD_FACTORS)
+        for m_over_n, k4, p4, k_opt, p_opt in rows:
+            assert k4 == 4
+            assert p_opt <= p4 * 1.0001  # optimum never worse
+
+    def test_fig4_series(self):
+        xs, top, bottom = bfmath.fig4_series(2, 32)
+        assert xs[0] == 2 and xs[-1] == 32
+        assert len(xs) == len(top) == len(bottom)
+        # The optimal-k curve is never above the k=4 curve.
+        assert all(b <= t * 1.0001 for t, b in zip(top, bottom))
+        # Log-scale straight line: ratios of consecutive optimal values
+        # are roughly constant for larger x.
+        ratios = [bottom[i + 1] / bottom[i] for i in range(20, 29)]
+        assert max(ratios) / min(ratios) < 1.6
+
+    def test_fig4_series_validation(self):
+        with pytest.raises(ConfigurationError):
+            bfmath.fig4_series(5, 4)
+
+    def test_expected_maximum_counter_scale(self):
+        value = bfmath.expected_maximum_counter(2**20, 2**17, 4)
+        assert 4 < value < 16

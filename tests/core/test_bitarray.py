@@ -1,0 +1,217 @@
+"""Tests for the packed bit and counter arrays."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bitarray import BitArray, CounterArray
+from repro.errors import ConfigurationError
+
+
+class TestBitArray:
+    def test_starts_all_zero(self):
+        bits = BitArray(100)
+        assert bits.popcount == 0
+        assert not any(bits.get(i) for i in range(100))
+
+    def test_set_and_get(self):
+        bits = BitArray(16)
+        assert bits.set(3) is True
+        assert bits.get(3)
+        assert bits.popcount == 1
+
+    def test_set_same_value_reports_no_change(self):
+        bits = BitArray(16)
+        bits.set(3)
+        assert bits.set(3) is False
+        assert bits.popcount == 1
+
+    def test_clear(self):
+        bits = BitArray(16)
+        bits.set(3)
+        assert bits.clear(3) is True
+        assert not bits.get(3)
+        assert bits.popcount == 0
+        assert bits.clear(3) is False
+
+    def test_fill_ratio(self):
+        bits = BitArray(10)
+        for i in range(5):
+            bits.set(i)
+        assert bits.fill_ratio == pytest.approx(0.5)
+
+    def test_index_bounds(self):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits.get(8)
+        with pytest.raises(IndexError):
+            bits.set(-1)
+
+    def test_iter_set_bits(self):
+        bits = BitArray(64)
+        for i in (0, 7, 8, 33, 63):
+            bits.set(i)
+        assert list(bits.iter_set_bits()) == [0, 7, 8, 33, 63]
+
+    def test_roundtrip_bytes(self):
+        bits = BitArray(37)
+        for i in (0, 5, 19, 36):
+            bits.set(i)
+        clone = BitArray.from_bytes(37, bits.to_bytes())
+        assert clone == bits
+        assert clone.popcount == 4
+
+    def test_from_bytes_masks_tail(self):
+        # Stray bits beyond `size` must be masked out.
+        clone = BitArray.from_bytes(4, bytes([0xFF]))
+        assert clone.popcount == 4
+        assert [i for i in range(4) if clone.get(i)] == [0, 1, 2, 3]
+
+    def test_from_bytes_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BitArray.from_bytes(16, b"\x00")
+
+    def test_reset(self):
+        bits = BitArray(32)
+        bits.set(1)
+        bits.set(30)
+        bits.reset()
+        assert bits.popcount == 0
+
+    def test_copy_is_independent(self):
+        bits = BitArray(8)
+        bits.set(1)
+        clone = bits.copy()
+        clone.set(2)
+        assert not bits.get(2)
+        assert bits != clone
+
+    def test_size_bytes(self):
+        assert BitArray(1).size_bytes() == 1
+        assert BitArray(8).size_bytes() == 1
+        assert BitArray(9).size_bytes() == 2
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(0)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 199), st.booleans()),
+            max_size=300,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_set_model(self, ops):
+        bits = BitArray(200)
+        reference = set()
+        for index, value in ops:
+            bits.set(index, value)
+            if value:
+                reference.add(index)
+            else:
+                reference.discard(index)
+        assert set(bits.iter_set_bits()) == reference
+        assert bits.popcount == len(reference)
+
+
+class TestCounterArray:
+    def test_starts_zero(self):
+        counters = CounterArray(10)
+        assert all(counters.get(i) == 0 for i in range(10))
+
+    def test_increment_and_decrement(self):
+        counters = CounterArray(10)
+        assert counters.increment(3) == 1
+        assert counters.increment(3) == 2
+        assert counters.decrement(3) == 1
+        assert counters.decrement(3) == 0
+
+    def test_underflow_raises(self):
+        counters = CounterArray(4)
+        with pytest.raises(ValueError):
+            counters.decrement(0)
+
+    def test_saturation_sticks_at_max(self):
+        counters = CounterArray(4, width=2)  # max value 3
+        for _ in range(5):
+            counters.increment(1)
+        assert counters.get(1) == 3
+        assert counters.saturation_events == 2
+        # The paper's rule: a saturated counter is never decremented.
+        assert counters.decrement(1) == 3
+        assert counters.get(1) == 3
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_all_supported_widths(self, width):
+        counters = CounterArray(20, width=width)
+        top = counters.max_value
+        assert top == (1 << width) - 1
+        for _ in range(top):
+            counters.increment(7)
+        assert counters.get(7) == top
+
+    def test_neighbours_do_not_interfere(self):
+        # Two 4-bit counters share a byte; mutating one must not leak.
+        counters = CounterArray(10, width=4)
+        counters.increment(4)
+        counters.increment(5)
+        counters.increment(5)
+        assert counters.get(4) == 1
+        assert counters.get(5) == 2
+        counters.decrement(5)
+        assert counters.get(4) == 1
+
+    def test_nonzero_indices(self):
+        counters = CounterArray(16)
+        counters.increment(2)
+        counters.increment(9)
+        assert counters.nonzero_indices() == [2, 9]
+
+    def test_load_from(self):
+        counters = CounterArray(4, width=4)
+        counters.load_from([1, 15, 0, 7])
+        assert [counters.get(i) for i in range(4)] == [1, 15, 0, 7]
+
+    def test_load_from_rejects_out_of_range(self):
+        with pytest.raises(ConfigurationError):
+            CounterArray(2, width=4).load_from([16, 0])
+
+    def test_size_bytes_packs_nibbles(self):
+        assert CounterArray(10, width=4).size_bytes() == 5
+        assert CounterArray(10, width=8).size_bytes() == 10
+        assert CounterArray(10, width=1).size_bytes() == 2
+
+    def test_rejects_unsupported_width(self):
+        with pytest.raises(ConfigurationError):
+            CounterArray(10, width=3)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            CounterArray(0)
+
+    def test_index_bounds(self):
+        counters = CounterArray(8)
+        with pytest.raises(IndexError):
+            counters.get(8)
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 49), st.booleans()),
+            max_size=400,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_counter_model(self, ops):
+        counters = CounterArray(50, width=8)
+        reference = [0] * 50
+        for index, is_increment in ops:
+            if is_increment:
+                counters.increment(index)
+                reference[index] = min(255, reference[index] + 1)
+            elif reference[index] > 0:
+                counters.decrement(index)
+                reference[index] -= 1
+        assert [counters.get(i) for i in range(50)] == reference

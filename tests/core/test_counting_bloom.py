@@ -1,0 +1,251 @@
+"""Tests for the counting Bloom filter (the paper's contribution)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.counting_bloom import CountingBloomFilter
+from repro.errors import ConfigurationError
+
+
+class TestAddRemove:
+    def test_add_then_contains(self):
+        cbf = CountingBloomFilter(1024)
+        cbf.add("http://a.com/x")
+        assert cbf.may_contain("http://a.com/x")
+        assert "http://a.com/x" in cbf
+
+    def test_remove_restores_emptiness(self):
+        cbf = CountingBloomFilter(1024)
+        cbf.add("http://a.com/x")
+        cbf.remove("http://a.com/x")
+        assert not cbf.may_contain("http://a.com/x")
+        assert cbf.fill_ratio() == 0.0
+        assert cbf.keys_added == 0
+
+    def test_overlapping_keys_survive_removal(self):
+        # Deleting one key must not delete another that shares bits:
+        # this is exactly what the counters buy over a plain filter.
+        cbf = CountingBloomFilter(64)  # tiny: collisions guaranteed
+        keys = [f"http://s{i}.com/d" for i in range(20)]
+        for key in keys:
+            cbf.add(key)
+        cbf.remove(keys[0])
+        assert all(cbf.may_contain(k) for k in keys[1:])
+
+    def test_remove_unknown_key_raises_and_leaves_state(self):
+        cbf = CountingBloomFilter(1024)
+        cbf.add("http://a.com/x")
+        before = cbf.snapshot()
+        with pytest.raises(ValueError):
+            cbf.remove("http://never-added.com/y")
+        assert cbf.snapshot() == before
+
+    def test_keys_added_tracks_net_count(self):
+        cbf = CountingBloomFilter(1024)
+        for i in range(5):
+            cbf.add(f"u{i}")
+        cbf.remove("u0")
+        assert cbf.keys_added == 4
+
+    def test_for_capacity(self):
+        cbf = CountingBloomFilter.for_capacity(100, load_factor=16)
+        assert cbf.num_bits == 1600
+
+    def test_for_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter.for_capacity(0)
+        with pytest.raises(ConfigurationError):
+            CountingBloomFilter.for_capacity(10, load_factor=0)
+
+
+class TestDeltaFlips:
+    def test_add_records_set_flips(self):
+        cbf = CountingBloomFilter(1 << 16)
+        cbf.add("http://a.com/x")
+        flips = cbf.drain_flips()
+        assert flips
+        assert all(value is True for _idx, value in flips)
+
+    def test_add_remove_cancels_out(self):
+        cbf = CountingBloomFilter(1 << 16)
+        cbf.add("http://a.com/x")
+        cbf.remove("http://a.com/x")
+        assert cbf.drain_flips() == []
+
+    def test_drain_clears_pending(self):
+        cbf = CountingBloomFilter(1 << 16)
+        cbf.add("u1")
+        cbf.drain_flips()
+        assert cbf.pending_flip_count == 0
+        assert cbf.drain_flips() == []
+
+    def test_peek_does_not_clear(self):
+        cbf = CountingBloomFilter(1 << 16)
+        cbf.add("u1")
+        first = cbf.peek_flips()
+        second = cbf.peek_flips()
+        assert first == second != []
+
+    def test_flips_replay_onto_snapshot(self):
+        """Applying drained flips to an old snapshot reproduces the
+        current filter -- the core correctness property of DIRUPDATE."""
+        cbf = CountingBloomFilter(2048)
+        for i in range(50):
+            cbf.add(f"http://x{i}.com/a")
+        shipped = cbf.snapshot()
+        cbf.drain_flips()
+
+        for i in range(50, 80):
+            cbf.add(f"http://x{i}.com/a")
+        for i in range(0, 20):
+            cbf.remove(f"http://x{i}.com/a")
+        shipped.apply_flips(cbf.drain_flips())
+        assert shipped == cbf.snapshot()
+
+    def test_shared_bit_not_flipped_while_still_referenced(self):
+        # Two keys sharing a bit: removing one key must not emit a clear
+        # flip for the shared bit.
+        cbf = CountingBloomFilter(32)
+        keys = [f"k{i}" for i in range(10)]
+        for key in keys:
+            cbf.add(key)
+        cbf.drain_flips()
+        cbf.remove(keys[0])
+        shipped = cbf.snapshot()
+        for idx, value in cbf.peek_flips():
+            if not value:
+                assert cbf.counters.get(idx) == 0
+
+
+class TestSaturation:
+    def test_counter_saturates_and_sticks(self):
+        cbf = CountingBloomFilter(8, counter_width=2)  # max count 3
+        # Hammer the same key so its counters exceed 3.
+        for i in range(6):
+            cbf.add("same-key")
+        assert cbf.counters.saturation_events > 0
+        # Paper rule: saturated counters stay at max through deletions,
+        # so membership survives more removals than additions would
+        # normally allow.
+        for i in range(6):
+            cbf.remove("same-key")
+        assert cbf.may_contain("same-key")
+
+    def test_four_bit_default(self):
+        cbf = CountingBloomFilter(128)
+        assert cbf.counters.width == 4
+
+
+class TestMemoryAccounting:
+    def test_local_includes_counters(self):
+        cbf = CountingBloomFilter(8000, counter_width=4)
+        assert cbf.remote_size_bytes() == 1000
+        assert cbf.size_bytes() == 1000 + 4000
+
+    def test_counter_width_changes_local_size_only(self):
+        narrow = CountingBloomFilter(8000, counter_width=2)
+        wide = CountingBloomFilter(8000, counter_width=8)
+        assert narrow.remote_size_bytes() == wide.remote_size_bytes()
+        assert narrow.size_bytes() < wide.size_bytes()
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from([f"url{i}" for i in range(30)]), st.booleans()),
+        max_size=200,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_random_ops_match_multiset_model(ops):
+    """Under random adds/removes, the filter never loses a present key,
+    and the delta stream keeps a peer snapshot in sync."""
+    cbf = CountingBloomFilter(4096)
+    shipped = cbf.snapshot()
+    present: dict = {}
+    for url, is_add in ops:
+        if is_add:
+            cbf.add(url)
+            present[url] = present.get(url, 0) + 1
+        elif present.get(url, 0) > 0:
+            cbf.remove(url)
+            present[url] -= 1
+        # Periodically sync the peer copy.
+        if len(cbf.peek_flips()) > 16:
+            shipped.apply_flips(cbf.drain_flips())
+    for url, count in present.items():
+        if count > 0:
+            assert cbf.may_contain(url)
+    shipped.apply_flips(cbf.drain_flips())
+    assert shipped == cbf.snapshot()
+
+
+class TestPersistence:
+    """Warm-restart serialization (counters survive a reboot)."""
+
+    def make_filter(self, width: int = 4) -> CountingBloomFilter:
+        cbf = CountingBloomFilter.for_capacity(
+            400, load_factor=8, counter_width=width
+        )
+        for i in range(250):
+            cbf.add(f"http://persist{i}.net/doc")
+        for i in range(40):
+            cbf.remove(f"http://persist{i}.net/doc")
+        return cbf
+
+    def test_roundtrip_preserves_state(self):
+        cbf = self.make_filter()
+        clone = CountingBloomFilter.from_bytes(cbf.to_bytes())
+        assert clone.snapshot() == cbf.snapshot()
+        assert clone.keys_added == cbf.keys_added
+        assert clone.hash_family == cbf.hash_family
+        assert clone.counters.width == cbf.counters.width
+
+    def test_deletions_work_after_restart(self):
+        cbf = self.make_filter()
+        clone = CountingBloomFilter.from_bytes(cbf.to_bytes())
+        clone.remove("http://persist100.net/doc")
+        # A cold rebuild of a plain filter could not have done this.
+        cbf.remove("http://persist100.net/doc")
+        assert clone.snapshot() == cbf.snapshot()
+
+    @pytest.mark.parametrize("width", [1, 2, 4, 8])
+    def test_all_counter_widths(self, width):
+        cbf = self.make_filter(width=width)
+        clone = CountingBloomFilter.from_bytes(cbf.to_bytes())
+        assert clone.snapshot() == cbf.snapshot()
+
+    def test_bad_magic_rejected(self):
+        from repro.errors import ProtocolError
+
+        data = bytearray(self.make_filter().to_bytes())
+        data[0] = ord("X")
+        with pytest.raises(ProtocolError, match="magic"):
+            CountingBloomFilter.from_bytes(bytes(data))
+
+    def test_bad_version_rejected(self):
+        from repro.errors import ProtocolError
+
+        data = bytearray(self.make_filter().to_bytes())
+        data[4] = 99
+        with pytest.raises(ProtocolError, match="version"):
+            CountingBloomFilter.from_bytes(bytes(data))
+
+    def test_truncated_payload_rejected(self):
+        from repro.errors import ProtocolError
+
+        data = self.make_filter().to_bytes()
+        with pytest.raises(ProtocolError):
+            CountingBloomFilter.from_bytes(data[: len(data) // 2])
+        with pytest.raises(ProtocolError):
+            CountingBloomFilter.from_bytes(b"\x01")
+
+    def test_pending_flips_not_persisted(self):
+        cbf = self.make_filter()
+        assert cbf.pending_flip_count > 0
+        clone = CountingBloomFilter.from_bytes(cbf.to_bytes())
+        # A restarted filter starts with a clean delta (peers should be
+        # resynced with a full digest after a restart).
+        assert clone.pending_flip_count == 0

@@ -1,0 +1,87 @@
+"""Property/fuzz tests for the wire protocol.
+
+The decoder faces an open UDP port: arbitrary bytes must produce either
+a valid message or :class:`~repro.errors.ProtocolError` -- never any
+other exception -- and well-formed messages must round-trip exactly.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.protocol.wire import (
+    DirUpdate,
+    IcpQuery,
+    decode_flip,
+    decode_message,
+    encode_flip,
+)
+
+urls = st.text(
+    alphabet=st.characters(
+        blacklist_characters="\x00", blacklist_categories=("Cs",)
+    ),
+    min_size=1,
+    max_size=200,
+)
+
+
+@given(st.binary(max_size=300))
+@settings(max_examples=300, deadline=None)
+def test_decoder_never_raises_unexpected(data):
+    try:
+        decode_message(data)
+    except ProtocolError:
+        pass  # the only acceptable failure mode
+
+
+@given(
+    urls,
+    st.integers(0, 0xFFFFFFFF),
+    st.integers(0, 0xFFFFFFFF),
+)
+@settings(max_examples=100, deadline=None)
+def test_query_roundtrip(url, reqnum, requester):
+    query = IcpQuery(
+        url=url, request_number=reqnum, requester=requester
+    )
+    assert decode_message(query.encode()) == query
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 9999), st.booleans()),
+        max_size=64,
+    ),
+    st.integers(1, 16),
+    st.integers(1, 64),
+)
+@settings(max_examples=100, deadline=None)
+def test_dirupdate_roundtrip(flips, function_num, function_bits):
+    update = DirUpdate(
+        function_num=function_num,
+        function_bits=function_bits,
+        bit_array_size=10_000,
+        flips=tuple(flips),
+    )
+    assert decode_message(update.encode()) == update
+
+
+@given(st.integers(0, (1 << 31) - 1), st.booleans())
+@settings(max_examples=200, deadline=None)
+def test_flip_record_roundtrip(index, value):
+    assert decode_flip(encode_flip(index, value)) == (index, value)
+
+
+def test_truncated_valid_messages_rejected_cleanly():
+    """Every truncation of a valid message fails with ProtocolError."""
+    query = IcpQuery(url="http://fuzz.example/x", request_number=1)
+    wire = query.encode()
+    for cut in range(len(wire)):
+        try:
+            decode_message(wire[:cut])
+        except ProtocolError:
+            continue
+        raise AssertionError(f"truncation at {cut} bytes was accepted")

@@ -1,0 +1,122 @@
+"""Tests for the prototype's HTTP subset."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.proxy.http import (
+    read_request,
+    read_response,
+    synth_body,
+    write_request,
+    write_response,
+)
+
+
+class _Writer:
+    """A StreamWriter stand-in that accumulates bytes."""
+
+    def __init__(self) -> None:
+        self.data = b""
+
+    def write(self, data: bytes) -> None:
+        self.data += data
+
+
+async def _parse(parser, data: bytes):
+    # The StreamReader must be created inside the running loop.
+    reader = asyncio.StreamReader()
+    reader.feed_data(data)
+    reader.feed_eof()
+    return await parser(reader)
+
+
+def parse_request(data: bytes):
+    return asyncio.run(_parse(read_request, data))
+
+
+def parse_response(data: bytes):
+    return asyncio.run(_parse(read_response, data))
+
+
+class TestRequests:
+    def test_write_read_roundtrip(self):
+        writer = _Writer()
+        write_request(
+            writer,
+            "http://a.com/x",
+            headers={"X-Size": "123", "X-Only-If-Cached": "1"},
+        )
+        request = parse_request(writer.data)
+        assert request.url == "http://a.com/x"
+        assert request.header("x-size") == "123"
+        assert request.header("X-ONLY-IF-CACHED") == "1"
+        assert request.header("missing", "dflt") == "dflt"
+
+    def test_rejects_post(self):
+        data = b"POST /x HTTP/1.0\r\n\r\n"
+        with pytest.raises(ProtocolError, match="request line"):
+            parse_request(data)
+
+    def test_rejects_truncated(self):
+        with pytest.raises(ProtocolError):
+            parse_request(b"GET /x HTTP/1.0\r\n")
+
+    def test_rejects_malformed_header(self):
+        data = b"GET /x HTTP/1.0\r\nbadheader\r\n\r\n"
+        with pytest.raises(ProtocolError, match="header"):
+            parse_request(data)
+
+
+class TestResponses:
+    def test_write_read_roundtrip(self):
+        writer = _Writer()
+        write_response(
+            writer, 200, b"hello", headers={"X-Cache": "HIT"}
+        )
+        response = parse_response(writer.data)
+        assert response.status == 200
+        assert response.body == b"hello"
+        assert response.header("x-cache") == "HIT"
+        assert response.header("content-length") == "5"
+
+    def test_empty_body(self):
+        writer = _Writer()
+        write_response(writer, 504)
+        response = parse_response(writer.data)
+        assert response.status == 504
+        assert response.body == b""
+
+    def test_unknown_status_gets_reason(self):
+        writer = _Writer()
+        write_response(writer, 418)
+        assert b"418 Unknown" in writer.data
+
+    def test_rejects_bad_status_line(self):
+        with pytest.raises(ProtocolError, match="status"):
+            parse_response(b"NOPE\r\n\r\n")
+
+    def test_rejects_bad_content_length(self):
+        data = b"HTTP/1.0 200 OK\r\nContent-Length: x\r\n\r\n"
+        with pytest.raises(ProtocolError, match="Content-Length"):
+            parse_response(data)
+
+    def test_rejects_non_numeric_status(self):
+        with pytest.raises(ProtocolError):
+            parse_response(b"HTTP/1.0 abc OK\r\n\r\n")
+
+
+class TestSynthBody:
+    def test_exact_size(self):
+        assert len(synth_body("http://a.com/x", 1000)) == 1000
+
+    def test_deterministic_per_url(self):
+        assert synth_body("u", 64) == synth_body("u", 64)
+        assert synth_body("u", 64) != synth_body("v", 64)
+
+    def test_zero_and_negative(self):
+        assert synth_body("u", 0) == b""
+        assert synth_body("u", -5) == b""

@@ -1,0 +1,46 @@
+"""Tests for the Fig. 8 message-size model."""
+
+from __future__ import annotations
+
+from repro.sharing.messages import (
+    BLOOM_FLIP_BYTES,
+    BLOOM_UPDATE_HEADER_BYTES,
+    DIGEST_CHANGE_BYTES,
+    DIGEST_UPDATE_HEADER_BYTES,
+    QUERY_MESSAGE_BYTES,
+    bloom_update_bytes,
+    digest_update_bytes,
+    whole_filter_update_bytes,
+)
+
+
+def test_query_size_is_papers_70_bytes():
+    # "20 bytes of header and 50 bytes of average URL"
+    assert QUERY_MESSAGE_BYTES == 70
+
+
+def test_digest_update_formula():
+    # "20 bytes of header and 16 bytes per change"
+    assert DIGEST_UPDATE_HEADER_BYTES == 20
+    assert DIGEST_CHANGE_BYTES == 16
+    assert digest_update_bytes(0) == 20
+    assert digest_update_bytes(10) == 20 + 160
+
+
+def test_bloom_update_formula():
+    # "32 bytes of header plus 4 bytes per bit-flip"
+    assert BLOOM_UPDATE_HEADER_BYTES == 32
+    assert BLOOM_FLIP_BYTES == 4
+    assert bloom_update_bytes(0) == 32
+    assert bloom_update_bytes(100) == 32 + 400
+
+
+def test_whole_filter_update():
+    assert whole_filter_update_bytes(8) == 32 + 1
+    assert whole_filter_update_bytes(8000) == 32 + 1000
+    # Crossover: beyond ~num_bits/32 flips, the whole array is smaller.
+    num_bits = 8000
+    many_flips = num_bits // 32 + 10
+    assert whole_filter_update_bytes(num_bits) < bloom_update_bytes(
+        many_flips
+    )

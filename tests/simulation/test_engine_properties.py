@@ -1,0 +1,88 @@
+"""Property-based tests of the DES kernel."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.engine import Engine
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    engine = Engine()
+    fire_times = []
+    for delay in delays:
+        engine.call_later(delay, lambda: fire_times.append(engine.now))
+    engine.run()
+    assert len(fire_times) == len(delays)
+    assert fire_times == sorted(fire_times)
+    assert fire_times == sorted(delays)
+
+
+@given(
+    st.lists(
+        st.floats(min_value=0.01, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=40,
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_serializes_work_exactly(service_times):
+    """A FIFO resource's total busy time equals the sum of service
+    times, and the last job finishes exactly at that sum when all jobs
+    arrive at time zero."""
+    engine = Engine()
+    cpu = engine.resource()
+    completions = []
+
+    def job(service):
+        def process():
+            yield cpu.serve(service)
+            completions.append(engine.now)
+
+        return process()
+
+    for service in service_times:
+        engine.spawn(job(service))
+    end = engine.run()
+    total = sum(service_times)
+    assert cpu.busy_time == abs(cpu.busy_time)  # sanity
+    assert abs(cpu.busy_time - total) < 1e-9 * max(1, len(service_times))
+    assert abs(end - total) < 1e-6
+    # Completion times are the prefix sums of the (FIFO) service order.
+    prefix = 0.0
+    for service, completed in zip(service_times, completions):
+        prefix += service
+        assert abs(completed - prefix) < 1e-6
+
+
+@given(st.integers(1, 30), st.integers(0, 29))
+@settings(max_examples=60, deadline=None)
+def test_signal_wakes_every_waiter_once(num_waiters, fire_after):
+    engine = Engine()
+    signal = engine.signal()
+    woken = []
+
+    def waiter(i):
+        def process():
+            value = yield signal
+            woken.append((i, value, engine.now))
+
+        return process()
+
+    for i in range(num_waiters):
+        engine.spawn(waiter(i))
+    engine.call_later(float(fire_after), signal.fire, "v")
+    engine.run()
+    assert len(woken) == num_waiters
+    assert {i for i, _v, _t in woken} == set(range(num_waiters))
+    assert all(v == "v" for _i, v, _t in woken)
+    assert all(t == float(fire_after) for _i, _v, t in woken)

@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.readers import read_jsonl
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig1", "--workload", "aol"])
+
+
+class TestCommands:
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 4" in out
+        assert "bits/entry" in out
+
+    def test_scalability(self, capsys):
+        assert main(["scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "Section V-F" in out
+        assert "100" in out
+
+    def test_fig1_small(self, capsys):
+        assert main(["fig1", "--workload", "upisa", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "no-sharing" in out
+
+    def test_fig2_small(self, capsys):
+        assert main(["fig2", "--workload", "upisa", "--scale", "0.1"]) == 0
+        assert "threshold" in capsys.readouterr().out
+
+    def test_representations_small(self, capsys):
+        assert (
+            main(
+                [
+                    "representations",
+                    "--workload",
+                    "upisa",
+                    "--scale",
+                    "0.1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bloom-16" in out
+        assert "icp" in out
+
+    def test_table2_small(self, capsys):
+        assert (
+            main(
+                [
+                    "table2",
+                    "--clients-per-proxy",
+                    "2",
+                    "--requests-per-client",
+                    "30",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "sc-icp" in out
+        assert "overhead" in out
+
+    def test_gen_trace(self, tmp_path, capsys):
+        out_path = tmp_path / "trace.jsonl"
+        assert (
+            main(
+                [
+                    "gen-trace",
+                    "--workload",
+                    "upisa",
+                    "--scale",
+                    "0.05",
+                    "--out",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        trace = read_jsonl(out_path)
+        assert len(trace) > 0
+        assert "wrote" in capsys.readouterr().out
+
+
+class TestExtensionCommands:
+    def test_hierarchy(self, capsys):
+        assert (
+            main(["hierarchy", "--workload", "questnet", "--scale", "0.1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Section VIII" in out
+        assert "parent-load" in out
+
+    def test_alternatives(self, capsys):
+        assert (
+            main(["alternatives", "--workload", "ucb", "--scale", "0.1"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "carp" in out
+        assert "directory-server" in out
+
+
+class TestScaledTableCommands:
+    def test_table1_scaled(self, capsys):
+        assert main(["table1", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "nlanr" in out
+
+    def test_table3_scaled(self, capsys):
+        assert main(["table3", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "bloom-16" in out

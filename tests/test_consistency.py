@@ -1,0 +1,149 @@
+"""Tests for the cache-consistency substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.consistency import (
+    AdaptiveTTL,
+    FixedTTL,
+    NeverValidate,
+    OracleConsistency,
+    PollEveryTime,
+    simulate_consistency,
+)
+from repro.consistency.policies import CopyMeta
+from repro.errors import ConfigurationError
+from repro.traces.model import Request, Trace
+from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def churn_trace() -> Trace:
+    return generate_trace(
+        SyntheticTraceConfig(
+            name="consistency",
+            num_requests=8000,
+            num_clients=30,
+            num_documents=1500,
+            mean_size=2048,
+            max_size=128 * 1024,
+            mod_probability=0.02,
+            request_rate=10.0,
+            seed=71,
+        )
+    )
+
+
+CAPACITY = 1_000_000
+
+
+class TestPolicyDecisions:
+    def test_fixed_ttl_window(self):
+        policy = FixedTTL(60.0)
+        meta = CopyMeta(version=1, fetched_at=100.0, modified_at=0.0)
+        assert policy.trust(meta, 150.0)
+        assert not policy.trust(meta, 161.0)
+
+    def test_adaptive_ttl_scales_with_age(self):
+        policy = AdaptiveTTL(factor=0.5, min_ttl=10.0, max_ttl=1000.0)
+        young = CopyMeta(version=1, fetched_at=100.0, modified_at=90.0)
+        old = CopyMeta(version=1, fetched_at=100.0, modified_at=0.0)
+        # Young doc: ttl = max(10, 0.5*10) = 10s.
+        assert policy.trust(young, 109.0)
+        assert not policy.trust(young, 111.0)
+        # Old doc: ttl = 0.5*100 = 50s.
+        assert policy.trust(old, 149.0)
+        assert not policy.trust(old, 151.0)
+
+    def test_adaptive_ttl_clamps(self):
+        policy = AdaptiveTTL(factor=10.0, min_ttl=5.0, max_ttl=20.0)
+        ancient = CopyMeta(version=1, fetched_at=1000.0, modified_at=0.0)
+        assert not policy.trust(ancient, 1021.0)  # clamped at max_ttl
+
+    def test_labels(self):
+        assert FixedTTL(30).label() == "ttl=30s"
+        assert AdaptiveTTL(0.2).label() == "adaptive-ttl(k=0.2)"
+        assert OracleConsistency().label() == "oracle"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedTTL(0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTTL(factor=0)
+        with pytest.raises(ConfigurationError):
+            AdaptiveTTL(min_ttl=100, max_ttl=10)
+
+
+class TestSimulation:
+    def test_oracle_has_no_staleness_and_no_traffic(self, churn_trace):
+        r = simulate_consistency(
+            churn_trace, CAPACITY, OracleConsistency()
+        )
+        assert r.stale_served == 0
+        assert r.validations == 0
+
+    def test_poll_every_time_has_no_staleness(self, churn_trace):
+        r = simulate_consistency(churn_trace, CAPACITY, PollEveryTime())
+        assert r.stale_served == 0
+        # Every served hit was validated.
+        assert r.validated_hits == r.hits_served
+        assert r.validations_per_request > 0.3
+
+    def test_never_validate_serves_stale(self, churn_trace):
+        r = simulate_consistency(churn_trace, CAPACITY, NeverValidate())
+        assert r.stale_served > 0
+        assert r.validations == 0
+
+    def test_ttl_interpolates(self, churn_trace):
+        never = simulate_consistency(
+            churn_trace, CAPACITY, NeverValidate()
+        )
+        poll = simulate_consistency(
+            churn_trace, CAPACITY, PollEveryTime()
+        )
+        ttl = simulate_consistency(
+            churn_trace, CAPACITY, FixedTTL(120.0)
+        )
+        assert (
+            poll.stale_serve_ratio
+            <= ttl.stale_serve_ratio
+            <= never.stale_serve_ratio
+        )
+        assert (
+            never.validations_per_request
+            <= ttl.validations_per_request
+            <= poll.validations_per_request
+        )
+
+    def test_shorter_ttl_less_staleness_more_traffic(self, churn_trace):
+        short = simulate_consistency(
+            churn_trace, CAPACITY, FixedTTL(30.0)
+        )
+        long_ = simulate_consistency(
+            churn_trace, CAPACITY, FixedTTL(600.0)
+        )
+        assert short.stale_serve_ratio <= long_.stale_serve_ratio
+        assert (
+            short.validations_per_request
+            >= long_.validations_per_request
+        )
+
+    def test_accounting_conservation(self, churn_trace):
+        r = simulate_consistency(
+            churn_trace, CAPACITY, FixedTTL(120.0)
+        )
+        # Every request is served from cache or fetched from origin.
+        assert r.hits_served + r.origin_fetches == r.requests
+        assert r.validated_hits <= r.validations
+
+    def test_no_churn_means_no_staleness(self):
+        trace = Trace(
+            requests=[
+                Request(float(i), 0, f"u{i % 5}", 100, version=0)
+                for i in range(50)
+            ]
+        )
+        r = simulate_consistency(trace, 10_000, NeverValidate())
+        assert r.stale_served == 0
+        assert r.hits_served == 45

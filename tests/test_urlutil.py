@@ -1,0 +1,37 @@
+"""Tests for URL helpers."""
+
+from __future__ import annotations
+
+from repro.urlutil import make_url, server_of
+
+
+class TestServerOf:
+    def test_scheme_and_path_stripped(self):
+        assert server_of("http://www.a.com/x/y?z=1") == "www.a.com"
+
+    def test_case_folded(self):
+        assert server_of("http://WWW.A.COM/x") == "www.a.com"
+
+    def test_port_kept(self):
+        assert server_of("http://a.com:8080/x") == "a.com:8080"
+
+    def test_bare_host_path(self):
+        assert server_of("a.com/x") == "a.com"
+
+    def test_no_path(self):
+        assert server_of("http://a.com") == "a.com"
+
+    def test_https(self):
+        assert server_of("https://secure.com/x") == "secure.com"
+
+
+class TestMakeUrl:
+    def test_shape(self):
+        url = make_url(3, 42)
+        assert url == "http://server3.example.com/doc/42"
+        assert server_of(url) == "server3.example.com"
+
+    def test_custom_domain(self):
+        assert make_url(1, 2, domain="test.org").startswith(
+            "http://server1.test.org/"
+        )

@@ -1,0 +1,103 @@
+"""Tests for trace slicing and transformation utilities."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.filters import (
+    densify_clients,
+    filter_clients,
+    merge_traces,
+    sample_requests,
+    time_window,
+)
+from repro.traces.model import Request, Trace
+
+
+@pytest.fixture
+def sparse_trace() -> Trace:
+    return Trace(
+        name="sparse",
+        requests=[
+            Request(10.0, 7001, "a", 100),
+            Request(11.0, 99, "b", 100),
+            Request(12.0, 7001, "c", 100),
+            Request(20.0, 5, "d", 100),
+        ],
+    )
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self, sparse_trace):
+        window = time_window(sparse_trace, start=11.0, end=20.0, rebase=False)
+        assert [r.url for r in window] == ["b", "c"]
+
+    def test_rebase_shifts_to_zero(self, sparse_trace):
+        window = time_window(sparse_trace, start=11.0)
+        assert window[0].timestamp == 0.0
+        assert window[-1].timestamp == pytest.approx(9.0)
+
+    def test_open_end(self, sparse_trace):
+        assert len(time_window(sparse_trace, start=12.0)) == 2
+
+    def test_no_mutation(self, sparse_trace):
+        time_window(sparse_trace, start=11.0)
+        assert sparse_trace[0].timestamp == 10.0
+
+    def test_bad_interval(self, sparse_trace):
+        with pytest.raises(ConfigurationError):
+            time_window(sparse_trace, start=5.0, end=1.0)
+
+    def test_empty_window(self, sparse_trace):
+        assert len(time_window(sparse_trace, start=100.0)) == 0
+
+
+class TestFilterClients:
+    def test_predicate(self, sparse_trace):
+        kept = filter_clients(sparse_trace, lambda c: c > 1000)
+        assert [r.client_id for r in kept] == [7001, 7001]
+
+
+class TestDensify:
+    def test_first_appearance_order(self, sparse_trace):
+        dense = densify_clients(sparse_trace)
+        assert [r.client_id for r in dense] == [0, 1, 0, 2]
+
+    def test_preserves_everything_else(self, sparse_trace):
+        dense = densify_clients(sparse_trace)
+        assert [r.url for r in dense] == [r.url for r in sparse_trace]
+        assert [r.timestamp for r in dense] == [
+            r.timestamp for r in sparse_trace
+        ]
+
+
+class TestMerge:
+    def test_interleaves_by_time(self):
+        a = Trace(requests=[Request(1.0, 0, "a1", 1), Request(3.0, 0, "a2", 1)])
+        b = Trace(requests=[Request(2.0, 0, "b1", 1)])
+        merged = merge_traces([a, b])
+        assert [r.url for r in merged] == ["a1", "b1", "a2"]
+
+    def test_client_ids_do_not_collide(self):
+        a = Trace(requests=[Request(1.0, 0, "a", 1)])
+        b = Trace(requests=[Request(2.0, 0, "b", 1)])
+        merged = merge_traces([a, b])
+        assert len({r.client_id for r in merged}) == 2
+
+    def test_needs_one_trace(self):
+        with pytest.raises(ConfigurationError):
+            merge_traces([])
+
+
+class TestSample:
+    def test_systematic(self, sparse_trace):
+        sampled = sample_requests(sparse_trace, 2)
+        assert [r.url for r in sampled] == ["a", "c"]
+
+    def test_keep_every_one_is_identity(self, sparse_trace):
+        assert len(sample_requests(sparse_trace, 1)) == len(sparse_trace)
+
+    def test_validation(self, sparse_trace):
+        with pytest.raises(ConfigurationError):
+            sample_requests(sparse_trace, 0)

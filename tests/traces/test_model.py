@@ -1,0 +1,50 @@
+"""Tests for request/trace containers."""
+
+from __future__ import annotations
+
+from repro.traces.model import Request, Trace
+
+
+class TestRequest:
+    def test_server_property(self):
+        req = Request(0.0, 1, "http://www.Example.com:8080/a/b", 10)
+        assert req.server == "www.example.com:8080"
+
+    def test_frozen_dataclass(self):
+        req = Request(0.0, 1, "http://a.com/x", 10)
+        try:
+            req.size = 20  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Request should be immutable")
+
+
+class TestTrace:
+    def test_len_iter_getitem(self, tiny_trace):
+        assert len(tiny_trace) == 6
+        assert list(tiny_trace)[0].url == "http://a.com/1"
+        assert tiny_trace[2].url == "http://b.com/2"
+
+    def test_duration(self, tiny_trace):
+        assert tiny_trace.duration == 5.0
+
+    def test_duration_of_short_traces(self):
+        assert Trace().duration == 0.0
+        assert (
+            Trace(requests=[Request(9.0, 0, "u", 1)]).duration == 0.0
+        )
+
+    def test_clients(self, tiny_trace):
+        assert tiny_trace.clients() == [0, 1]
+
+    def test_head(self, tiny_trace):
+        head = tiny_trace.head(2)
+        assert len(head) == 2
+        assert head.name == "tiny[:2]"
+
+    def test_from_requests(self):
+        reqs = (Request(float(i), 0, f"u{i}", 1) for i in range(3))
+        trace = Trace.from_requests(reqs, name="gen")
+        assert len(trace) == 3
+        assert trace.name == "gen"

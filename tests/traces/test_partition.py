@@ -1,0 +1,51 @@
+"""Tests for clientid-mod-N proxy group assignment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.partition import group_of, partition_by_client, split_by_group
+
+
+class TestGroupOf:
+    def test_modulo_rule(self):
+        assert group_of(17, 8) == 1
+        assert group_of(16, 16) == 0
+
+    def test_rejects_bad_group_count(self):
+        with pytest.raises(ConfigurationError):
+            group_of(1, 0)
+
+
+class TestPartition:
+    def test_partition_counts_and_order(self, tiny_trace):
+        parts = partition_by_client(tiny_trace, 2)
+        assert len(parts) == 2
+        assert sum(len(p) for p in parts) == len(tiny_trace)
+        # Client 0's requests all land in group 0, in trace order.
+        assert [r.timestamp for r in parts[0]] == [0.0, 2.0, 4.0]
+        assert all(r.client_id % 2 == 0 for r in parts[0])
+
+    def test_partition_names(self, tiny_trace):
+        parts = partition_by_client(tiny_trace, 2)
+        assert parts[0].name == "tiny/g0"
+
+    def test_empty_groups_allowed(self, tiny_trace):
+        parts = partition_by_client(tiny_trace, 5)
+        assert len(parts) == 5
+        assert sum(len(p) for p in parts) == len(tiny_trace)
+
+
+class TestSplitByGroup:
+    def test_annotation_preserves_global_order(self, tiny_trace):
+        annotated = split_by_group(tiny_trace, 2)
+        assert [g for g, _r in annotated] == [0, 1, 0, 1, 0, 1]
+        assert [r.timestamp for _g, r in annotated] == [
+            0.0,
+            1.0,
+            2.0,
+            3.0,
+            4.0,
+            5.0,
+        ]

@@ -1,0 +1,128 @@
+"""Tests for trace persistence formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.traces.model import Request, Trace
+from repro.traces.readers import (
+    read_csv,
+    read_jsonl,
+    read_squid_log,
+    write_csv,
+    write_jsonl,
+    write_squid_log,
+)
+
+
+@pytest.fixture
+def versioned_trace() -> Trace:
+    return Trace(
+        name="versioned",
+        requests=[
+            Request(0.25, 3, "http://a.com/x", 1234, version=0),
+            Request(1.75, 70000, "http://b.org/y?q=1", 99, version=2),
+        ],
+    )
+
+
+class TestJsonl:
+    def test_roundtrip(self, versioned_trace, tmp_path):
+        path = tmp_path / "t.jsonl"
+        write_jsonl(versioned_trace, path)
+        loaded = read_jsonl(path, name="versioned")
+        assert loaded.requests == versioned_trace.requests
+        assert loaded.name == "versioned"
+
+    def test_name_defaults_to_stem(self, versioned_trace, tmp_path):
+        path = tmp_path / "mytrace.jsonl"
+        write_jsonl(versioned_trace, path)
+        assert read_jsonl(path).name == "mytrace"
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"timestamp": 1, "client_id": 2, "url": "u", "size": 3}\n\n'
+        )
+        assert len(read_jsonl(path)) == 1
+
+    def test_malformed_line_raises_with_location(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"timestamp": "not-a-dict"}\n')
+        with pytest.raises(TraceFormatError, match="bad.jsonl:1"):
+            read_jsonl(path)
+
+
+class TestCsv:
+    def test_roundtrip(self, versioned_trace, tmp_path):
+        path = tmp_path / "t.csv"
+        write_csv(versioned_trace, path)
+        loaded = read_csv(path)
+        assert loaded.requests == versioned_trace.requests
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("timestamp,url\n1.0,u\n")
+        with pytest.raises(TraceFormatError, match="header"):
+            read_csv(path)
+
+    def test_bad_field_raises(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text(
+            "timestamp,client_id,url,size,version\n1.0,x,u,10,0\n"
+        )
+        with pytest.raises(TraceFormatError, match="bad.csv:2"):
+            read_csv(path)
+
+
+class TestSquidLog:
+    def test_roundtrip_preserves_core_fields(self, versioned_trace, tmp_path):
+        path = tmp_path / "access.log"
+        write_squid_log(versioned_trace, path)
+        loaded = read_squid_log(path)
+        assert [r.url for r in loaded] == [
+            r.url for r in versioned_trace
+        ]
+        assert [r.size for r in loaded] == [
+            r.size for r in versioned_trace
+        ]
+        # Client ids written as 10.x.y.z invert exactly.
+        assert [r.client_id for r in loaded] == [3, 70000]
+        # Versions are not representable in squid logs.
+        assert all(r.version == 0 for r in loaded)
+
+    def test_non_get_lines_skipped(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(
+            "1.0 5 10.0.0.1 TCP_MISS/200 100 POST http://a.com/x - DIRECT/o text/html\n"
+            "2.0 5 10.0.0.1 TCP_MISS/200 100 GET http://a.com/y - DIRECT/o text/html\n"
+        )
+        loaded = read_squid_log(path)
+        assert len(loaded) == 1
+        assert loaded[0].url == "http://a.com/y"
+
+    def test_named_hosts_hash_to_stable_ids(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(
+            "1.0 5 host-a TCP_MISS/200 10 GET http://x.com/1 - DIRECT/o -\n"
+            "2.0 5 host-b TCP_MISS/200 10 GET http://x.com/2 - DIRECT/o -\n"
+            "3.0 5 host-a TCP_MISS/200 10 GET http://x.com/3 - DIRECT/o -\n"
+        )
+        loaded = read_squid_log(path)
+        assert loaded[0].client_id == loaded[2].client_id
+        assert loaded[0].client_id != loaded[1].client_id
+
+    def test_short_line_raises(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text("garbage line\n")
+        with pytest.raises(TraceFormatError, match="access.log:1"):
+            read_squid_log(path)
+
+    def test_bad_number_raises(self, tmp_path):
+        path = tmp_path / "access.log"
+        path.write_text(
+            "xxx 5 10.0.0.1 TCP_MISS/200 10 GET http://x.com/1 - DIRECT/o -\n"
+        )
+        with pytest.raises(TraceFormatError):
+            read_squid_log(path)

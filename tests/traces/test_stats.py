@@ -1,0 +1,80 @@
+"""Tests for trace statistics (Table I quantities)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.traces.model import Request, Trace
+from repro.traces.stats import compute_stats, mean_cacheable_size
+
+
+class TestComputeStats:
+    def test_hand_checked_trace(self, tiny_trace):
+        stats = compute_stats(tiny_trace)
+        # 6 requests, re-references of /1 (x2) and /2 (x1) hit: 3 hits.
+        assert stats.num_requests == 6
+        assert stats.num_clients == 2
+        assert stats.max_hit_ratio == pytest.approx(3 / 6)
+        # Unique documents: 100 + 200 + 300 bytes.
+        assert stats.infinite_cache_bytes == 600
+        # Hit bytes: 100 + 200 + 100 = 400 of 1000 total.
+        assert stats.max_byte_hit_ratio == pytest.approx(0.4)
+        assert stats.duration_seconds == 5.0
+
+    def test_version_change_breaks_max_hit(self):
+        trace = Trace(
+            requests=[
+                Request(0.0, 0, "u", 100, version=0),
+                Request(1.0, 0, "u", 100, version=1),  # modified: miss
+                Request(2.0, 0, "u", 100, version=1),  # hit again
+            ]
+        )
+        stats = compute_stats(trace)
+        assert stats.max_hit_ratio == pytest.approx(1 / 3)
+
+    def test_empty_trace(self):
+        stats = compute_stats(Trace())
+        assert stats.num_requests == 0
+        assert stats.max_hit_ratio == 0.0
+        assert stats.max_byte_hit_ratio == 0.0
+
+    def test_row_renders(self, tiny_trace):
+        row = compute_stats(tiny_trace).row()
+        assert row[0] == "tiny"
+        assert len(row) == 7
+
+
+class TestMeanCacheableSize:
+    def test_excludes_oversized_documents(self):
+        trace = Trace(
+            requests=[
+                Request(0.0, 0, "small", 1000),
+                Request(1.0, 0, "big", 500 * 1024),
+                Request(2.0, 0, "small2", 3000),
+            ]
+        )
+        assert mean_cacheable_size(trace) == 2000
+
+    def test_counts_distinct_documents_once(self):
+        trace = Trace(
+            requests=[
+                Request(0.0, 0, "u", 1000),
+                Request(1.0, 0, "u", 1000),
+                Request(2.0, 0, "v", 3000),
+            ]
+        )
+        assert mean_cacheable_size(trace) == 2000
+
+    def test_empty_or_all_oversized(self):
+        assert mean_cacheable_size(Trace()) == 1
+        trace = Trace(requests=[Request(0.0, 0, "u", 10**9)])
+        assert mean_cacheable_size(trace) == 1
+
+    def test_custom_limit(self):
+        trace = Trace(
+            requests=[
+                Request(0.0, 0, "a", 100),
+                Request(1.0, 0, "b", 900),
+            ]
+        )
+        assert mean_cacheable_size(trace, max_object_size=500) == 100

@@ -1,0 +1,55 @@
+"""Tests for the five Table-I-style workload presets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
+
+
+class TestPresets:
+    def test_all_five_paper_traces_present(self):
+        assert set(WORKLOAD_PRESETS) == {
+            "dec",
+            "ucb",
+            "upisa",
+            "questnet",
+            "nlanr",
+        }
+
+    def test_group_counts_match_paper(self):
+        # "We set the number of groups in DEC, UCB and UPisa traces to
+        # 16, 8, and 8"; Questnet has 12 child proxies; NLANR has 4.
+        assert WORKLOAD_PRESETS["dec"].num_groups == 16
+        assert WORKLOAD_PRESETS["ucb"].num_groups == 8
+        assert WORKLOAD_PRESETS["upisa"].num_groups == 8
+        assert WORKLOAD_PRESETS["questnet"].num_groups == 12
+        assert WORKLOAD_PRESETS["nlanr"].num_groups == 4
+
+    @pytest.mark.parametrize("name", sorted(WORKLOAD_PRESETS))
+    def test_each_preset_generates(self, name):
+        trace, groups = make_workload(name, scale=0.05)
+        assert len(trace) > 0
+        assert groups == WORKLOAD_PRESETS[name].num_groups
+        # Every group receives at least one request (no idle proxies).
+        seen = {r.client_id % groups for r in trace}
+        assert seen == set(range(groups))
+
+    def test_scale_grows_requests(self):
+        small, _ = make_workload("upisa", scale=0.1)
+        large, _ = make_workload("upisa", scale=0.2)
+        assert len(large) == 2 * len(small)
+
+    def test_scale_never_drops_clients_below_groups(self):
+        trace, groups = make_workload("dec", scale=0.01)
+        assert len({r.client_id for r in trace}) >= 1
+        assert groups == 16
+
+    def test_unknown_workload(self):
+        with pytest.raises(ConfigurationError):
+            make_workload("aol")
+
+    def test_case_insensitive(self):
+        trace, _ = make_workload("UPisa", scale=0.05)
+        assert len(trace) > 0
