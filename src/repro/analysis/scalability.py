@@ -18,7 +18,6 @@ principles so the numbers can be regenerated for any configuration.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from repro.core.bfmath import false_positive_probability

@@ -51,8 +51,19 @@ class CacheStats:
         elif stale:
             self.stale_hits += 1
 
+    def record_policy_eviction(self, policy: str, count: int = 1) -> None:
+        """Attribute *count* evictions to the named replacement policy."""
+        self._by_policy[policy] = self._by_policy.get(policy, 0) + count
+
+    def by_policy(self) -> dict:
+        """Eviction counts keyed by replacement-policy name (a copy)."""
+        return dict(self._by_policy)
+
     def merge(self, other: "CacheStats") -> "CacheStats":
         """Return the element-wise sum of two stats objects."""
+        by_policy = dict(self._by_policy)
+        for policy, count in other._by_policy.items():
+            by_policy[policy] = by_policy.get(policy, 0) + count
         return CacheStats(
             requests=self.requests + other.requests,
             hits=self.hits + other.hits,
@@ -62,4 +73,5 @@ class CacheStats:
             evictions=self.evictions + other.evictions,
             rejected_too_large=self.rejected_too_large
             + other.rejected_too_large,
+            _by_policy=by_policy,
         )

@@ -67,6 +67,12 @@ class WebCache:
         self._policy = (
             make_policy(policy) if isinstance(policy, str) else policy
         )
+        # Policy name for per-policy eviction attribution in CacheStats.
+        self._policy_name = (
+            policy.lower()
+            if isinstance(policy, str)
+            else type(self._policy).__name__.removesuffix("Policy").lower()
+        )
         self._entries: Dict[str, CacheEntry] = {}
         self._used = 0
         self._on_insert = on_insert
@@ -215,6 +221,7 @@ class WebCache:
                 victim = fallback
             self.remove(victim)
             self.stats.evictions += 1
+            self.stats.record_policy_eviction(self._policy_name)
             evicted.append(victim)
         return evicted
 

@@ -23,6 +23,8 @@ from typing import List, Optional
 
 from repro import experiments
 from repro.analysis.tables import format_table
+from repro.obs.export import render_json, render_prometheus
+from repro.obs.logconfig import configure_logging
 from repro.traces.readers import write_jsonl
 from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
 
@@ -50,6 +52,13 @@ def build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'Summary Cache: A Scalable Wide-Area Web "
             "Cache Sharing Protocol' (Fan, Cao, Almeida, Broder)."
         ),
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="structured logging: -v for INFO, -vv for DEBUG",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -97,6 +106,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_workload_args(p)
 
+    p = sub.add_parser(
+        "metrics",
+        help="replay one workload with instrumentation on and dump the registry",
+    )
+    _add_workload_args(p)
+    p.add_argument("--threshold", type=float, default=0.01)
+    p.add_argument(
+        "--format",
+        choices=("prom", "json"),
+        default="prom",
+        help="exposition format (default: prom)",
+    )
+
     p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
     _add_workload_args(p)
     p.add_argument("--out", required=True, help="output JSONL path")
@@ -107,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose)
 
     if args.command == "table1":
         headers, rows = experiments.table1(scale=args.scale)
@@ -213,6 +236,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 title=f"Related-work comparison ({args.workload})",
             )
         )
+    elif args.command == "metrics":
+        registry = experiments.metrics_snapshot(
+            args.workload, scale=args.scale, threshold=args.threshold
+        )
+        if args.format == "json":
+            print(render_json(registry, workload=args.workload))
+        else:
+            print(render_prometheus(registry), end="")
     elif args.command == "gen-trace":
         trace, groups = make_workload(args.workload, scale=args.scale)
         write_jsonl(trace, args.out)

@@ -10,11 +10,52 @@ CountingBloomFilter`.
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Iterable, List, Optional, Tuple
 
 from repro.core.bitarray import BitArray
 from repro.core.hashing import Key, MD5HashFamily
 from repro.errors import ConfigurationError
+from repro.obs.registry import get_registry
+
+#: Histogram bounds for single filter operations (sub-us .. 1 ms).
+_OP_BUCKETS = (1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3)
+
+
+class _BloomInstruments:
+    """Registry handles shared by every filter built while enabled."""
+
+    __slots__ = ("probes", "probe_positives", "inserts", "op_seconds")
+
+    def __init__(self, registry) -> None:
+        self.probes = registry.counter(
+            "bloom_probes_total", "membership probes against plain filters"
+        )
+        self.probe_positives = registry.counter(
+            "bloom_probe_positives_total",
+            "probes answering 'may be present'",
+        )
+        self.inserts = registry.counter(
+            "bloom_inserts_total", "keys inserted into plain filters"
+        )
+        self.op_seconds = registry.histogram(
+            "bloom_op_seconds",
+            "wall time of one probe or insert",
+            buckets=_OP_BUCKETS,
+        )
+
+
+def _bind_instruments() -> Optional[_BloomInstruments]:
+    """Instruments from the default registry; ``None`` when disabled.
+
+    Binding happens at filter construction, so the steady-state cost of
+    disabled metrics is a single ``is None`` test per operation -- the
+    tier-1 microbenchmark budget (<2%) allows nothing more.
+    """
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    return _BloomInstruments(registry)
 
 
 class BloomFilter:
@@ -34,7 +75,7 @@ class BloomFilter:
     :mod:`repro.core.bfmath`.
     """
 
-    __slots__ = ("bits", "hash_family")
+    __slots__ = ("bits", "hash_family", "_obs")
 
     def __init__(
         self,
@@ -45,6 +86,7 @@ class BloomFilter:
             raise ConfigurationError(f"num_bits must be >= 1, got {num_bits}")
         self.bits = BitArray(num_bits)
         self.hash_family = hash_family or MD5HashFamily()
+        self._obs = _bind_instruments()
 
     @classmethod
     def for_capacity(
@@ -79,15 +121,34 @@ class BloomFilter:
 
     def add(self, key: Key) -> List[int]:
         """Insert *key*; return the indices of bits that flipped 0 -> 1."""
+        obs = self._obs
+        if obs is None:
+            flipped = []
+            for pos in self.positions(key):
+                if self.bits.set(pos):
+                    flipped.append(pos)
+            return flipped
+        start = perf_counter()
         flipped = []
         for pos in self.positions(key):
             if self.bits.set(pos):
                 flipped.append(pos)
+        obs.op_seconds.observe(perf_counter() - start)
+        obs.inserts.inc()
         return flipped
 
     def may_contain(self, key: Key) -> bool:
         """Return ``False`` if *key* is definitely absent, ``True`` if it may be present."""
-        return all(self.bits.get(pos) for pos in self.positions(key))
+        obs = self._obs
+        if obs is None:
+            return all(self.bits.get(pos) for pos in self.positions(key))
+        start = perf_counter()
+        result = all(self.bits.get(pos) for pos in self.positions(key))
+        obs.op_seconds.observe(perf_counter() - start)
+        obs.probes.inc()
+        if result:
+            obs.probe_positives.inc()
+        return result
 
     def __contains__(self, key: Key) -> bool:
         return self.may_contain(key)

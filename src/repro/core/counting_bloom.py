@@ -15,12 +15,43 @@ array (or bit-flip records).
 from __future__ import annotations
 
 import struct
+from time import perf_counter
 from typing import List, Optional, Tuple
 
 from repro.core.bitarray import CounterArray
-from repro.core.bloom import BloomFilter
+from repro.core.bloom import BloomFilter, _OP_BUCKETS
 from repro.core.hashing import Key, MD5HashFamily
 from repro.errors import ConfigurationError, ProtocolError
+from repro.obs.registry import get_registry
+
+
+class _CountingInstruments:
+    """Registry handles shared by every counting filter while enabled."""
+
+    __slots__ = ("inserts", "deletes", "op_seconds")
+
+    def __init__(self, registry) -> None:
+        self.inserts = registry.counter(
+            "counting_bloom_inserts_total",
+            "keys inserted into counting filters",
+        )
+        self.deletes = registry.counter(
+            "counting_bloom_deletes_total",
+            "keys deleted from counting filters",
+        )
+        self.op_seconds = registry.histogram(
+            "counting_bloom_op_seconds",
+            "wall time of one insert or delete",
+            buckets=_OP_BUCKETS,
+        )
+
+
+def _bind_instruments() -> Optional[_CountingInstruments]:
+    """Instruments from the default registry; ``None`` when disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    return _CountingInstruments(registry)
 
 #: Magic prefix of the serialized filter format.
 _MAGIC = b"SCBF"
@@ -49,7 +80,9 @@ class CountingBloomFilter:
         counter-width ablation benchmark sweeps the others.
     """
 
-    __slots__ = ("filter", "counters", "_pending_flips", "_keys_added")
+    __slots__ = (
+        "filter", "counters", "_pending_flips", "_keys_added", "_obs"
+    )
 
     def __init__(
         self,
@@ -59,6 +92,7 @@ class CountingBloomFilter:
     ) -> None:
         self.filter = BloomFilter(num_bits, hash_family=hash_family)
         self.counters = CounterArray(num_bits, width=counter_width)
+        self._obs = _bind_instruments()
         #: Bit flips since the last :meth:`drain_flips`, in occurrence
         #: order.  Later flips of the same bit supersede earlier ones;
         #: :meth:`drain_flips` coalesces them.
@@ -105,11 +139,16 @@ class CountingBloomFilter:
 
     def add(self, key: Key) -> None:
         """Insert *key*, recording any 0 -> 1 bit flips for the next delta."""
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
         for pos in self.filter.positions(key):
             if self.counters.increment(pos) == 1:
                 self.filter.bits.set(pos, True)
                 self._pending_flips.append((pos, True))
         self._keys_added += 1
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.inserts.inc()
 
     def remove(self, key: Key) -> None:
         """Delete *key*, recording any 1 -> 0 bit flips for the next delta.
@@ -117,6 +156,8 @@ class CountingBloomFilter:
         Removing a key that was never added raises :class:`ValueError`
         (counter underflow) rather than silently corrupting the filter.
         """
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
         positions = self.filter.positions(key)
         # Validate all counters before mutating any, so a bad remove
         # leaves the filter untouched.
@@ -130,6 +171,9 @@ class CountingBloomFilter:
                 self.filter.bits.set(pos, False)
                 self._pending_flips.append((pos, False))
         self._keys_added -= 1
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.deletes.inc()
 
     def may_contain(self, key: Key) -> bool:
         """Membership probe against the local bit array."""

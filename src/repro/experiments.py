@@ -583,3 +583,39 @@ def alternatives(
         ),
     ]
     return headers, rows
+
+
+def metrics_snapshot(
+    workload: str = "upisa",
+    scale: float = 1.0,
+    threshold: float = 0.01,
+    cache_fraction: float = DEFAULT_CACHE_FRACTION,
+):
+    """Run the bloom + ICP sharing simulators under a fresh registry.
+
+    Backs ``summary-cache metrics``: installs a live
+    :class:`~repro.obs.registry.MetricsRegistry` as the process default,
+    replays one workload through ``simulate_summary_sharing`` (bloom,
+    load factor 8) and ``simulate_icp``, and returns the populated
+    registry.  The previous default registry is always restored, so
+    calling this never leaves instrumentation enabled behind the
+    caller's back.
+    """
+    from repro.obs.registry import MetricsRegistry, set_registry
+
+    registry = MetricsRegistry()
+    previous = set_registry(registry)
+    try:
+        trace, groups, capacity, doc_size, _stats = _workload_setup(
+            workload, scale, cache_fraction
+        )
+        cfg = SummarySharingConfig(
+            summary=SummaryConfig(kind="bloom", load_factor=8),
+            update_policy=ThresholdUpdatePolicy(threshold),
+            expected_doc_size=doc_size,
+        )
+        simulate_summary_sharing(trace, groups, capacity, cfg)
+        simulate_icp(trace, groups, capacity)
+    finally:
+        set_registry(previous)
+    return registry

@@ -1,0 +1,61 @@
+"""End-to-end observability: metrics registry, trace ring, exporters.
+
+The measurement layer the rest of the reproduction reports through:
+
+- :mod:`repro.obs.registry` -- counters, gauges, fixed-bucket
+  histograms, ``timed``/``time_block`` phase timing, and the
+  zero-cost-when-disabled default-registry switch;
+- :mod:`repro.obs.trace` -- a bounded ring buffer of per-request
+  message-lifecycle events (ICP query rounds, DIRUPDATE drains/applies);
+- :mod:`repro.obs.export` -- Prometheus text / JSON rendering (what the
+  proxy's ``GET /metrics`` endpoint and ``summary-cache metrics``
+  serve);
+- :mod:`repro.obs.logconfig` -- the shared structured-logging setup
+  behind the CLI's ``--verbose`` flag.
+
+See ``docs/observability.md`` for the metric and trace-event schemas.
+"""
+
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.logconfig import configure_logging, get_logger
+from repro.obs.registry import (
+    DEFAULT_TIME_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+)
+from repro.obs.trace import TraceEvent, TraceRing
+
+__all__ = [
+    "Counter",
+    "DEFAULT_TIME_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
+    "TraceEvent",
+    "TraceRing",
+    "configure_logging",
+    "disable",
+    "enable",
+    "get_logger",
+    "get_registry",
+    "parse_prometheus",
+    "render_json",
+    "render_prometheus",
+    "set_registry",
+]

@@ -1,0 +1,114 @@
+"""Render a :class:`~repro.obs.registry.MetricsRegistry` for consumers.
+
+Two formats:
+
+- :func:`render_prometheus` -- the Prometheus text exposition format
+  (version 0.0.4), what ``GET /metrics`` serves: ``# HELP`` / ``# TYPE``
+  preambles, one sample line per label set, histograms expanded into
+  cumulative ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.
+- :func:`render_json` -- a JSON document carrying the same snapshot
+  (``GET /metrics?format=json`` and the ``summary-cache metrics``
+  subcommand).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
+
+#: Content type of the text exposition format.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
+    merged = {**labels, **extra}
+    if not merged:
+        return ""
+    inner = ",".join(
+        f'{name}="{_escape_label_value(str(value))}"'
+        for name, value in sorted(merged.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry as Prometheus text exposition format."""
+    lines: List[str] = []
+    seen_preamble = set()
+    for metric in registry.collect():
+        if metric.name not in seen_preamble:
+            seen_preamble.add(metric.name)
+            if metric.help:
+                lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, Histogram):
+            for bound, count in metric.cumulative():
+                labels = _format_labels(
+                    metric.labels, {"le": _format_value(bound)}
+                )
+                lines.append(f"{metric.name}_bucket{labels} {count}")
+            base = _format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}_sum{base} {_format_value(metric.sum)}"
+            )
+            lines.append(f"{metric.name}_count{base} {metric.count}")
+        elif isinstance(metric, Gauge):
+            labels = _format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}{labels} {_format_value(metric.current())}"
+            )
+        elif isinstance(metric, Counter):
+            labels = _format_labels(metric.labels)
+            lines.append(
+                f"{metric.name}{labels} {_format_value(metric.value)}"
+            )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: MetricsRegistry, **extra) -> str:
+    """The registry snapshot as a JSON document.
+
+    Keyword arguments are merged into the top-level object (the proxy
+    adds its name/mode; the CLI adds the experiment parameters).
+    """
+    return json.dumps(
+        {"metrics": registry.snapshot(), **extra},
+        sort_keys=True,
+        default=str,
+    )
+
+
+def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
+    """Parse exposition text back into ``{name: {labelstr: value}}``.
+
+    A deliberately small inverse of :func:`render_prometheus`, used by
+    the tests (and handy for scraping a live proxy from scripts); it
+    understands exactly the subset this module emits.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value_part = line.rpartition(" ")
+        name, _, labels = name_part.partition("{")
+        labels = labels.rstrip("}") if labels else ""
+        value = float(value_part)
+        out.setdefault(name, {})[labels] = value
+    return out

@@ -1,0 +1,500 @@
+"""A dependency-free metrics registry: counters, gauges, histograms.
+
+The registry is the single measurement surface for the whole
+reproduction: the trace-driven simulators, the discrete-event kernel,
+the asyncio proxy prototype, and the core filter structures all report
+through it, so every Table/Figure number is a registry read instead of
+one-off bookkeeping.
+
+Design constraints (in priority order):
+
+1. **Zero cost when disabled.**  The module-level default registry is a
+   :data:`NULL_REGISTRY`; instrumented hot paths bind their instruments
+   at construction time and skip measurement entirely (a single ``is
+   None`` check) when the default registry was the null one.  The
+   tier-1 microbenchmarks must not move.
+2. **No dependencies.**  Plain dicts, lists and ``bisect``; rendering
+   to Prometheus text / JSON lives in :mod:`repro.obs.export`.
+3. **Single-threaded.**  Everything here runs on one asyncio loop or
+   one simulator thread; instruments use unlocked ``+=``.
+
+Usage::
+
+    from repro import obs
+
+    registry = obs.enable()              # install a live default registry
+    requests = registry.counter("http_requests_total", "client requests")
+    requests.inc()
+    with registry.time_block("startup_seconds"):
+        boot()
+    print(registry.snapshot())
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from contextlib import contextmanager
+from functools import wraps
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+LabelSpec = Optional[Dict[str, str]]
+LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Default histogram bounds for wall-clock phase timings, in seconds.
+#: Spans sub-microsecond filter probes up to multi-second experiment
+#: phases (origin delays in the replay experiments are ~1 s).
+DEFAULT_TIME_BUCKETS: Tuple[float, ...] = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4,
+    1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0,
+)
+
+
+def _label_key(labels: LabelSpec) -> LabelKey:
+    if not labels:
+        return ()
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "help", "labels", "value")
+
+    def __init__(self, name: str, help: str = "", labels: LabelSpec = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.value: float = 0
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* (must be >= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name} cannot decrease (inc {amount})"
+            )
+        self.value += amount
+
+    def reset(self) -> None:
+        """Zero the counter (registry reset; not part of normal use)."""
+        self.value = 0
+
+    def sample(self) -> dict:
+        """One snapshot record."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.value,
+        }
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}{self.labels or ''}={self.value})"
+
+
+class Gauge:
+    """A value that can go up and down, or be computed at scrape time.
+
+    :meth:`set_function` registers a callable evaluated on every
+    :meth:`current` read -- the idiom for scrape-time values such as
+    cache occupancy, so the instrumented object never has to push
+    updates on its hot path.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "help", "labels", "_value", "_fn")
+
+    def __init__(self, name: str, help: str = "", labels: LabelSpec = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self._value: float = 0
+        self._fn: Optional[Callable[[], float]] = None
+
+    def set(self, value: float) -> None:
+        """Set the gauge to *value*."""
+        self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Add *amount* to the gauge."""
+        self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Subtract *amount* from the gauge."""
+        self._value -= amount
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        """Compute the gauge via *fn* at read time (overrides ``set``)."""
+        self._fn = fn
+
+    def current(self) -> float:
+        """The gauge's value right now (evaluates the callback if set)."""
+        if self._fn is not None:
+            return self._fn()
+        return self._value
+
+    def reset(self) -> None:
+        """Zero the stored value (callback gauges are unaffected)."""
+        self._value = 0
+
+    def sample(self) -> dict:
+        """One snapshot record."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "value": self.current(),
+        }
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}{self.labels or ''}={self.current()})"
+
+
+class Histogram:
+    """A fixed-bucket histogram with sum and count.
+
+    *buckets* are ascending upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last bound.  An observation equal to a
+    bound lands in that bound's bucket (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "help", "labels", "bounds", "counts", "sum", "count")
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelSpec = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise ConfigurationError(f"histogram {name} needs >= 1 bucket")
+        if list(bounds) != sorted(set(bounds)):
+            raise ConfigurationError(
+                f"histogram {name} bounds must be strictly ascending: {bounds}"
+            )
+        self.name = name
+        self.help = help
+        self.labels: Dict[str, str] = dict(labels or {})
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.sum: float = 0.0
+        self.count: int = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation."""
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, ending at ``+Inf``."""
+        out = []
+        running = 0
+        for bound, n in zip(self.bounds, self.counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.counts[-1]))
+        return out
+
+    def reset(self) -> None:
+        """Clear all buckets, the sum, and the count."""
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def sample(self) -> dict:
+        """One snapshot record."""
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "labels": dict(self.labels),
+            "sum": self.sum,
+            "count": self.count,
+            # +Inf as the string "+Inf": bare Infinity is not valid JSON.
+            "buckets": [
+                {
+                    "le": "+Inf" if bound == float("inf") else bound,
+                    "count": n,
+                }
+                for bound, n in self.cumulative()
+            ],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Histogram({self.name}{self.labels or ''}, "
+            f"count={self.count}, sum={self.sum:.6f})"
+        )
+
+
+class _NullInstrument:
+    """Shared no-op instrument handed out by the null registry."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    help = ""
+    labels: Dict[str, str] = {}
+
+    def inc(self, amount: float = 1) -> None:  # noqa: ARG002 - no-op
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_function(self, fn: Callable[[], float]) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def current(self) -> float:
+        return 0.0
+
+    def reset(self) -> None:
+        pass
+
+    def sample(self) -> dict:
+        return {}
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Get-or-create home for every instrument.
+
+    Instruments are keyed by ``(name, sorted label items)``; asking for
+    an existing key returns the same object, so independent components
+    naturally aggregate into shared series (e.g. every
+    :class:`~repro.core.bloom.BloomFilter` increments one
+    ``bloom_probes_total``).
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+
+    # -- instrument constructors ---------------------------------------
+
+    def _get_or_create(self, cls, name, help, labels, **kwargs):
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = cls(name, help=help, labels=labels, **kwargs)
+            self._metrics[key] = metric
+        elif not isinstance(metric, cls):
+            raise ConfigurationError(
+                f"metric {name!r} already registered as {metric.kind}"
+            )
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: LabelSpec = None
+    ) -> Counter:
+        """Get or create the counter *name* with *labels*."""
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: LabelSpec = None
+    ) -> Gauge:
+        """Get or create the gauge *name* with *labels*."""
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelSpec = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        """Get or create the histogram *name* with *labels*."""
+        return self._get_or_create(
+            Histogram, name, help, labels, buckets=buckets
+        )
+
+    # -- timing helpers ------------------------------------------------
+
+    @contextmanager
+    def time_block(
+        self,
+        name: str,
+        labels: LabelSpec = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Iterator[None]:
+        """Context manager observing the block's wall time into *name*."""
+        hist = self.histogram(
+            name, help="phase wall time (seconds)", labels=labels,
+            buckets=buckets,
+        )
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            hist.observe(time.perf_counter() - start)
+
+    def timed(
+        self, name: str, labels: LabelSpec = None
+    ) -> Callable:
+        """Decorator timing every call of the wrapped function."""
+
+        def decorate(fn: Callable) -> Callable:
+            hist = self.histogram(
+                name, help=f"wall time of {fn.__name__} (seconds)",
+                labels=labels,
+            )
+
+            @wraps(fn)
+            def wrapper(*args, **kwargs):
+                start = time.perf_counter()
+                try:
+                    return fn(*args, **kwargs)
+                finally:
+                    hist.observe(time.perf_counter() - start)
+
+            return wrapper
+
+        return decorate
+
+    # -- inspection ----------------------------------------------------
+
+    def collect(self) -> List[object]:
+        """All instruments, ordered by (name, labels)."""
+        return [
+            self._metrics[key] for key in sorted(self._metrics)
+        ]
+
+    def snapshot(self) -> List[dict]:
+        """A JSON-ready list of every instrument's current state."""
+        return [metric.sample() for metric in self.collect()]
+
+    def reset(self) -> None:
+        """Zero every instrument, keeping registrations intact."""
+        for metric in self._metrics.values():
+            metric.reset()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return any(key[0] == name for key in self._metrics)
+
+    def get(self, name: str, labels: LabelSpec = None):
+        """Fetch an instrument if it exists, else ``None``."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def value(self, name: str, labels: LabelSpec = None, default: float = 0.0):
+        """Shortcut: a counter/gauge's current value, or *default*."""
+        metric = self.get(name, labels)
+        if metric is None:
+            return default
+        if isinstance(metric, Gauge):
+            return metric.current()
+        if isinstance(metric, Counter):
+            return metric.value
+        raise ConfigurationError(
+            f"metric {name!r} is a {metric.kind}; read it via get()"
+        )
+
+    def total(self, name: str, default: float = 0.0) -> float:
+        """Sum a counter/gauge series across all label sets."""
+        found = False
+        acc = 0.0
+        for (metric_name, _), metric in self._metrics.items():
+            if metric_name != name:
+                continue
+            found = True
+            if isinstance(metric, Gauge):
+                acc += metric.current()
+            elif isinstance(metric, Counter):
+                acc += metric.value
+            else:
+                raise ConfigurationError(
+                    f"metric {name!r} is a {metric.kind}; read it via get()"
+                )
+        return acc if found else default
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every instrument is a shared no-op.
+
+    Instrumented constructors check :attr:`enabled` and skip binding
+    instruments entirely, so steady-state hot paths pay one attribute
+    test and nothing else.
+    """
+
+    enabled = False
+
+    def counter(self, name, help="", labels=None):  # noqa: ARG002
+        return NULL_INSTRUMENT
+
+    def gauge(self, name, help="", labels=None):  # noqa: ARG002
+        return NULL_INSTRUMENT
+
+    def histogram(self, name, help="", labels=None, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002,E501
+        return NULL_INSTRUMENT
+
+    @contextmanager
+    def time_block(self, name, labels=None, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002,E501
+        yield
+
+    def timed(self, name, labels=None):  # noqa: ARG002
+        def decorate(fn):
+            return fn
+
+        return decorate
+
+
+#: The process-wide disabled registry (the default).
+NULL_REGISTRY = NullRegistry()
+
+_default_registry: MetricsRegistry = NULL_REGISTRY
+
+
+def get_registry() -> MetricsRegistry:
+    """The current default registry (the null registry unless enabled)."""
+    return _default_registry
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Install *registry* as the default; returns the previous one."""
+    global _default_registry
+    previous = _default_registry
+    _default_registry = registry
+    return previous
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Install (and return) a live default registry.
+
+    Structures bind instruments when constructed, so enable metrics
+    *before* building the proxies/simulators you want measured.
+    """
+    global _default_registry
+    if registry is None:
+        registry = (
+            _default_registry
+            if _default_registry.enabled
+            else MetricsRegistry()
+        )
+    _default_registry = registry
+    return registry
+
+
+def disable() -> None:
+    """Restore the zero-cost null registry as the default."""
+    global _default_registry
+    _default_registry = NULL_REGISTRY

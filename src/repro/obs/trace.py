@@ -1,0 +1,141 @@
+"""A lightweight event-trace ring buffer for message lifecycles.
+
+Where the registry answers "how many / how long", the trace ring
+answers "what happened to *this* request": every ICP/SC-ICP message
+lifecycle (query sent -> peer replies -> false-hit resolution;
+DIRUPDATE drain -> apply) is recorded as a sequence of
+:class:`TraceEvent` records sharing a per-request **trace id**.
+
+The ring holds the last *capacity* events; older events are dropped
+(and counted) rather than growing without bound -- a proxy serving
+millions of users cannot keep a per-request journal.  Event kinds used
+by the instrumented components (see ``docs/observability.md`` for the
+full schema):
+
+====================  ================================================
+kind                  meaning
+====================  ================================================
+``http.request``      client request accepted (fields: ``url``)
+``http.served``       response written (``source``, ``bytes``)
+``icp.query.sent``    query multicast to candidate peers (``peers``)
+``icp.reply``         one peer replied (``peer``, ``hit``)
+``icp.timeout``       query round timed out (``waited``)
+``icp.false_hit``     round ended with no peer holding the document
+``icp.remote_hit``    document fetched from a peer (``peer``)
+``icp.fetch_failed``  the HIT peer no longer had the document (``peer``)
+``dirupdate.drain``   pending bit flips drained into messages
+                      (``flips``, ``messages``, ``peers``)
+``dirupdate.apply``   a peer's delta applied locally (``peer``,
+                      ``changed``)
+``digest.apply``      a whole-filter digest finished reassembly
+                      (``peer``)
+====================  ================================================
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+
+class TraceEvent:
+    """One timestamped step in a message lifecycle."""
+
+    __slots__ = ("trace_id", "kind", "timestamp", "fields")
+
+    def __init__(
+        self,
+        trace_id: int,
+        kind: str,
+        timestamp: float,
+        fields: Dict[str, object],
+    ) -> None:
+        self.trace_id = trace_id
+        self.kind = kind
+        self.timestamp = timestamp
+        self.fields = fields
+
+    def as_dict(self) -> dict:
+        """JSON-ready form."""
+        return {
+            "trace_id": self.trace_id,
+            "kind": self.kind,
+            "timestamp": self.timestamp,
+            **self.fields,
+        }
+
+    def __repr__(self) -> str:
+        extras = ", ".join(f"{k}={v!r}" for k, v in self.fields.items())
+        return (
+            f"TraceEvent(#{self.trace_id} {self.kind}"
+            f"{' ' + extras if extras else ''})"
+        )
+
+
+class TraceRing:
+    """A bounded, append-only buffer of :class:`TraceEvent` records."""
+
+    def __init__(self, capacity: int = 2048) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        #: Events discarded because the ring was full.
+        self.dropped = 0
+        self._ids = itertools.count(1)
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained events."""
+        return self._capacity
+
+    def next_trace_id(self) -> int:
+        """A fresh id correlating the events of one request lifecycle."""
+        return next(self._ids)
+
+    def record(self, trace_id: int, kind: str, **fields) -> TraceEvent:
+        """Append one event; oldest events fall off a full ring."""
+        if len(self._events) == self._capacity:
+            self.dropped += 1
+        event = TraceEvent(trace_id, kind, time.time(), fields)
+        self._events.append(event)
+        return event
+
+    def events(
+        self,
+        trace_id: Optional[int] = None,
+        kind: Optional[str] = None,
+    ) -> List[TraceEvent]:
+        """Retained events, oldest first, optionally filtered."""
+        out = []
+        for event in self._events:
+            if trace_id is not None and event.trace_id != trace_id:
+                continue
+            if kind is not None and event.kind != kind:
+                continue
+            out.append(event)
+        return out
+
+    def trace(self, trace_id: int) -> List[TraceEvent]:
+        """Every retained event of one lifecycle, oldest first."""
+        return self.events(trace_id=trace_id)
+
+    def clear(self) -> None:
+        """Discard all events and reset the drop counter."""
+        self._events.clear()
+        self.dropped = 0
+
+    def as_dicts(self) -> List[dict]:
+        """JSON-ready list of all retained events."""
+        return [event.as_dict() for event in self._events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRing(events={len(self._events)}/{self._capacity}, "
+            f"dropped={self.dropped})"
+        )

@@ -10,13 +10,17 @@ cluster harness implements both assignments on top of this driver.
 from __future__ import annotations
 
 import asyncio
+import itertools
+import logging
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, ProxyError
 from repro.proxy.http import read_response, write_request
 from repro.traces.model import Request
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -49,33 +53,72 @@ class ReplayReport:
 
 
 class ClientDriver:
-    """Issues GET requests sequentially (no think time) to one proxy."""
+    """Issues GET requests sequentially (no think time) to one proxy.
 
-    def __init__(self, host: str, port: int) -> None:
+    Parameters
+    ----------
+    host, port:
+        HTTP address of the proxy this driver talks to.
+    timeout:
+        Optional per-request wall-clock budget in seconds.  A request
+        exceeding it raises :class:`~repro.errors.ProxyError` after a
+        warning carrying the proxy address and the request's trace id,
+        so slow rounds can be correlated with the proxy-side trace ring.
+    """
+
+    _trace_ids = itertools.count(1)
+
+    def __init__(
+        self, host: str, port: int, timeout: Optional[float] = None
+    ) -> None:
         self.host = host
         self.port = port
+        self.timeout = timeout
         self.report = ReplayReport()
+
+    @property
+    def peer(self) -> str:
+        """The proxy address this driver targets, for log correlation."""
+        return f"{self.host}:{self.port}"
 
     async def fetch(self, url: str, size: int = 0) -> bytes:
         """Fetch one URL through the proxy; returns the body."""
+        trace_id = next(self._trace_ids)
         start = time.perf_counter()
-        reader, writer = await asyncio.open_connection(self.host, self.port)
+        logger.debug(
+            "fetch start peer=%s url=%s trace_id=%d", self.peer, url, trace_id
+        )
         try:
-            headers = {"X-Size": str(size)} if size else {}
-            write_request(writer, url, headers)
-            await writer.drain()
-            response = await read_response(reader)
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
+            response = await asyncio.wait_for(
+                self._request(url, size), timeout=self.timeout
+            )
+        except asyncio.TimeoutError:
+            self.report.requests += 1
+            self.report.errors += 1
+            self.report.total_latency += time.perf_counter() - start
+            logger.warning(
+                "fetch timeout peer=%s url=%s trace_id=%d timeout=%.3fs",
+                self.peer,
+                url,
+                trace_id,
+                self.timeout,
+            )
+            raise ProxyError(
+                f"proxy {self.peer} timed out after {self.timeout}s "
+                f"for {url!r} (trace_id={trace_id})"
+            ) from None
         elapsed = time.perf_counter() - start
         self.report.requests += 1
         self.report.total_latency += elapsed
         if response.status != 200:
             self.report.errors += 1
+            logger.warning(
+                "fetch error peer=%s url=%s trace_id=%d status=%d",
+                self.peer,
+                url,
+                trace_id,
+                response.status,
+            )
             raise ProtocolError(
                 f"proxy returned {response.status} for {url!r}"
             )
@@ -85,6 +128,21 @@ class ClientDriver:
             self.report.cache_sources.get(source, 0) + 1
         )
         return response.body
+
+    async def _request(self, url: str, size: int):
+        """One connection / request / response round trip."""
+        reader, writer = await asyncio.open_connection(self.host, self.port)
+        try:
+            headers = {"X-Size": str(size)} if size else {}
+            write_request(writer, url, headers)
+            await writer.drain()
+            return await read_response(reader)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, asyncio.CancelledError):
+                pass
 
     async def replay(self, requests: Sequence[Request]) -> ReplayReport:
         """Replay *requests* back-to-back; returns the accumulated report."""

@@ -32,10 +32,19 @@ from __future__ import annotations
 
 import asyncio
 import json
+import logging
 from dataclasses import asdict, dataclass
+from time import perf_counter
 from typing import Dict, List, Optional, Tuple
 
 from repro.cache import WebCache
+from repro.obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+from repro.obs.trace import TraceRing
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily
@@ -63,6 +72,103 @@ from repro.proxy.http import (
     write_request,
     write_response,
 )
+
+logger = logging.getLogger(__name__)
+
+#: Histogram bounds for request-phase timings (0.1 ms .. 10 s; ICP
+#: timeouts sit around 2 s and origin delays around 1 s).
+_PHASE_BUCKETS = (
+    1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 2.0, 5.0, 10.0,
+)
+
+
+class _ProxyMetrics:
+    """Registry instruments mirroring (and extending) :class:`ProxyStats`.
+
+    Counter names follow Prometheus conventions (``*_total`` suffixes);
+    the counters matching :class:`ProxyStats` fields increment at the
+    exact same sites, so ``GET /metrics`` and ``GET /__stats__`` always
+    agree.  Scrape-time gauges (cache occupancy, summary fill) read the
+    live structures via callbacks and cost nothing between scrapes.
+    """
+
+    __slots__ = (
+        "http_requests", "local_hits", "remote_hits",
+        "remote_fetch_failures", "false_hits", "origin_fetches",
+        "bytes_served", "icp_queries_sent", "icp_queries_received",
+        "icp_replies_sent", "icp_replies_received", "icp_timeouts",
+        "dirupdates_sent", "dirupdates_received", "summary_resizes",
+        "udp_sent", "udp_received", "peer_served", "phase_seconds",
+    )
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        c = registry.counter
+        self.http_requests = c(
+            "proxy_http_requests_total", "client HTTP requests"
+        )
+        self.local_hits = c(
+            "proxy_local_hits_total", "requests served from the local cache"
+        )
+        self.remote_hits = c(
+            "proxy_remote_hits_total", "requests served from a peer cache"
+        )
+        self.remote_fetch_failures = c(
+            "proxy_remote_fetch_failures_total",
+            "peer fetches that no longer held the document",
+        )
+        self.false_hits = c(
+            "proxy_icp_false_hits_total",
+            "query rounds where no queried peer held the document",
+        )
+        self.origin_fetches = c(
+            "proxy_origin_fetches_total", "documents fetched from the origin"
+        )
+        self.bytes_served = c(
+            "proxy_bytes_served_total", "response body bytes to clients"
+        )
+        self.icp_queries_sent = c(
+            "proxy_icp_queries_sent_total", "ICP_OP_QUERY datagrams sent"
+        )
+        self.icp_queries_received = c(
+            "proxy_icp_queries_received_total",
+            "ICP_OP_QUERY datagrams received",
+        )
+        self.icp_replies_sent = c(
+            "proxy_icp_replies_sent_total", "ICP HIT/MISS replies sent"
+        )
+        self.icp_replies_received = c(
+            "proxy_icp_replies_received_total", "ICP HIT/MISS replies received"
+        )
+        self.icp_timeouts = c(
+            "proxy_icp_timeouts_total", "query rounds ended by timeout"
+        )
+        self.dirupdates_sent = c(
+            "proxy_dirupdates_sent_total",
+            "DIRUPDATE/DIGEST datagrams sent to peers",
+        )
+        self.dirupdates_received = c(
+            "proxy_dirupdates_received_total",
+            "DIRUPDATE/DIGEST datagrams received from peers",
+        )
+        self.summary_resizes = c(
+            "proxy_summary_resizes_total", "summary filter rebuilds"
+        )
+        self.udp_sent = c("proxy_udp_sent_total", "UDP datagrams sent")
+        self.udp_received = c(
+            "proxy_udp_received_total", "UDP datagrams received"
+        )
+        self.peer_served = c(
+            "proxy_peer_served_total", "proxy-to-proxy fetches served"
+        )
+        self.phase_seconds = {
+            phase: registry.histogram(
+                "proxy_request_phase_seconds",
+                "wall time of one request phase",
+                labels={"phase": phase},
+                buckets=_PHASE_BUCKETS,
+            )
+            for phase in ("total", "icp_round", "peer_fetch", "origin_fetch")
+        }
 
 
 @dataclass
@@ -133,13 +239,15 @@ class _IcpProtocol(asyncio.DatagramProtocol):
 class _PendingQuery:
     """Bookkeeping for one outstanding ICP query round."""
 
-    __slots__ = ("future", "outstanding")
+    __slots__ = ("future", "outstanding", "trace_id")
 
-    def __init__(self, outstanding: set) -> None:
+    def __init__(self, outstanding: set, trace_id: int = 0) -> None:
         self.future: asyncio.Future = (
             asyncio.get_event_loop().create_future()
         )
         self.outstanding = outstanding
+        #: Correlates the round's trace events with the HTTP request.
+        self.trace_id = trace_id
 
 
 class SummaryCacheProxy:
@@ -159,10 +267,17 @@ class SummaryCacheProxy:
         self,
         config: ProxyConfig,
         origin_address: Tuple[str, int],
+        registry: Optional[MetricsRegistry] = None,
+        trace_ring: Optional[TraceRing] = None,
     ) -> None:
         self.config = config
         self.origin_address = origin_address
         self.stats = ProxyStats()
+        #: Per-proxy metrics registry backing ``GET /metrics``.
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Ring buffer of ICP/DIRUPDATE message-lifecycle events.
+        self.trace = trace_ring if trace_ring is not None else TraceRing()
+        self._m = _ProxyMetrics(self.registry)
         self._bodies: Dict[str, bytes] = {}
         self._summary = CountingBloomFilter.for_capacity(
             expected_documents_for_cache(
@@ -186,6 +301,32 @@ class SummaryCacheProxy:
         self._request_counter = 0
         self._http_server: Optional[asyncio.AbstractServer] = None
         self._icp: Optional[_IcpProtocol] = None
+        # Scrape-time gauges: evaluated when /metrics renders, free
+        # between scrapes.  cache_hits/requests mirror CacheStats so a
+        # scrape can be cross-checked against the in-process counters.
+        gauges = (
+            ("proxy_cache_entries", "documents cached",
+             lambda: len(self._cache)),
+            ("proxy_cache_used_bytes", "bytes cached",
+             lambda: self._cache.used_bytes),
+            ("proxy_cache_capacity_bytes", "cache capacity",
+             lambda: self._cache.capacity_bytes),
+            ("proxy_cache_hits", "CacheStats fresh hits",
+             lambda: self._cache.stats.hits),
+            ("proxy_cache_requests", "CacheStats lookups",
+             lambda: self._cache.stats.requests),
+            ("proxy_cache_evictions", "CacheStats evictions",
+             lambda: self._cache.stats.evictions),
+            ("proxy_summary_fill_ratio", "own summary fill ratio",
+             lambda: self._summary.fill_ratio()),
+            ("proxy_peers", "configured peers", lambda: len(self._peers)),
+            ("proxy_pending_queries", "outstanding ICP query rounds",
+             lambda: len(self._pending)),
+            ("proxy_trace_events_dropped", "trace-ring events dropped",
+             lambda: self.trace.dropped),
+        )
+        for name, help_text, fn in gauges:
+            self.registry.gauge(name, help_text).set_function(fn)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -202,6 +343,13 @@ class SummaryCacheProxy:
             local_addr=(self.config.host, self.config.icp_port),
         )
         self._icp = protocol
+        logger.info(
+            "proxy=%s started mode=%s http_port=%d icp_port=%d",
+            self.config.name,
+            self.config.mode.value,
+            self.http_port,
+            self.icp_port,
+        )
 
     async def stop(self) -> None:
         """Shut both endpoints down."""
@@ -216,6 +364,7 @@ class SummaryCacheProxy:
             if not pending.future.done():
                 pending.future.cancel()
         self._pending.clear()
+        logger.info("proxy=%s stopped", self.config.name)
 
     @property
     def http_port(self) -> int:
@@ -300,6 +449,13 @@ class SummaryCacheProxy:
         self._summary = rebuilt
         self._new_since_update = 0
         self.stats.summary_resizes += 1
+        self._m.summary_resizes.inc()
+        logger.info(
+            "proxy=%s summary resized to %d bits (%d cached documents)",
+            self.config.name,
+            rebuilt.num_bits,
+            len(self._cache),
+        )
         self._broadcast_digest()
 
     def _broadcast_digest(self) -> None:
@@ -317,6 +473,8 @@ class SummaryCacheProxy:
                 transport.sendto(message.encode(), peer_addr)
                 self.stats.dirupdates_sent += 1
                 self.stats.udp_sent += 1
+                self._m.dirupdates_sent.inc()
+                self._m.udp_sent.inc()
 
     def _maybe_broadcast_update(self) -> None:
         docs = max(1, len(self._cache))
@@ -326,6 +484,14 @@ class SummaryCacheProxy:
         self._new_since_update = 0
         if not flips or not self._peers or self._icp is None:
             return
+        trace_id = self.trace.next_trace_id()
+        self.trace.record(
+            trace_id,
+            "dirupdate.drain",
+            flips=len(flips),
+            encoding=self.config.update_encoding,
+            peers=sum(1 for s in self._peers.values() if s.alive),
+        )
         if self.config.update_encoding == "digest":
             # Squid cache-digest style: ship the whole bit array.
             messages = build_digest_messages(
@@ -346,6 +512,14 @@ class SummaryCacheProxy:
                 transport.sendto(message.encode(), peer_addr)
                 self.stats.dirupdates_sent += 1
                 self.stats.udp_sent += 1
+                self._m.dirupdates_sent.inc()
+                self._m.udp_sent.inc()
+        logger.debug(
+            "proxy=%s dirupdate drained flips=%d messages=%d",
+            self.config.name,
+            len(flips),
+            len(messages),
+        )
 
     # ------------------------------------------------------------------
     # ICP datagram path
@@ -353,6 +527,7 @@ class SummaryCacheProxy:
 
     def _on_datagram(self, data: bytes, addr) -> None:
         self.stats.udp_received += 1
+        self._m.udp_received.inc()
         try:
             message = decode_message(data)
         except ProtocolError:
@@ -368,6 +543,7 @@ class SummaryCacheProxy:
 
     def _handle_query(self, query: IcpQuery, addr) -> None:
         self.stats.icp_queries_received += 1
+        self._m.icp_queries_received.inc()
         if self._icp is None or self._icp.transport is None:
             return
         if query.url in self._cache:
@@ -381,12 +557,21 @@ class SummaryCacheProxy:
         self._icp.transport.sendto(reply.encode(), addr)
         self.stats.icp_replies_sent += 1
         self.stats.udp_sent += 1
+        self._m.icp_replies_sent.inc()
+        self._m.udp_sent.inc()
 
     def _handle_reply(self, reply, addr) -> None:
         self.stats.icp_replies_received += 1
+        self._m.icp_replies_received.inc()
         pending = self._pending.get(reply.request_number)
         if pending is None or pending.future.done():
             return
+        self.trace.record(
+            pending.trace_id,
+            "icp.reply",
+            peer=f"{addr[0]}:{addr[1]}",
+            hit=isinstance(reply, IcpHit),
+        )
         if isinstance(reply, IcpHit):
             pending.future.set_result(addr)
             return
@@ -396,6 +581,7 @@ class SummaryCacheProxy:
 
     def _handle_dir_update(self, update: DirUpdate, addr) -> None:
         self.stats.dirupdates_received += 1
+        self._m.dirupdates_received.inc()
         state = self._peers.get(addr)
         if state is None:
             return  # update from an unconfigured peer
@@ -414,17 +600,37 @@ class SummaryCacheProxy:
                     update.function_num, update.function_bits
                 ),
             )
-        apply_dir_update(state.summary, update)
+            logger.debug(
+                "proxy=%s initialized summary for peer=%s (%d bits)",
+                self.config.name,
+                state.address.name,
+                update.bit_array_size,
+            )
+        changed = apply_dir_update(state.summary, update)
+        self.trace.record(
+            self.trace.next_trace_id(),
+            "dirupdate.apply",
+            peer=state.address.name,
+            records=len(update.flips),
+            changed=changed,
+        )
 
     def _handle_digest_chunk(self, chunk: DigestChunk, addr) -> None:
         """Feed a whole-filter chunk to the peer's reassembler."""
         self.stats.dirupdates_received += 1
+        self._m.dirupdates_received.inc()
         state = self._peers.get(addr)
         if state is None:
             return
         completed = state.assembler.add(chunk)
         if completed is not None:
             state.summary = completed
+            self.trace.record(
+                self.trace.next_trace_id(),
+                "digest.apply",
+                peer=state.address.name,
+                bits=completed.num_bits,
+            )
 
     # ------------------------------------------------------------------
     # HTTP path
@@ -442,6 +648,8 @@ class SummaryCacheProxy:
                 return
             if request.url == "/__stats__":
                 await self._serve_stats(writer)
+            elif request.url.partition("?")[0] == "/metrics":
+                await self._serve_metrics(request, writer)
             elif request.header("x-only-if-cached"):
                 await self._serve_peer(request, writer)
             else:
@@ -478,6 +686,36 @@ class SummaryCacheProxy:
         )
         await writer.drain()
 
+    async def _serve_metrics(self, request, writer) -> None:
+        """Serve the registry: Prometheus text, or JSON on request.
+
+        ``GET /metrics`` returns the text exposition format;
+        ``GET /metrics?format=json`` (or an ``Accept: application/json``
+        header) returns the JSON snapshot with the proxy's identity and
+        the most recent trace events attached.
+        """
+        query = request.url.partition("?")[2]
+        wants_json = (
+            "format=json" in query
+            or "json" in request.header("accept")
+        )
+        if wants_json:
+            body = render_json(
+                self.registry,
+                name=self.config.name,
+                mode=self.config.mode.value,
+                trace_events=self.trace.as_dicts()[-64:],
+                trace_events_dropped=self.trace.dropped,
+            ).encode("utf-8")
+            content_type = "application/json"
+        else:
+            body = render_prometheus(self.registry).encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        write_response(
+            writer, 200, body, headers={"Content-Type": content_type}
+        )
+        await writer.drain()
+
     async def _serve_peer(self, request, writer) -> None:
         """Serve a proxy-to-proxy fetch: cache or 504, never recurse."""
         body = self._lookup_local(request.url)
@@ -485,6 +723,7 @@ class SummaryCacheProxy:
             write_response(writer, 504, headers={"X-Cache": "MISS"})
         else:
             self.stats.peer_served_requests += 1
+            self._m.peer_served.inc()
             write_response(
                 writer, 200, body, headers={"X-Cache": "HIT"}
             )
@@ -492,17 +731,27 @@ class SummaryCacheProxy:
 
     async def _serve_client(self, request, writer) -> None:
         self.stats.http_requests += 1
+        self._m.http_requests.inc()
         url = request.url
         size_hint = request.header("x-size")
+        trace_id = self.trace.next_trace_id()
+        self.trace.record(trace_id, "http.request", url=url)
+        start = perf_counter()
 
         body = self._lookup_local(url)
         source = "HIT"
         if body is None:
-            body, source = await self._miss_path(url, size_hint)
+            body, source = await self._miss_path(url, size_hint, trace_id)
         else:
             self.stats.local_hits += 1
+            self._m.local_hits.inc()
 
         self.stats.bytes_served += len(body)
+        self._m.bytes_served.inc(len(body))
+        self._m.phase_seconds["total"].observe(perf_counter() - start)
+        self.trace.record(
+            trace_id, "http.served", source=source, bytes=len(body)
+        )
         write_response(writer, 200, body, headers={"X-Cache": source})
         await writer.drain()
 
@@ -516,22 +765,46 @@ class SummaryCacheProxy:
             return None
         return body
 
-    async def _miss_path(self, url: str, size_hint: str):
+    async def _miss_path(self, url: str, size_hint: str, trace_id: int = 0):
         """Resolve a local miss via peers (per mode) then the origin."""
         candidates = self._candidate_peers(url)
         if candidates:
-            holder = await self._query_peers(url, candidates)
+            holder = await self._query_peers(url, candidates, trace_id)
             if holder is not None:
+                fetch_start = perf_counter()
                 body = await self._fetch_from_peer(holder, url, size_hint)
+                self._m.phase_seconds["peer_fetch"].observe(
+                    perf_counter() - fetch_start
+                )
                 if body is not None:
                     self.stats.remote_hits += 1
+                    self._m.remote_hits.inc()
+                    self.trace.record(
+                        trace_id,
+                        "icp.remote_hit",
+                        peer=holder.address.name,
+                    )
                     self._store(url, body)
                     return body, "REMOTE-HIT"
                 self.stats.remote_fetch_failures += 1
+                self._m.remote_fetch_failures.inc()
+                self.trace.record(
+                    trace_id, "icp.fetch_failed", peer=holder.address.name
+                )
             else:
+                # False-hit resolution: the summaries (or the query
+                # round) promised a copy nobody actually held.
                 self.stats.false_query_rounds += 1
+                self._m.false_hits.inc()
+                self.trace.record(
+                    trace_id, "icp.false_hit", peers=len(candidates)
+                )
 
+        fetch_start = perf_counter()
         body = await self._fetch_from_origin(url, size_hint)
+        self._m.phase_seconds["origin_fetch"].observe(
+            perf_counter() - fetch_start
+        )
         self._store(url, body)
         return body, "MISS"
 
@@ -549,7 +822,7 @@ class SummaryCacheProxy:
         ]
 
     async def _query_peers(
-        self, url: str, candidates: List[_PeerState]
+        self, url: str, candidates: List[_PeerState], trace_id: int = 0
     ) -> Optional[_PeerState]:
         """Send ICP queries; return the first peer replying HIT."""
         if self._icp is None or self._icp.transport is None:
@@ -557,23 +830,43 @@ class SummaryCacheProxy:
         self._request_counter += 1
         reqnum = self._request_counter & 0xFFFFFFFF
         outstanding = {s.address.icp_addr for s in candidates}
-        pending = _PendingQuery(outstanding)
+        pending = _PendingQuery(outstanding, trace_id)
         self._pending[reqnum] = pending
         transport = self._icp.transport
         query = IcpQuery(url=url, request_number=reqnum)
         encoded = query.encode()
+        self.trace.record(
+            trace_id, "icp.query.sent", peers=len(candidates), reqnum=reqnum
+        )
         for state in candidates:
             transport.sendto(encoded, state.address.icp_addr)
             self.stats.icp_queries_sent += 1
             self.stats.udp_sent += 1
+            self._m.icp_queries_sent.inc()
+            self._m.udp_sent.inc()
+        round_start = perf_counter()
         try:
             winner_addr = await asyncio.wait_for(
                 pending.future, timeout=self.config.icp_timeout
             )
         except asyncio.TimeoutError:
             winner_addr = None
+            self._m.icp_timeouts.inc()
+            self.trace.record(
+                trace_id, "icp.timeout", waited=self.config.icp_timeout
+            )
+            logger.warning(
+                "proxy=%s icp query timeout url=%s peers=%d trace_id=%d",
+                self.config.name,
+                url,
+                len(candidates),
+                trace_id,
+            )
         finally:
             self._pending.pop(reqnum, None)
+            self._m.phase_seconds["icp_round"].observe(
+                perf_counter() - round_start
+            )
         if winner_addr is None:
             return None
         return self._peers.get(winner_addr)
@@ -598,6 +891,7 @@ class SummaryCacheProxy:
     async def _fetch_from_origin(self, url: str, size_hint: str) -> bytes:
         headers = {"X-Size": size_hint} if size_hint else {}
         self.stats.origin_fetches += 1
+        self._m.origin_fetches.inc()
         response = await self._fetch(
             self.origin_address[0], self.origin_address[1], url, headers
         )

@@ -33,6 +33,7 @@ update delay" top line of Fig. 2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import List, Optional, Union
 
 from repro.cache import WebCache
@@ -45,6 +46,7 @@ from repro.core.summary import (
     make_local_summary,
 )
 from repro.errors import ConfigurationError
+from repro.obs.registry import get_registry
 from repro.sharing.messages import (
     QUERY_MESSAGE_BYTES,
     bloom_update_bytes,
@@ -198,6 +200,72 @@ class _ProxyState:
         return delta
 
 
+class _SharingMetrics:
+    """Registry counters for one simulation run, labelled by scheme.
+
+    The Figs. 6-8 numbers (false hits, messages, bytes) increment here
+    as they happen, so a registry snapshot mid- or post-run reads the
+    same series the :class:`~repro.sharing.results.SharingResult`
+    reports -- no parallel bookkeeping to reconcile.
+    """
+
+    __slots__ = (
+        "requests", "local_hits", "remote_hits", "false_hits",
+        "false_misses", "query_messages", "query_bytes",
+        "update_drains", "update_messages", "update_bytes",
+    )
+
+    def __init__(self, registry, scheme: str) -> None:
+        labels = {"scheme": scheme}
+
+        def counter(name: str, help: str):
+            return registry.counter(name, help, labels=labels)
+
+        self.requests = counter(
+            "sharing_requests_total", "requests simulated"
+        )
+        self.local_hits = counter(
+            "sharing_local_hits_total", "fresh hits in the local cache"
+        )
+        self.remote_hits = counter(
+            "sharing_remote_hits_total", "fresh hits served by a peer"
+        )
+        self.false_hits = counter(
+            "sharing_false_hits_total",
+            "query rounds where no queried peer held the document (Fig. 6)",
+        )
+        self.false_misses = counter(
+            "sharing_false_misses_total",
+            "fresh peer copies the summaries failed to reveal",
+        )
+        self.query_messages = counter(
+            "sharing_query_messages_total", "ICP queries sent (Fig. 7)"
+        )
+        self.query_bytes = counter(
+            "sharing_query_bytes_total", "ICP query bytes sent (Fig. 8)"
+        )
+        self.update_drains = counter(
+            "sharing_update_drains_total",
+            "summary deltas drained and published",
+        )
+        self.update_messages = counter(
+            "sharing_update_messages_total",
+            "summary update messages shipped (Fig. 7)",
+        )
+        self.update_bytes = counter(
+            "sharing_update_bytes_total",
+            "summary update bytes shipped (Fig. 8)",
+        )
+
+
+def _bind_metrics(scheme: str) -> Optional[_SharingMetrics]:
+    """Per-run counters from the default registry; ``None`` if disabled."""
+    registry = get_registry()
+    if not registry.enabled:
+        return None
+    return _SharingMetrics(registry, scheme)
+
+
 def _delta_bytes(delta, num_bits: Optional[int] = None) -> int:
     """Wire size of one update carrying *delta*.
 
@@ -244,6 +312,8 @@ def simulate_summary_sharing(
         cache_capacity_bytes=sum(capacities) // num_proxies,
     )
     msgs = result.messages
+    m = _bind_metrics(result.scheme)
+    sim_start = perf_counter()
     # All proxies share one hash family and filter geometry, so the
     # probe key (MD5 digest / server name / bit positions) of a URL is
     # identical at every peer: derive it once per URL, ever.
@@ -255,11 +325,15 @@ def simulate_summary_sharing(
         me = proxies[g]
         result.requests += 1
         result.bytes_requested += req.size
+        if m is not None:
+            m.requests.inc()
 
         entry = me.cache.get(req.url, version=req.version, size=req.size)
         if entry is not None:
             result.local_hits += 1
             result.bytes_hit += entry.size
+            if m is not None:
+                m.local_hits.inc()
             continue
 
         # Probe peers' summaries (live or shipped) and query the
@@ -283,6 +357,9 @@ def simulate_summary_sharing(
             msgs.reply_messages += len(candidates)
             msgs.query_bytes += QUERY_MESSAGE_BYTES * len(candidates)
             msgs.reply_bytes += QUERY_MESSAGE_BYTES * len(candidates)
+            if m is not None:
+                m.query_messages.inc(len(candidates))
+                m.query_bytes.inc(QUERY_MESSAGE_BYTES * len(candidates))
             fresh = None
             stale_seen = False
             for j in candidates:
@@ -296,23 +373,33 @@ def simulate_summary_sharing(
                 result.remote_hits += 1
                 result.bytes_hit += req.size
                 proxies[fresh].cache.touch(req.url)
+                if m is not None:
+                    m.remote_hits.inc()
             elif stale_seen:
                 result.remote_stale_hits += 1
                 if _oracle_fresh_elsewhere(
                     proxies, g, candidates, req.url, req.version
                 ):
                     result.false_misses += 1
+                    if m is not None:
+                        m.false_misses.inc()
             else:
                 result.false_hits += 1
+                if m is not None:
+                    m.false_hits.inc()
                 if _oracle_fresh_elsewhere(
                     proxies, g, candidates, req.url, req.version
                 ):
                     result.false_misses += 1
+                    if m is not None:
+                        m.false_misses.inc()
         else:
             if _oracle_fresh_elsewhere(
                 proxies, g, (), req.url, req.version
             ):
                 result.false_misses += 1
+                if m is not None:
+                    m.false_misses.inc()
 
         # Fetch (from peer or origin) and cache locally, then check the
         # update trigger -- insertion may have pushed us past threshold.
@@ -325,9 +412,20 @@ def simulate_summary_sharing(
                 if isinstance(me.local_summary, BloomSummaryType)
                 else None
             )
+            update_bytes = _delta_bytes(delta, num_bits) * fanout
             msgs.update_messages += fanout
-            msgs.update_bytes += _delta_bytes(delta, num_bits) * fanout
+            msgs.update_bytes += update_bytes
+            if m is not None:
+                m.update_drains.inc()
+                m.update_messages.inc(fanout)
+                m.update_bytes.inc(update_bytes)
 
+    if m is not None:
+        get_registry().histogram(
+            "sharing_simulation_seconds",
+            "wall time of one sharing simulation",
+            labels={"scheme": result.scheme},
+        ).observe(perf_counter() - sim_start)
     result.local_stale_hits = sum(
         p.cache.stats.stale_hits for p in proxies
     )
@@ -378,16 +476,22 @@ def simulate_icp(
         cache_capacity_bytes=sum(capacities) // num_proxies,
     )
     msgs = result.messages
+    m = _bind_metrics(result.scheme)
+    sim_start = perf_counter()
 
     for req in trace:
         g = group_of(req.client_id, num_proxies)
         cache = caches[g]
         result.requests += 1
         result.bytes_requested += req.size
+        if m is not None:
+            m.requests.inc()
         entry = cache.get(req.url, version=req.version, size=req.size)
         if entry is not None:
             result.local_hits += 1
             result.bytes_hit += entry.size
+            if m is not None:
+                m.local_hits.inc()
             continue
 
         fanout = num_proxies - 1
@@ -395,6 +499,9 @@ def simulate_icp(
         msgs.reply_messages += fanout
         msgs.query_bytes += QUERY_MESSAGE_BYTES * fanout
         msgs.reply_bytes += QUERY_MESSAGE_BYTES * fanout
+        if m is not None:
+            m.query_messages.inc(fanout)
+            m.query_bytes.inc(QUERY_MESSAGE_BYTES * fanout)
 
         fresh = None
         stale_seen = False
@@ -410,9 +517,17 @@ def simulate_icp(
             result.remote_hits += 1
             result.bytes_hit += req.size
             caches[fresh].touch(req.url)
+            if m is not None:
+                m.remote_hits.inc()
         elif stale_seen:
             result.remote_stale_hits += 1
         cache.put(req.url, req.size, version=req.version)
 
+    if m is not None:
+        get_registry().histogram(
+            "sharing_simulation_seconds",
+            "wall time of one sharing simulation",
+            labels={"scheme": result.scheme},
+        ).observe(perf_counter() - sim_start)
     result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
     return result

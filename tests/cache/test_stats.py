@@ -1,0 +1,56 @@
+"""Regression tests for CacheStats, chiefly the merge of ``_by_policy``."""
+
+from __future__ import annotations
+
+from repro.cache.stats import CacheStats
+from repro.cache.webcache import WebCache
+
+
+class TestMergeByPolicy:
+    def test_merge_sums_policy_eviction_counts(self):
+        a = CacheStats(evictions=3)
+        a.record_policy_eviction("lru", 2)
+        a.record_policy_eviction("gdsf", 1)
+        b = CacheStats(evictions=2)
+        b.record_policy_eviction("lru", 1)
+        b.record_policy_eviction("fifo", 1)
+
+        merged = a.merge(b)
+        # Regression: merge() used to drop _by_policy entirely.
+        assert merged.by_policy() == {"lru": 3, "gdsf": 1, "fifo": 1}
+        assert merged.evictions == 5
+        # Inputs are untouched and the result holds its own dict.
+        assert a.by_policy() == {"lru": 2, "gdsf": 1}
+        assert b.by_policy() == {"lru": 1, "fifo": 1}
+        merged.record_policy_eviction("lru")
+        assert a.by_policy()["lru"] == 2
+
+    def test_merge_with_empty_policy_map(self):
+        a = CacheStats()
+        a.record_policy_eviction("lru")
+        assert a.merge(CacheStats()).by_policy() == {"lru": 1}
+        assert CacheStats().merge(a).by_policy() == {"lru": 1}
+
+    def test_by_policy_returns_copy(self):
+        stats = CacheStats()
+        stats.record_policy_eviction("lru")
+        view = stats.by_policy()
+        view["lru"] = 99
+        assert stats.by_policy() == {"lru": 1}
+
+
+class TestWebCacheAttribution:
+    def test_evictions_attributed_to_policy_name(self):
+        cache = WebCache(1000, max_object_size=None, policy="lru")
+        for i in range(5):
+            cache.put(f"http://x/{i}", 400)
+        assert cache.stats.evictions > 0
+        assert cache.stats.by_policy() == {"lru": cache.stats.evictions}
+
+    def test_policy_object_name_derived_from_class(self):
+        from repro.cache.policies import FIFOPolicy
+
+        cache = WebCache(1000, max_object_size=None, policy=FIFOPolicy())
+        for i in range(5):
+            cache.put(f"http://x/{i}", 400)
+        assert set(cache.stats.by_policy()) == {"fifo"}

@@ -1,0 +1,220 @@
+"""Unit tests for the metrics registry and its exposition formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.export import (
+    parse_prometheus,
+    render_json,
+    render_prometheus,
+)
+from repro.obs.registry import (
+    NULL_REGISTRY,
+    MetricsRegistry,
+    NullRegistry,
+    disable,
+    enable,
+    get_registry,
+    set_registry,
+)
+
+
+class TestCounter:
+    def test_inc_accumulates(self):
+        c = MetricsRegistry().counter("ops_total", "ops")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_negative_inc_rejected(self):
+        c = MetricsRegistry().counter("ops_total")
+        with pytest.raises(ConfigurationError):
+            c.inc(-1)
+
+    def test_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("x_total", labels={"k": "1"})
+        b = registry.counter("x_total", labels={"k": "1"})
+        c = registry.counter("x_total", labels={"k": "2"})
+        assert a is b
+        assert a is not c
+
+    def test_kind_collision_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing")
+        with pytest.raises(ConfigurationError):
+            registry.gauge("thing")
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = MetricsRegistry().gauge("depth")
+        g.set(10)
+        g.inc(2)
+        g.dec(5)
+        assert g.current() == 7
+
+    def test_set_function_wins(self):
+        g = MetricsRegistry().gauge("live")
+        g.set(1)
+        g.set_function(lambda: 42)
+        assert g.current() == 42
+
+
+class TestHistogramBucketEdges:
+    """Prometheus ``le`` semantics: value == bound lands in that bucket."""
+
+    def test_observation_equal_to_bound(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(2.0)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_observation_between_bounds(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(1.5)
+        assert h.counts == [0, 1, 0, 0]
+
+    def test_observation_above_last_bound_goes_to_inf(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0, 4.0))
+        h.observe(100.0)
+        assert h.counts == [0, 0, 0, 1]
+
+    def test_cumulative_ends_at_inf(self):
+        h = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+        for v in (0.5, 1.0, 1.5, 99.0):
+            h.observe(v)
+        assert h.cumulative() == [(1.0, 2), (2.0, 3), (float("inf"), 4)]
+        assert h.sum == pytest.approx(102.0)
+        assert h.count == 4
+
+    def test_bounds_must_be_strictly_ascending(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad", buckets=(1.0, 1.0, 2.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad2", buckets=(2.0, 1.0))
+        with pytest.raises(ConfigurationError):
+            registry.histogram("bad3", buckets=())
+
+
+class TestSnapshotReset:
+    def _populated(self) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(3)
+        registry.gauge("g").set(7)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        return registry
+
+    def test_snapshot_shape(self):
+        snap = self._populated().snapshot()
+        by_name = {record["name"]: record for record in snap}
+        assert by_name["c_total"]["value"] == 3
+        assert by_name["g"]["value"] == 7
+        assert by_name["h"]["count"] == 1
+        assert by_name["h"]["buckets"][-1]["le"] == "+Inf"
+
+    def test_reset_zeroes_but_keeps_registrations(self):
+        registry = self._populated()
+        registry.reset()
+        assert len(registry) == 3
+        assert registry.value("c_total") == 0
+        assert registry.value("g") == 0
+        assert registry.get("h").count == 0
+
+    def test_total_sums_label_sets(self):
+        registry = MetricsRegistry()
+        registry.counter("s_total", labels={"scheme": "a"}).inc(2)
+        registry.counter("s_total", labels={"scheme": "b"}).inc(3)
+        assert registry.total("s_total") == 5
+        assert registry.total("missing", default=-1) == -1
+
+
+class TestTiming:
+    def test_time_block_observes(self):
+        registry = MetricsRegistry()
+        with registry.time_block("phase_seconds"):
+            pass
+        hist = registry.get("phase_seconds")
+        assert hist.count == 1
+        assert hist.sum >= 0
+
+    def test_timed_decorator(self):
+        registry = MetricsRegistry()
+
+        @registry.timed("fn_seconds")
+        def add(a, b):
+            return a + b
+
+        assert add(1, 2) == 3
+        assert registry.get("fn_seconds").count == 1
+
+
+class TestNullRegistry:
+    def test_disabled_and_noop(self):
+        null = NullRegistry()
+        assert not null.enabled
+        c = null.counter("x_total")
+        c.inc(5)
+        g = null.gauge("g")
+        g.set(3)
+        h = null.histogram("h")
+        h.observe(1.0)
+        assert c.current() == 0
+        with null.time_block("t"):
+            pass
+
+        @null.timed("u")
+        def fn():
+            return 1
+
+        assert fn() == 1
+
+    def test_default_registry_switching(self):
+        assert get_registry() is NULL_REGISTRY
+        try:
+            live = enable()
+            assert live.enabled
+            assert get_registry() is live
+            previous = set_registry(NULL_REGISTRY)
+            assert previous is live
+        finally:
+            disable()
+        assert get_registry() is NULL_REGISTRY
+
+
+class TestPrometheusExposition:
+    def test_render_parse_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("reqs_total", "requests", labels={"mode": "icp"}).inc(
+            9
+        )
+        registry.gauge("depth", "queue depth").set(2)
+        registry.histogram("lat_seconds", buckets=(0.1, 1.0)).observe(0.5)
+        text = render_prometheus(registry)
+        assert '# TYPE reqs_total counter' in text
+        assert '# HELP reqs_total requests' in text
+        parsed = parse_prometheus(text)
+        assert parsed["reqs_total"]['mode="icp"'] == 9
+        assert parsed["depth"][""] == 2
+        assert parsed["lat_seconds_bucket"]['le="0.1"'] == 0
+        assert parsed["lat_seconds_bucket"]['le="1"'] == 1
+        assert parsed["lat_seconds_bucket"]['le="+Inf"'] == 1
+        assert parsed["lat_seconds_count"][""] == 1
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", labels={"url": 'a"b\\c'}).inc()
+        text = render_prometheus(registry)
+        assert 'url="a\\"b\\\\c"' in text
+
+    def test_render_json(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(2)
+        doc = json.loads(render_json(registry, workload="upisa"))
+        assert doc["workload"] == "upisa"
+        assert doc["metrics"][0]["name"] == "c_total"
+        assert doc["metrics"][0]["value"] == 2

@@ -1,0 +1,65 @@
+"""Unit tests for the trace-event ring buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.trace import TraceRing
+
+
+class TestTraceRing:
+    def test_record_and_read_back(self):
+        ring = TraceRing()
+        tid = ring.next_trace_id()
+        ring.record(tid, "icp.query.sent", peers=3)
+        ring.record(tid, "icp.reply", peer="p1", hit=True)
+        events = ring.trace(tid)
+        assert [e.kind for e in events] == ["icp.query.sent", "icp.reply"]
+        assert events[0].fields == {"peers": 3}
+        assert events[0].timestamp <= events[1].timestamp
+
+    def test_trace_ids_are_monotonic(self):
+        ring = TraceRing()
+        ids = [ring.next_trace_id() for _ in range(5)]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == 5
+
+    def test_truncation_keeps_newest_and_counts_dropped(self):
+        ring = TraceRing(capacity=3)
+        for i in range(7):
+            ring.record(i, "e", seq=i)
+        assert len(ring) == 3
+        assert ring.dropped == 4
+        assert [e.fields["seq"] for e in ring.events()] == [4, 5, 6]
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            TraceRing(capacity=0)
+
+    def test_filtering_by_trace_id_and_kind(self):
+        ring = TraceRing()
+        ring.record(1, "a")
+        ring.record(2, "a")
+        ring.record(1, "b")
+        assert len(ring.events(trace_id=1)) == 2
+        assert len(ring.events(kind="a")) == 2
+        assert len(ring.events(trace_id=1, kind="b")) == 1
+
+    def test_clear_resets_everything(self):
+        ring = TraceRing(capacity=1)
+        ring.record(1, "a")
+        ring.record(2, "b")
+        assert ring.dropped == 1
+        ring.clear()
+        assert len(ring) == 0
+        assert ring.dropped == 0
+
+    def test_as_dicts_flattens_fields(self):
+        ring = TraceRing()
+        ring.record(7, "http.served", source="HIT", bytes=128)
+        (record,) = ring.as_dicts()
+        assert record["trace_id"] == 7
+        assert record["kind"] == "http.served"
+        assert record["source"] == "HIT"
+        assert record["bytes"] == 128
+        assert "timestamp" in record

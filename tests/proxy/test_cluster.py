@@ -9,7 +9,7 @@ import pytest
 
 from repro.core.summary import SummaryConfig
 from repro.errors import ConfigurationError
-from repro.proxy import ClientDriver, ProxyCluster, ProxyConfig, ProxyMode
+from repro.proxy import ProxyCluster, ProxyConfig, ProxyMode
 from repro.proxy.http import read_response, synth_body, write_request
 from repro.traces.model import Request, Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace

@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import SimulationError
-from repro.simulation.engine import Engine, Signal
+from repro.simulation.engine import Engine
 
 
 class TestEventOrdering:

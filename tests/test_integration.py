@@ -127,6 +127,7 @@ class TestPublicApi:
             "repro.simulation",
             "repro.benchmarkkit",
             "repro.analysis",
+            "repro.obs",
         ):
             module = importlib.import_module(module_name)
             for name in getattr(module, "__all__", ()):
