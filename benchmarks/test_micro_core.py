@@ -9,7 +9,9 @@ inserts/deletes, MD5 hashing, and wire encode/decode.
 from __future__ import annotations
 
 import itertools
+import random
 
+from repro.core.bitarray import BitArray
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily, PolynomialHashFamily
@@ -17,6 +19,8 @@ from repro.protocol.update import build_dir_update_messages
 from repro.protocol.wire import IcpQuery, decode_message
 
 URLS = [f"http://server{i % 97}.example.net/path/{i}" for i in range(5000)]
+
+BITARRAY_BITS = 40_000
 
 
 def test_micro_bloom_probe(benchmark):
@@ -59,6 +63,56 @@ def test_micro_counting_add_remove(benchmark):
             cbf.drain_flips()
 
     benchmark(add_remove)
+
+
+def test_micro_bitarray_from_bytes(benchmark):
+    # Exercises the payload-decode popcount (one big-int bit_count
+    # instead of a per-byte Python loop).
+    rng = random.Random(7)
+    source = BitArray(BITARRAY_BITS)
+    for _ in range(BITARRAY_BITS // 8):
+        source.set(rng.randrange(BITARRAY_BITS))
+    payload = source.to_bytes()
+
+    rebuilt = benchmark(lambda: BitArray.from_bytes(BITARRAY_BITS, payload))
+    assert rebuilt.popcount == source.popcount
+
+
+def test_micro_bitarray_set_many(benchmark):
+    # The batch path behind BloomFilter.add: k bits per key, popcount
+    # bookkeeping settled once per batch.
+    rng = random.Random(11)
+    array = BitArray(BITARRAY_BITS)
+    batches = itertools.cycle(
+        [
+            [rng.randrange(BITARRAY_BITS) for _ in range(8)]
+            for _ in range(512)
+        ]
+    )
+
+    def set_clear():
+        batch = next(batches)
+        set_count = len(array.set_many(batch, True))
+        cleared = array.set_many(batch, False)
+        return set_count == len(cleared)
+
+    assert benchmark(set_clear) is True
+
+
+def test_micro_bitarray_flipped_indices(benchmark):
+    # The XOR diff between a live filter and a shipped copy.
+    rng = random.Random(13)
+    mine = BitArray(BITARRAY_BITS)
+    mine.set_many(
+        rng.randrange(BITARRAY_BITS) for _ in range(BITARRAY_BITS // 8)
+    )
+    theirs = mine.copy()
+    drift = [rng.randrange(BITARRAY_BITS) for _ in range(64)]
+    for index in drift:
+        theirs.set(index, not theirs.get(index))
+
+    flips = benchmark(lambda: mine.flipped_indices(theirs))
+    assert len(flips) == len(set(drift))
 
 
 def test_micro_md5_family(benchmark):

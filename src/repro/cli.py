@@ -13,11 +13,18 @@ Every table and figure in the paper can be regenerated from the shell::
     summary-cache table5                             # round-robin replay
     summary-cache scalability
     summary-cache gen-trace --workload dec --out dec.jsonl
+
+and a live proxy cluster can be served on localhost with any summary
+representation and update policy::
+
+    summary-cache serve --proxies 3 --summary-repr exact \\
+        --update-policy threshold:0.05 --duration 60
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import sys
 from typing import List, Optional
 
@@ -25,6 +32,7 @@ from repro import experiments
 from repro.analysis.tables import format_table
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logconfig import configure_logging
+from repro.summaries import parse_update_policy
 from repro.traces.readers import write_jsonl
 from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
 
@@ -41,6 +49,28 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="workload scale factor (default: 1.0)",
+    )
+
+
+def _add_summary_args(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the summary representation and update policy."""
+    parser.add_argument(
+        "--summary-repr",
+        default=None,
+        choices=sorted(experiments.SUMMARY_REPR_KINDS),
+        help=(
+            "summary representation: bloom, exact (MD5 directory), or "
+            "server-name (default: bloom for serve, full sweep for sims)"
+        ),
+    )
+    parser.add_argument(
+        "--update-policy",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "update policy spec: threshold:0.01, interval:300, or "
+            "packet-fill[:records] (default: threshold)"
+        ),
     )
 
 
@@ -84,6 +114,7 @@ def build_parser() -> argparse.ArgumentParser:
         "representations", help="summary representation sweep (Figs. 5-8)"
     )
     _add_workload_args(p)
+    _add_summary_args(p)
     p.add_argument("--threshold", type=float, default=0.01)
 
     p = sub.add_parser("table4", help="client-bound replay (Table IV)")
@@ -111,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="replay one workload with instrumentation on and dump the registry",
     )
     _add_workload_args(p)
+    _add_summary_args(p)
     p.add_argument("--threshold", type=float, default=0.01)
     p.add_argument(
         "--format",
@@ -119,11 +151,101 @@ def build_parser() -> argparse.ArgumentParser:
         help="exposition format (default: prom)",
     )
 
+    p = sub.add_parser(
+        "serve",
+        help="run a live proxy cluster on localhost until stopped",
+    )
+    _add_summary_args(p)
+    p.add_argument(
+        "--proxies", type=int, default=3, help="cluster size (default: 3)"
+    )
+    p.add_argument(
+        "--mode",
+        default="sc-icp",
+        choices=("no-icp", "icp", "sc-icp"),
+        help="cooperation mode (default: sc-icp)",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=16.0,
+        help="per-proxy cache size in MiB (default: 16)",
+    )
+    p.add_argument(
+        "--origin-delay",
+        type=float,
+        default=0.0,
+        help="simulated origin latency in seconds (default: 0)",
+    )
+    p.add_argument(
+        "--duration",
+        type=float,
+        default=0.0,
+        help="seconds to serve before exiting (default: until Ctrl-C)",
+    )
+
     p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
     _add_workload_args(p)
     p.add_argument("--out", required=True, help="output JSONL path")
 
     return parser
+
+
+def _summary_overrides(args) -> dict:
+    """``representations()``/``metrics_snapshot()`` kwargs from CLI flags."""
+    kwargs = {}
+    if args.summary_repr is not None:
+        kwargs["representation"] = experiments.SUMMARY_REPR_KINDS[
+            args.summary_repr
+        ]
+    if args.update_policy is not None:
+        kwargs["update_policy"] = parse_update_policy(args.update_policy)
+    return kwargs
+
+
+async def _serve(args) -> int:
+    """Run a live cluster, print its endpoints, wait for the deadline."""
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyMode
+
+    summary = experiments.summary_config_for_repr(
+        args.summary_repr or "bloom"
+    )
+    policy = (
+        parse_update_policy(args.update_policy)
+        if args.update_policy
+        else None
+    )
+    async with ProxyCluster(
+        num_proxies=args.proxies,
+        mode=ProxyMode(args.mode),
+        cache_capacity=int(args.cache_mb * 1024 * 1024),
+        origin_delay=args.origin_delay,
+        summary=summary,
+        update_policy=policy,
+    ) as cluster:
+        print(
+            f"origin http://{cluster.origin.address[0]}:"
+            f"{cluster.origin.address[1]}"
+        )
+        for proxy in cluster.proxies:
+            print(
+                f"{proxy.config.name} mode={proxy.config.mode.value} "
+                f"summary={proxy.config.summary.kind} "
+                f"http=http://{proxy.config.host}:{proxy.http_port} "
+                f"icp=udp://{proxy.config.host}:{proxy.icp_port} "
+                f"(metrics at /metrics, stats at /__stats__)"
+            )
+        try:
+            if args.duration > 0:
+                await asyncio.sleep(args.duration)
+            else:
+                print("serving until Ctrl-C ...", flush=True)
+                while True:
+                    await asyncio.sleep(3600)
+        except (KeyboardInterrupt, asyncio.CancelledError):
+            pass
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -179,7 +301,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
     elif args.command == "representations":
         results = experiments.representations(
-            args.workload, scale=args.scale, threshold=args.threshold
+            args.workload,
+            scale=args.scale,
+            threshold=args.threshold,
+            **_summary_overrides(args),
         )
         headers, rows = experiments.representation_rows(results)
         print(
@@ -237,13 +362,30 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     elif args.command == "metrics":
+        overrides = {}
+        if args.summary_repr is not None:
+            overrides["summary"] = experiments.summary_config_for_repr(
+                args.summary_repr
+            )
+        if args.update_policy is not None:
+            overrides["update_policy"] = parse_update_policy(
+                args.update_policy
+            )
         registry = experiments.metrics_snapshot(
-            args.workload, scale=args.scale, threshold=args.threshold
+            args.workload,
+            scale=args.scale,
+            threshold=args.threshold,
+            **overrides,
         )
         if args.format == "json":
             print(render_json(registry, workload=args.workload))
         else:
             print(render_prometheus(registry), end="")
+    elif args.command == "serve":
+        try:
+            return asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            return 0
     elif args.command == "gen-trace":
         trace, groups = make_workload(args.workload, scale=args.scale)
         write_jsonl(trace, args.out)

@@ -123,16 +123,9 @@ class BloomFilter:
         """Insert *key*; return the indices of bits that flipped 0 -> 1."""
         obs = self._obs
         if obs is None:
-            flipped = []
-            for pos in self.positions(key):
-                if self.bits.set(pos):
-                    flipped.append(pos)
-            return flipped
+            return self.bits.set_many(self.positions(key))
         start = perf_counter()
-        flipped = []
-        for pos in self.positions(key):
-            if self.bits.set(pos):
-                flipped.append(pos)
+        flipped = self.bits.set_many(self.positions(key))
         obs.op_seconds.observe(perf_counter() - start)
         obs.inserts.inc()
         return flipped

@@ -1,521 +1,44 @@
-"""The summary representations compared in Section V.
+"""Compatibility shim: the summary layer moved to :mod:`repro.summaries`.
 
-A *summary* is the compact stand-in for a peer's cache directory.  Each
-representation comes in two halves:
-
-- a **local summary**, maintained by the cache's owner as documents enter
-  and leave, which can emit *deltas* (the changes since the last shipped
-  update); and
-- a **remote summary**, the possibly stale copy a peer holds, which can be
-  probed and patched with deltas.
-
-Three representations are implemented, exactly the ones the paper
-evaluates:
-
-============================  =====================================  =============================
-Representation                Local state                            Shipped/remote state
-============================  =====================================  =============================
-:class:`ExactDirectorySummary`  set of 16-byte MD5 URL digests        same set (frozen)
-:class:`ServerNameSummary`      refcounted set of server names        set of names (frozen)
-:class:`BloomSummary`           counting Bloom filter                 plain Bloom filter
-============================  =====================================  =============================
-
-Delta sizes follow the paper's Fig. 8 accounting and are computed in
-:mod:`repro.sharing.messages`.
+The representations compared in Section V (exact-directory,
+server-name, Bloom) now live in the unified backend package shared by
+the simulator, the wire protocol, and the live proxy.  This module
+re-exports the public names so pre-refactor imports keep working for
+one release; new code should import from :mod:`repro.summaries`.
 """
 
-from __future__ import annotations
-
-from abc import ABC, abstractmethod
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
-
-from repro.core.bloom import BloomFilter
-from repro.core.counting_bloom import CountingBloomFilter
-from repro.core.hashing import MD5HashFamily, md5_digest
-from repro.errors import ConfigurationError
-from repro.urlutil import server_of
-
-#: The paper's average-document-size divisor: "The average number of
-#: documents is calculated by dividing the cache size by 8 K (the average
-#: document size)."
-AVERAGE_DOCUMENT_SIZE = 8 * 1024
-
-
-@dataclass(frozen=True)
-class SummaryConfig:
-    """Parameters selecting and sizing a summary representation.
-
-    Attributes
-    ----------
-    kind:
-        ``"exact-directory"``, ``"server-name"``, or ``"bloom"``.
-    load_factor:
-        Bits per expected document for Bloom summaries (8/16/32 in the
-        paper).  Ignored by the other representations.
-    num_hashes:
-        Hash functions for Bloom summaries (the paper uses 4).
-    counter_width:
-        Counter bits for the local counting filter (the paper uses 4).
-    """
-
-    kind: str = "bloom"
-    load_factor: int = 8
-    num_hashes: int = 4
-    counter_width: int = 4
-
-    KINDS = ("exact-directory", "server-name", "bloom")
-
-    def __post_init__(self) -> None:
-        if self.kind not in self.KINDS:
-            raise ConfigurationError(
-                f"unknown summary kind {self.kind!r}; expected one of {self.KINDS}"
-            )
-        if self.load_factor < 1:
-            raise ConfigurationError(
-                f"load_factor must be >= 1, got {self.load_factor}"
-            )
-        if self.num_hashes < 1:
-            raise ConfigurationError(
-                f"num_hashes must be >= 1, got {self.num_hashes}"
-            )
-
-    def label(self) -> str:
-        """Human-readable label matching the paper's figure legends."""
-        if self.kind == "bloom":
-            return f"bloom-{self.load_factor}"
-        return self.kind
-
-
-@dataclass
-class DigestDelta:
-    """Changes to a digest-set summary since the last shipped update."""
-
-    added: List[bytes] = field(default_factory=list)
-    removed: List[bytes] = field(default_factory=list)
-
-    @property
-    def change_count(self) -> int:
-        """Number of 16-byte change records the update carries."""
-        return len(self.added) + len(self.removed)
-
-    def is_empty(self) -> bool:
-        return not self.added and not self.removed
-
-
-@dataclass
-class BitFlipDelta:
-    """Absolute bit set/clear records for a Bloom summary update."""
-
-    flips: List[Tuple[int, bool]] = field(default_factory=list)
-
-    @property
-    def change_count(self) -> int:
-        """Number of 32-bit flip records the update carries."""
-        return len(self.flips)
-
-    def is_empty(self) -> bool:
-        return not self.flips
-
-
-class RemoteSummary(ABC):
-    """A peer's (possibly stale) view of another proxy's directory.
-
-    Probing twice: :meth:`may_contain` is the convenient form;
-    :meth:`key_of` + :meth:`contains_key` split the (potentially
-    expensive) key derivation from the probe so a simulator checking
-    one URL against many peer summaries hashes it once.
-    """
-
-    @abstractmethod
-    def may_contain(self, url: str) -> bool:
-        """Probe the summary; a ``False`` is authoritative for this copy."""
-
-    @abstractmethod
-    def key_of(self, url: str):
-        """Derive the probe key for *url* (digest, name, or positions)."""
-
-    @abstractmethod
-    def contains_key(self, key) -> bool:
-        """Probe with a key previously derived by :meth:`key_of`."""
-
-    @abstractmethod
-    def apply_delta(self, delta) -> None:
-        """Patch the copy with a received delta update."""
-
-    @abstractmethod
-    def size_bytes(self) -> int:
-        """DRAM footprint of this copy at the peer."""
-
-
-class LocalSummary(ABC):
-    """The summary a proxy maintains for its own cache."""
-
-    @abstractmethod
-    def add(self, url: str) -> None:
-        """Record that *url* entered the cache."""
-
-    @abstractmethod
-    def remove(self, url: str) -> None:
-        """Record that *url* left the cache."""
-
-    @abstractmethod
-    def may_contain(self, url: str) -> bool:
-        """Probe the up-to-date local summary."""
-
-    @abstractmethod
-    def key_of(self, url: str):
-        """Derive the probe key for *url* (digest, name, or positions)."""
-
-    @abstractmethod
-    def contains_key(self, key) -> bool:
-        """Probe with a key previously derived by :meth:`key_of`."""
-
-    @abstractmethod
-    def drain_delta(self):
-        """Return changes since the last drain and mark them shipped."""
-
-    @abstractmethod
-    def pending_change_count(self) -> int:
-        """How many change records the next delta would carry."""
-
-    @abstractmethod
-    def export(self) -> RemoteSummary:
-        """Return a fresh remote copy reflecting the current directory."""
-
-    @abstractmethod
-    def size_bytes(self) -> int:
-        """Local DRAM footprint (including any counters)."""
-
-    @abstractmethod
-    def remote_size_bytes(self) -> int:
-        """DRAM footprint of the shipped representation at one peer."""
-
-
-class _DigestSetRemote(RemoteSummary):
-    """Remote half shared by the exact-directory and server-name forms."""
-
-    __slots__ = ("_digests", "_bytes_per_entry")
-
-    def __init__(self, digests: set, bytes_per_entry: int) -> None:
-        self._digests = set(digests)
-        self._bytes_per_entry = bytes_per_entry
-
-    def _key(self, url: str) -> bytes:
-        raise NotImplementedError
-
-    def may_contain(self, url: str) -> bool:
-        return self._key(url) in self._digests
-
-    def key_of(self, url: str):
-        return self._key(url)
-
-    def contains_key(self, key) -> bool:
-        return key in self._digests
-
-    def apply_delta(self, delta: DigestDelta) -> None:
-        for digest in delta.removed:
-            self._digests.discard(digest)
-        for digest in delta.added:
-            self._digests.add(digest)
-
-    def size_bytes(self) -> int:
-        return len(self._digests) * self._bytes_per_entry
-
-    def __len__(self) -> int:
-        return len(self._digests)
-
-
-class ExactDirectoryRemote(_DigestSetRemote):
-    """Peer copy of an exact directory: a set of MD5 URL digests."""
-
-    def __init__(self, digests: set) -> None:
-        super().__init__(digests, bytes_per_entry=16)
-
-    def _key(self, url: str) -> bytes:
-        return md5_digest(url)
-
-
-class ServerNameRemote(_DigestSetRemote):
-    """Peer copy of a server-name summary: a set of host names.
-
-    The paper sizes each entry at 16 bytes for the message-byte estimate;
-    we use the same figure for the stored form so Table III is
-    regenerated with the paper's own assumptions.
-    """
-
-    def __init__(self, names: set) -> None:
-        super().__init__(names, bytes_per_entry=16)
-
-    def _key(self, url: str) -> str:  # type: ignore[override]
-        return server_of(url)
-
-
-class ExactDirectorySummary(LocalSummary):
-    """Local exact directory: every cached URL's 16-byte MD5 signature."""
-
-    def __init__(self) -> None:
-        self._digests: set = set()
-        self._pending_added: set = set()
-        self._pending_removed: set = set()
-
-    def add(self, url: str) -> None:
-        digest = md5_digest(url)
-        if digest in self._digests:
-            return
-        self._digests.add(digest)
-        if digest in self._pending_removed:
-            self._pending_removed.discard(digest)
-        else:
-            self._pending_added.add(digest)
-
-    def remove(self, url: str) -> None:
-        digest = md5_digest(url)
-        if digest not in self._digests:
-            raise ValueError(f"remove of URL not in directory: {url!r}")
-        self._digests.discard(digest)
-        if digest in self._pending_added:
-            self._pending_added.discard(digest)
-        else:
-            self._pending_removed.add(digest)
-
-    def may_contain(self, url: str) -> bool:
-        return md5_digest(url) in self._digests
-
-    def key_of(self, url: str):
-        return md5_digest(url)
-
-    def contains_key(self, key) -> bool:
-        return key in self._digests
-
-    def drain_delta(self) -> DigestDelta:
-        delta = DigestDelta(
-            added=sorted(self._pending_added),
-            removed=sorted(self._pending_removed),
-        )
-        self._pending_added = set()
-        self._pending_removed = set()
-        return delta
-
-    def pending_change_count(self) -> int:
-        return len(self._pending_added) + len(self._pending_removed)
-
-    def export(self) -> ExactDirectoryRemote:
-        return ExactDirectoryRemote(self._digests)
-
-    def size_bytes(self) -> int:
-        return len(self._digests) * 16
-
-    def remote_size_bytes(self) -> int:
-        return len(self._digests) * 16
-
-    def __len__(self) -> int:
-        return len(self._digests)
-
-
-class ServerNameSummary(LocalSummary):
-    """Local server-name summary: refcounted host names of cached URLs."""
-
-    def __init__(self) -> None:
-        self._refcounts: Dict[str, int] = {}
-        self._pending_added: set = set()
-        self._pending_removed: set = set()
-
-    def add(self, url: str) -> None:
-        name = server_of(url)
-        count = self._refcounts.get(name, 0)
-        self._refcounts[name] = count + 1
-        if count == 0:
-            if name in self._pending_removed:
-                self._pending_removed.discard(name)
-            else:
-                self._pending_added.add(name)
-
-    def remove(self, url: str) -> None:
-        name = server_of(url)
-        count = self._refcounts.get(name, 0)
-        if count == 0:
-            raise ValueError(f"remove of URL with unknown server: {url!r}")
-        if count == 1:
-            del self._refcounts[name]
-            if name in self._pending_added:
-                self._pending_added.discard(name)
-            else:
-                self._pending_removed.add(name)
-        else:
-            self._refcounts[name] = count - 1
-
-    def may_contain(self, url: str) -> bool:
-        return server_of(url) in self._refcounts
-
-    def key_of(self, url: str):
-        return server_of(url)
-
-    def contains_key(self, key) -> bool:
-        return key in self._refcounts
-
-    def drain_delta(self) -> DigestDelta:
-        delta = DigestDelta(
-            added=sorted(self._pending_added),
-            removed=sorted(self._pending_removed),
-        )
-        self._pending_added = set()
-        self._pending_removed = set()
-        return delta
-
-    def pending_change_count(self) -> int:
-        return len(self._pending_added) + len(self._pending_removed)
-
-    def export(self) -> ServerNameRemote:
-        return ServerNameRemote(set(self._refcounts))
-
-    def size_bytes(self) -> int:
-        return len(self._refcounts) * 16
-
-    def remote_size_bytes(self) -> int:
-        return len(self._refcounts) * 16
-
-    def __len__(self) -> int:
-        return len(self._refcounts)
-
-
-class BloomRemote(RemoteSummary):
-    """Peer copy of a Bloom summary: a plain bit array plus hash spec."""
-
-    __slots__ = ("filter",)
-
-    def __init__(self, filt: BloomFilter) -> None:
-        self.filter = filt
-
-    def may_contain(self, url: str) -> bool:
-        return self.filter.may_contain(url)
-
-    def key_of(self, url: str):
-        return self.filter.positions(url)
-
-    def contains_key(self, key) -> bool:
-        get = self.filter.bits.get
-        for pos in key:
-            if not get(pos):
-                return False
-        return True
-
-    def apply_delta(self, delta: BitFlipDelta) -> None:
-        self.filter.apply_flips(delta.flips)
-
-    def size_bytes(self) -> int:
-        return self.filter.size_bytes()
-
-
-class BloomSummary(LocalSummary):
-    """Local Bloom summary: a counting Bloom filter sized by load factor.
-
-    Parameters
-    ----------
-    expected_documents:
-        Sizing basis -- cache size / 8 KB in the paper's configurations
-        (use :func:`expected_documents_for_cache` for that calculation).
-    config:
-        Load factor, hash count, and counter width.
-    """
-
-    def __init__(
-        self,
-        expected_documents: int,
-        config: Optional[SummaryConfig] = None,
-    ) -> None:
-        cfg = config or SummaryConfig()
-        if cfg.kind != "bloom":
-            raise ConfigurationError(
-                f"BloomSummary requires kind='bloom', got {cfg.kind!r}"
-            )
-        family = MD5HashFamily(num_functions=cfg.num_hashes)
-        self.config = cfg
-        self._cbf = CountingBloomFilter.for_capacity(
-            expected_documents,
-            load_factor=cfg.load_factor,
-            hash_family=family,
-            counter_width=cfg.counter_width,
-        )
-
-    @property
-    def num_bits(self) -> int:
-        """Bit array size (``BitArray_Size_InBits`` on the wire)."""
-        return self._cbf.num_bits
-
-    @property
-    def counting_filter(self) -> CountingBloomFilter:
-        """The underlying counting filter (for protocol integration)."""
-        return self._cbf
-
-    def add(self, url: str) -> None:
-        self._cbf.add(url)
-
-    def remove(self, url: str) -> None:
-        self._cbf.remove(url)
-
-    def may_contain(self, url: str) -> bool:
-        return self._cbf.may_contain(url)
-
-    def key_of(self, url: str):
-        return self._cbf.filter.positions(url)
-
-    def contains_key(self, key) -> bool:
-        get = self._cbf.filter.bits.get
-        for pos in key:
-            if not get(pos):
-                return False
-        return True
-
-    def drain_delta(self) -> BitFlipDelta:
-        return BitFlipDelta(flips=self._cbf.drain_flips())
-
-    def pending_change_count(self) -> int:
-        return self._cbf.pending_flip_count
-
-    def export(self) -> BloomRemote:
-        return BloomRemote(self._cbf.snapshot())
-
-    def size_bytes(self) -> int:
-        return self._cbf.size_bytes()
-
-    def remote_size_bytes(self) -> int:
-        return self._cbf.remote_size_bytes()
-
-    def __len__(self) -> int:
-        return self._cbf.keys_added
-
-
-def expected_documents_for_cache(
-    cache_size_bytes: int, doc_size: int = AVERAGE_DOCUMENT_SIZE
-) -> int:
-    """Expected document count for a cache: size / average document size.
-
-    The paper's rule divides by 8 KB; pass a workload-derived *doc_size*
-    (e.g. the trace's mean cacheable document size) when the workload's
-    average differs, otherwise the filter is mis-sized and the false-hit
-    ratio drifts from the nominal load factor's.
-    """
-    if cache_size_bytes < 1:
-        raise ConfigurationError(
-            f"cache_size_bytes must be >= 1, got {cache_size_bytes}"
-        )
-    if doc_size < 1:
-        raise ConfigurationError(f"doc_size must be >= 1, got {doc_size}")
-    return max(1, cache_size_bytes // doc_size)
-
-
-def make_local_summary(
-    config: SummaryConfig,
-    cache_size_bytes: int,
-    doc_size: int = AVERAGE_DOCUMENT_SIZE,
-) -> LocalSummary:
-    """Construct the local summary named by *config* for a cache of the given size."""
-    if config.kind == "exact-directory":
-        return ExactDirectorySummary()
-    if config.kind == "server-name":
-        return ServerNameSummary()
-    return BloomSummary(
-        expected_documents_for_cache(cache_size_bytes, doc_size),
-        config=config,
-    )
+from repro.summaries.backend import (
+    AVERAGE_DOCUMENT_SIZE,
+    BitFlipDelta,
+    DigestDelta,
+    DigestSetRemote,
+    LocalSummary,
+    RemoteSummary,
+    SummaryConfig,
+    expected_documents_for_cache,
+    make_local_summary,
+)
+from repro.summaries.bloom import BloomRemote, BloomSummary
+from repro.summaries.exact import ExactDirectoryRemote, ExactDirectorySummary
+from repro.summaries.servername import ServerNameRemote, ServerNameSummary
+
+# The pre-refactor private name for the shared digest-set remote base.
+_DigestSetRemote = DigestSetRemote
+
+__all__ = [
+    "AVERAGE_DOCUMENT_SIZE",
+    "BitFlipDelta",
+    "BloomRemote",
+    "BloomSummary",
+    "DigestDelta",
+    "DigestSetRemote",
+    "ExactDirectoryRemote",
+    "ExactDirectorySummary",
+    "LocalSummary",
+    "RemoteSummary",
+    "ServerNameRemote",
+    "ServerNameSummary",
+    "SummaryConfig",
+    "expected_documents_for_cache",
+    "make_local_summary",
+]

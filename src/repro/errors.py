@@ -18,6 +18,16 @@ class ProtocolError(ReproError):
     """A wire message could not be encoded or decoded."""
 
 
+class SummaryMismatchError(ProtocolError):
+    """A summary update does not match the copy held for its sender.
+
+    Raised when a DIRUPDATE announces a different filter geometry,
+    hash specification, or representation than the receiver's copy --
+    the sender rebuilt or reconfigured, so the copy needs a whole-summary
+    resynchronization, not a patch.
+    """
+
+
 class TraceFormatError(ReproError):
     """A trace file or record did not match the expected format."""
 

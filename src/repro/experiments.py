@@ -57,11 +57,28 @@ from repro.simulation.experiment import (
     run_overhead_experiment,
     run_replay_experiment,
 )
+from repro.summaries import UpdatePolicy
 from repro.traces.model import Trace
 from repro.traces.stats import compute_stats, mean_cacheable_size
 from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
 
 ALL_WORKLOADS: Tuple[str, ...] = tuple(WORKLOAD_PRESETS)
+
+#: CLI shorthand -> ``SummaryConfig.kind`` for ``--summary-repr`` flags.
+SUMMARY_REPR_KINDS: Dict[str, str] = {
+    "bloom": "bloom",
+    "exact": "exact-directory",
+    "server-name": "server-name",
+}
+
+
+def summary_config_for_repr(
+    name: str, load_factor: int = 8
+) -> SummaryConfig:
+    """The :class:`SummaryConfig` for a ``--summary-repr`` CLI value."""
+    return SummaryConfig(
+        kind=SUMMARY_REPR_KINDS[name], load_factor=load_factor
+    )
 
 #: Cache size as a fraction of the infinite cache size used by the
 #: paper's headline simulations ("assume a cache size that is 10% of the
@@ -291,20 +308,30 @@ def representations(
     threshold: float = 0.01,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
     include_icp: bool = True,
+    representation: Optional[str] = None,
+    update_policy: Optional[UpdatePolicy] = None,
 ) -> Dict[str, SharingResult]:
     """Run the Section V-D comparison over one workload.
 
     Returns results keyed by representation label (plus ``"icp"``),
     carrying everything Figs. 5-8 and Table III report.
+    ``representation`` narrows the sweep to one ``SummaryConfig.kind``;
+    ``update_policy`` replaces the default threshold policy.
     """
     trace, groups, capacity, doc_size, _stats = _workload_setup(
         workload, scale, cache_fraction
     )
+    policy = update_policy or ThresholdUpdatePolicy(threshold)
+    sweep = REPRESENTATIONS
+    if representation is not None:
+        sweep = tuple(
+            c for c in REPRESENTATIONS if c.kind == representation
+        )
     results: Dict[str, SharingResult] = {}
-    for summary_config in REPRESENTATIONS:
+    for summary_config in sweep:
         cfg = SummarySharingConfig(
             summary=summary_config,
-            update_policy=ThresholdUpdatePolicy(threshold),
+            update_policy=policy,
             expected_doc_size=doc_size,
         )
         results[summary_config.label()] = simulate_summary_sharing(
@@ -590,16 +617,18 @@ def metrics_snapshot(
     scale: float = 1.0,
     threshold: float = 0.01,
     cache_fraction: float = DEFAULT_CACHE_FRACTION,
+    summary: Optional[SummaryConfig] = None,
+    update_policy: Optional[UpdatePolicy] = None,
 ):
-    """Run the bloom + ICP sharing simulators under a fresh registry.
+    """Run one sharing simulation + ICP under a fresh registry.
 
     Backs ``summary-cache metrics``: installs a live
     :class:`~repro.obs.registry.MetricsRegistry` as the process default,
-    replays one workload through ``simulate_summary_sharing`` (bloom,
-    load factor 8) and ``simulate_icp``, and returns the populated
-    registry.  The previous default registry is always restored, so
-    calling this never leaves instrumentation enabled behind the
-    caller's back.
+    replays one workload through ``simulate_summary_sharing`` (bloom
+    load factor 8, or whatever *summary*/*update_policy* select) and
+    ``simulate_icp``, and returns the populated registry.  The previous
+    default registry is always restored, so calling this never leaves
+    instrumentation enabled behind the caller's back.
     """
     from repro.obs.registry import MetricsRegistry, set_registry
 
@@ -610,8 +639,8 @@ def metrics_snapshot(
             workload, scale, cache_fraction
         )
         cfg = SummarySharingConfig(
-            summary=SummaryConfig(kind="bloom", load_factor=8),
-            update_policy=ThresholdUpdatePolicy(threshold),
+            summary=summary or SummaryConfig(kind="bloom", load_factor=8),
+            update_policy=update_policy or ThresholdUpdatePolicy(threshold),
             expected_doc_size=doc_size,
         )
         simulate_summary_sharing(trace, groups, capacity, cfg)

@@ -19,13 +19,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily
-from repro.errors import ProtocolError
+from repro.errors import ProtocolError, SummaryMismatchError
 from repro.protocol.wire import (
     DIGEST_HEADER_SIZE,
     DIRUPDATE_HEADER_SIZE,
     ICP_HEADER_SIZE,
+    SET_UPDATE_HEADER_SIZE,
     DigestChunk,
     DirUpdate,
+    SetDirUpdate,
+    _set_record_size,
 )
 
 #: A conservative Ethernet-path MTU for UDP payload sizing.
@@ -76,7 +79,7 @@ def apply_dir_update(target: BloomFilter, update: DirUpdate) -> int:
     the filter it holds; a mismatch means the sender reconfigured (or
     the copy was initialized against a different spec), which requires a
     full resync rather than a patch, so it raises
-    :class:`~repro.errors.ProtocolError`.
+    :class:`~repro.errors.SummaryMismatchError`.
     """
     expected_num, expected_bits = target.hash_family.spec()
     if (
@@ -84,7 +87,7 @@ def apply_dir_update(target: BloomFilter, update: DirUpdate) -> int:
         or update.function_bits != expected_bits
         or update.bit_array_size != target.num_bits
     ):
-        raise ProtocolError(
+        raise SummaryMismatchError(
             "DIRUPDATE geometry mismatch: message specifies "
             f"({update.function_num} fns x {update.function_bits} bits, "
             f"{update.bit_array_size} array bits) but local copy is "
@@ -92,6 +95,67 @@ def apply_dir_update(target: BloomFilter, update: DirUpdate) -> int:
             f"{target.num_bits} array bits)"
         )
     return target.apply_flips(update.flips)
+
+
+def build_set_update_messages(
+    representation: int,
+    added: Sequence[bytes],
+    removed: Sequence[bytes],
+    mtu: int = DEFAULT_MTU,
+    request_number: int = 0,
+    sender: int = 0,
+) -> List[SetDirUpdate]:
+    """Batch set-delta records into ``SetDirUpdate`` messages under *mtu*.
+
+    The counterpart of :func:`build_dir_update_messages` for the
+    exact-directory and server-name representations: *added* and
+    *removed* are already-encoded records (16-byte digests, or UTF-8
+    names), split greedily so each datagram stays within the byte
+    budget.  Records keep their added/removed polarity across message
+    boundaries.
+    """
+    overhead = ICP_HEADER_SIZE + SET_UPDATE_HEADER_SIZE
+    budget = mtu - overhead
+    tagged = [(record, True) for record in added] + [
+        (record, False) for record in removed
+    ]
+    if tagged:
+        smallest = min(_set_record_size(representation, r) for r, _ in tagged)
+        if budget < smallest:
+            raise ProtocolError(
+                f"mtu of {mtu} bytes cannot carry any set-delta records "
+                f"(fixed overhead is {overhead} bytes)"
+            )
+    messages = []
+    batch_added: List[bytes] = []
+    batch_removed: List[bytes] = []
+    used = 0
+    for record, is_add in tagged:
+        cost = _set_record_size(representation, record)
+        if used + cost > budget and (batch_added or batch_removed):
+            messages.append(
+                SetDirUpdate(
+                    representation=representation,
+                    added=tuple(batch_added),
+                    removed=tuple(batch_removed),
+                    request_number=request_number,
+                    sender=sender,
+                )
+            )
+            batch_added, batch_removed, used = [], [], 0
+        (batch_added if is_add else batch_removed).append(record)
+        used += cost
+    if batch_added or batch_removed:
+        messages.append(
+            SetDirUpdate(
+                representation=representation,
+                added=tuple(batch_added),
+                removed=tuple(batch_removed),
+                request_number=request_number,
+                sender=sender,
+            )
+        )
+    return messages
 
 
 def build_digest_messages(

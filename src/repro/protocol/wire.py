@@ -19,6 +19,15 @@ changed."  Records are absolute, so lost updates do not cascade, and
 functions, so that receivers can verify the information."  The header
 "limits the hash table size to be less than 2 billion."
 
+This implementation additionally tags every ``ICP_OP_DIRUPDATE`` with a
+**representation id** in the (otherwise unused) ICP Options field, so
+the same opcode can carry deltas for any summary representation the
+paper compares: id 0 (:data:`REPR_BLOOM`) is the bit-flip payload above
+-- byte-identical to the untagged legacy format -- while ids 1
+(:data:`REPR_EXACT`) and 2 (:data:`REPR_SERVER_NAME`) carry
+:class:`SetDirUpdate` payloads of added/removed directory records
+(16-byte MD5 digests, or length-prefixed server names).
+
 ``ICP_OP_DIGEST`` implements the whole-bit-array alternative ("if the
 delay threshold is large, then it is more economical to send the entire
 bit array; this approach is adopted in the Cache Digest prototype in
@@ -43,14 +52,33 @@ ICP_HEADER_SIZE = 20
 #: Size of the DIRUPDATE extension header in bytes.
 DIRUPDATE_HEADER_SIZE = 12
 
+#: Size of the set-delta (exact / server-name) extension header in bytes.
+SET_UPDATE_HEADER_SIZE = 8
+
 #: Size of the DIGEST chunk header in bytes.
 DIGEST_HEADER_SIZE = 16
 
 #: Maximum representable bit index (31 bits: the MSB carries the value).
 MAX_BIT_INDEX = (1 << 31) - 1
 
+#: DIRUPDATE representation ids (carried in the ICP Options field).
+#: 0 is the paper's Bloom bit-flip encoding -- the value legacy,
+#: untagged senders put on the wire.
+REPR_BLOOM = 0
+#: Exact-directory delta: 16-byte MD5 URL digests.
+REPR_EXACT = 1
+#: Server-name delta: length-prefixed UTF-8 host names.
+REPR_SERVER_NAME = 2
+
+#: The representations whose deltas are added/removed record sets.
+SET_REPRESENTATIONS = (REPR_EXACT, REPR_SERVER_NAME)
+
+#: Fixed size of one exact-directory record (an MD5 digest).
+EXACT_RECORD_BYTES = 16
+
 _HEADER = struct.Struct("!BBHIIII")
 _DIRUPDATE_HEADER = struct.Struct("!HHII")
+_SET_UPDATE_HEADER = struct.Struct("!II")
 _DIGEST_HEADER = struct.Struct("!HHIII")
 
 
@@ -73,14 +101,26 @@ class Opcode(enum.IntEnum):
     DIGEST = 33
 
 
-def _encode(opcode: Opcode, request_number: int, sender: int, payload: bytes) -> bytes:
+def _encode(
+    opcode: Opcode,
+    request_number: int,
+    sender: int,
+    payload: bytes,
+    options: int = 0,
+) -> bytes:
     length = ICP_HEADER_SIZE + len(payload)
     if length > 0xFFFF:
         raise ProtocolError(
             f"message of {length} bytes exceeds the 16-bit ICP length field"
         )
     header = _HEADER.pack(
-        opcode, ICP_VERSION, length, request_number & 0xFFFFFFFF, 0, 0, sender
+        opcode,
+        ICP_VERSION,
+        length,
+        request_number & 0xFFFFFFFF,
+        options,
+        0,
+        sender,
     )
     return header + payload
 
@@ -233,6 +273,122 @@ class DirUpdate:
         """Total encoded size in bytes."""
         return ICP_HEADER_SIZE + DIRUPDATE_HEADER_SIZE + 4 * len(self.flips)
 
+    @property
+    def change_count(self) -> int:
+        """Records carried (uniform across DIRUPDATE payload kinds)."""
+        return len(self.flips)
+
+
+def _set_record_size(representation: int, record: bytes) -> int:
+    """Encoded size of one set-delta record."""
+    if representation == REPR_EXACT:
+        return EXACT_RECORD_BYTES
+    return 2 + len(record)
+
+
+@dataclass(frozen=True)
+class SetDirUpdate:
+    """An ``ICP_OP_DIRUPDATE`` carrying a digest-set delta.
+
+    Used for the exact-directory and server-name representations, whose
+    deltas are *records added to / removed from a set* rather than bit
+    flips.  The representation id travels in the ICP header's Options
+    field; the payload is an 8-byte header (``Added_Count(4)``,
+    ``Removed_Count(4)``) followed by the added records then the removed
+    records -- fixed 16-byte MD5 digests for :data:`REPR_EXACT`,
+    2-byte-length-prefixed UTF-8 names for :data:`REPR_SERVER_NAME`.
+
+    Like the bit-flip form, records are absolute statements of final
+    membership, so loss degrades a copy gracefully and replay is
+    idempotent.
+    """
+
+    representation: int
+    added: Tuple[bytes, ...] = field(default_factory=tuple)
+    removed: Tuple[bytes, ...] = field(default_factory=tuple)
+    request_number: int = 0
+    sender: int = 0
+
+    def __post_init__(self) -> None:
+        if self.representation not in SET_REPRESENTATIONS:
+            raise ProtocolError(
+                f"representation id {self.representation} is not a "
+                f"set representation (expected one of {SET_REPRESENTATIONS})"
+            )
+        for record in self.added + self.removed:
+            if self.representation == REPR_EXACT:
+                if len(record) != EXACT_RECORD_BYTES:
+                    raise ProtocolError(
+                        f"exact-directory record of {len(record)} bytes; "
+                        f"MD5 digests are {EXACT_RECORD_BYTES} bytes"
+                    )
+            elif not 1 <= len(record) <= 0xFFFF:
+                raise ProtocolError(
+                    f"server-name record of {len(record)} bytes outside "
+                    "[1, 65535]"
+                )
+
+    def encode(self) -> bytes:
+        """Serialize to a wire datagram."""
+        payload = bytearray(
+            _SET_UPDATE_HEADER.pack(len(self.added), len(self.removed))
+        )
+        for record in self.added + self.removed:
+            if self.representation == REPR_EXACT:
+                payload += record
+            else:
+                payload += struct.pack("!H", len(record)) + record
+        return _encode(
+            Opcode.DIRUPDATE,
+            self.request_number,
+            self.sender,
+            bytes(payload),
+            options=self.representation,
+        )
+
+    def wire_size(self) -> int:
+        """Total encoded size in bytes."""
+        return (
+            ICP_HEADER_SIZE
+            + SET_UPDATE_HEADER_SIZE
+            + sum(
+                _set_record_size(self.representation, r)
+                for r in self.added + self.removed
+            )
+        )
+
+    @property
+    def change_count(self) -> int:
+        """Records carried (uniform across DIRUPDATE payload kinds)."""
+        return len(self.added) + len(self.removed)
+
+
+def _decode_set_records(
+    representation: int, data: bytes, count: int, what: str
+) -> Tuple[Tuple[bytes, ...], int]:
+    """Parse *count* set-delta records from *data*; return them + offset."""
+    records = []
+    offset = 0
+    for _ in range(count):
+        if representation == REPR_EXACT:
+            end = offset + EXACT_RECORD_BYTES
+            if end > len(data):
+                raise ProtocolError(f"{what}: truncated digest record")
+            records.append(data[offset:end])
+            offset = end
+        else:
+            if offset + 2 > len(data):
+                raise ProtocolError(f"{what}: truncated name length")
+            (name_len,) = struct.unpack_from("!H", data, offset)
+            if name_len == 0:
+                raise ProtocolError(f"{what}: zero-length name record")
+            end = offset + 2 + name_len
+            if end > len(data):
+                raise ProtocolError(f"{what}: truncated name record")
+            records.append(data[offset + 2 : end])
+            offset = end
+    return tuple(records), offset
+
 
 @dataclass(frozen=True)
 class DigestChunk:
@@ -333,6 +489,35 @@ def decode_message(data: bytes):
             sender=sender,
         )
     if opcode == Opcode.DIRUPDATE:
+        if _opts in SET_REPRESENTATIONS:
+            if len(payload) < SET_UPDATE_HEADER_SIZE:
+                raise ProtocolError("DIRUPDATE set payload too short")
+            added_count, removed_count = _SET_UPDATE_HEADER.unpack_from(
+                payload
+            )
+            records = payload[SET_UPDATE_HEADER_SIZE:]
+            added, consumed = _decode_set_records(
+                _opts, records, added_count, "DIRUPDATE added"
+            )
+            removed, tail = _decode_set_records(
+                _opts, records[consumed:], removed_count, "DIRUPDATE removed"
+            )
+            if consumed + tail != len(records):
+                raise ProtocolError(
+                    f"DIRUPDATE announces {added_count}+{removed_count} "
+                    f"records but carries {len(records)} payload bytes"
+                )
+            return SetDirUpdate(
+                representation=_opts,
+                added=added,
+                removed=removed,
+                request_number=request_number,
+                sender=sender,
+            )
+        if _opts != REPR_BLOOM:
+            raise ProtocolError(
+                f"unknown DIRUPDATE representation id {_opts}"
+            )
         if len(payload) < DIRUPDATE_HEADER_SIZE:
             raise ProtocolError("DIRUPDATE payload too short")
         fnum, fbits, asize, count = _DIRUPDATE_HEADER.unpack_from(payload)

@@ -16,6 +16,7 @@ from repro.proxy.client import ClientDriver, ReplayReport, replay_concurrently
 from repro.proxy.config import ProxyConfig, ProxyMode
 from repro.proxy.origin import OriginServer
 from repro.proxy.server import ProxyStats, SummaryCacheProxy
+from repro.summaries import SummaryConfig, UpdatePolicy
 from repro.traces.model import Request, Trace
 from repro.traces.partition import group_of
 
@@ -58,12 +59,19 @@ class ProxyCluster:
         cache_capacity: int = 4 * 1024 * 1024,
         origin_delay: float = 0.0,
         base_config: Optional[ProxyConfig] = None,
+        summary: Optional[SummaryConfig] = None,
+        update_policy: Optional[UpdatePolicy] = None,
     ) -> None:
         if num_proxies < 1:
             raise ConfigurationError("num_proxies must be >= 1")
         self.num_proxies = num_proxies
         self.mode = mode
         template = base_config or ProxyConfig()
+        overrides = {}
+        if summary is not None:
+            overrides["summary"] = summary
+        if update_policy is not None:
+            overrides["update_policy"] = update_policy
         self._configs = [
             replace(
                 template,
@@ -72,6 +80,7 @@ class ProxyCluster:
                 cache_capacity=cache_capacity,
                 http_port=0,
                 icp_port=0,
+                **overrides,
             )
             for i in range(num_proxies)
         ]

@@ -6,8 +6,12 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.core.summary import SummaryConfig
 from repro.errors import ConfigurationError
+from repro.summaries import (
+    SummaryConfig,
+    ThresholdUpdatePolicy,
+    UpdatePolicy,
+)
 
 
 class ProxyMode(str, enum.Enum):
@@ -57,8 +61,12 @@ class ProxyConfig:
     #: Average document size used to size the Bloom filter.
     expected_doc_size: int = 8 * 1024
     #: Ship a summary update when this fraction of cached documents is
-    #: new (the paper's recommended 1%-10% range).
+    #: new (the paper's recommended 1%-10% range).  0 means no delay:
+    #: an update ships after every insert (the live line of Fig. 2).
     update_threshold: float = 0.01
+    #: Full update policy; overrides ``update_threshold`` when set
+    #: (interval and packet-fill policies have no threshold shorthand).
+    update_policy: Optional[UpdatePolicy] = None
     #: Seconds to wait for ICP replies before falling back to the origin.
     icp_timeout: float = 0.5
     #: UDP payload budget for DIRUPDATE batching.
@@ -78,9 +86,9 @@ class ProxyConfig:
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
             raise ConfigurationError("cache_capacity must be >= 1")
-        if not 0.0 < self.update_threshold <= 1.0:
+        if not 0.0 <= self.update_threshold <= 1.0:
             raise ConfigurationError(
-                "update_threshold must be in (0, 1]"
+                "update_threshold must be in [0, 1]"
             )
         if self.icp_timeout <= 0:
             raise ConfigurationError("icp_timeout must be > 0")
@@ -91,9 +99,15 @@ class ProxyConfig:
                 f"update_encoding must be 'delta' or 'digest', "
                 f"got {self.update_encoding!r}"
             )
-        if self.summary.kind != "bloom":
+        if self.update_encoding == "digest" and self.summary.kind != "bloom":
             raise ConfigurationError(
-                "the prototype ships Bloom summaries only (the paper's "
-                "SC-ICP protocol); use the trace simulators for other "
-                "representations"
+                "update_encoding='digest' ships whole bit arrays "
+                "(ICP_OP_DIGEST) and requires a Bloom summary; "
+                f"summary kind is {self.summary.kind!r}"
             )
+
+    def effective_update_policy(self) -> UpdatePolicy:
+        """The policy governing update shipping for this proxy."""
+        if self.update_policy is not None:
+            return self.update_policy
+        return ThresholdUpdatePolicy(self.update_threshold)

@@ -17,15 +17,20 @@ Cooperation modes (:class:`~repro.proxy.config.ProxyMode`):
     the first HIT (or all MISSes / timeout) -- the overhead pattern
     measured in Section IV.
 ``sc-icp``
-    the paper's protocol: the proxy keeps a counting Bloom filter of its
-    own directory and a plain-filter copy per peer (initialized by the
+    the paper's protocol: the proxy keeps a local summary of its own
+    directory and a remote-summary copy per peer (initialized by the
     first DIRUPDATE received, per Section VI-B), probes the copies on a
-    miss, and queries only promising peers.  When the fraction of new
-    documents since the last update reaches the threshold, the pending
-    bit flips are drained into MTU-sized DIRUPDATE messages and sent to
-    every peer.  With ``update_encoding="digest"`` the whole bit array
-    is shipped in ICP_OP_DIGEST chunks instead (the Squid cache-digest
-    variant).
+    miss, and queries only promising peers.  When the update policy
+    fires, the pending delta is drained into MTU-sized,
+    representation-tagged DIRUPDATE messages and sent to every peer.
+    With ``update_encoding="digest"`` the whole bit array is shipped in
+    ICP_OP_DIGEST chunks instead (the Squid cache-digest variant,
+    Bloom summaries only).
+
+The summary representation -- Bloom filter, exact MD5 directory, or
+server-name list -- is selected purely by ``ProxyConfig.summary``; all
+summary state flows through :mod:`repro.summaries`, and the wire
+encode/decode dispatch lives in :mod:`repro.summaries.codec`.
 """
 
 from __future__ import annotations
@@ -45,26 +50,21 @@ from repro.obs.export import (
 )
 from repro.obs.registry import MetricsRegistry
 from repro.obs.trace import TraceRing
-from repro.core.bloom import BloomFilter
-from repro.core.counting_bloom import CountingBloomFilter
-from repro.core.hashing import MD5HashFamily
-from repro.core.summary import expected_documents_for_cache
-from repro.errors import ProtocolError, ProxyError
-from repro.protocol.update import (
-    DigestAssembler,
-    apply_dir_update,
-    build_digest_messages,
-    build_dir_update_messages,
-)
+from repro.errors import ProtocolError, ProxyError, SummaryMismatchError
+from repro.protocol.update import DigestAssembler
 from repro.protocol.wire import (
     DigestChunk,
     DirUpdate,
     IcpHit,
     IcpMiss,
     IcpQuery,
+    SetDirUpdate,
     decode_message,
 )
 from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
+from repro.summaries import LocalSummary, RemoteSummary, SummaryNode
+from repro.summaries import codec
+from repro.summaries.bloom import BloomRemote
 from repro.proxy.http import (
     HttpResponse,
     read_request,
@@ -97,12 +97,16 @@ class _ProxyMetrics:
         "remote_fetch_failures", "false_hits", "origin_fetches",
         "bytes_served", "icp_queries_sent", "icp_queries_received",
         "icp_replies_sent", "icp_replies_received", "icp_timeouts",
-        "dirupdates_sent", "dirupdates_received", "summary_resizes",
-        "udp_sent", "udp_received", "peer_served", "phase_seconds",
+        "dirupdates_sent", "dirupdates_received", "dirupdate_rejects",
+        "summary_resizes", "udp_sent", "udp_received", "peer_served",
+        "phase_seconds",
     )
 
-    def __init__(self, registry: MetricsRegistry) -> None:
+    def __init__(self, registry: MetricsRegistry, representation: str) -> None:
         c = registry.counter
+        # Summary-traffic counters carry the representation so a scrape
+        # of a mixed cluster shows which wire encoding each proxy runs.
+        rep = {"representation": representation}
         self.http_requests = c(
             "proxy_http_requests_total", "client HTTP requests"
         )
@@ -145,13 +149,21 @@ class _ProxyMetrics:
         self.dirupdates_sent = c(
             "proxy_dirupdates_sent_total",
             "DIRUPDATE/DIGEST datagrams sent to peers",
+            labels=rep,
         )
         self.dirupdates_received = c(
             "proxy_dirupdates_received_total",
             "DIRUPDATE/DIGEST datagrams received from peers",
+            labels=rep,
+        )
+        self.dirupdate_rejects = c(
+            "proxy_dirupdate_rejects_total",
+            "DIRUPDATEs rejected for representation/geometry mismatch",
+            labels=rep,
         )
         self.summary_resizes = c(
-            "proxy_summary_resizes_total", "summary filter rebuilds"
+            "proxy_summary_resizes_total", "summary rebuilds",
+            labels=rep,
         )
         self.udp_sent = c("proxy_udp_sent_total", "UDP datagrams sent")
         self.udp_received = c(
@@ -193,6 +205,7 @@ class ProxyStats:
     icp_replies_received: int = 0
     dirupdates_sent: int = 0
     dirupdates_received: int = 0
+    dirupdate_rejects: int = 0
     summary_resizes: int = 0
     udp_sent: int = 0
     udp_received: int = 0
@@ -213,10 +226,11 @@ class _PeerState:
 
     def __init__(self, address: PeerAddress) -> None:
         self.address = address
-        #: Plain Bloom filter copy; ``None`` until the first DIRUPDATE
-        #: arrives ("The structure is initialized when the first summary
-        #: update message is received from the neighbor").
-        self.summary: Optional[BloomFilter] = None
+        #: Remote summary copy (representation-tagged by the wire);
+        #: ``None`` until the first DIRUPDATE arrives ("The structure is
+        #: initialized when the first summary update message is received
+        #: from the neighbor").
+        self.summary: Optional[RemoteSummary] = None
         self.alive = True
         #: Reassembles whole-filter transfers in digest mode.
         self.assembler = DigestAssembler()
@@ -277,25 +291,24 @@ class SummaryCacheProxy:
         self.registry = registry if registry is not None else MetricsRegistry()
         #: Ring buffer of ICP/DIRUPDATE message-lifecycle events.
         self.trace = trace_ring if trace_ring is not None else TraceRing()
-        self._m = _ProxyMetrics(self.registry)
+        self._m = _ProxyMetrics(self.registry, config.summary.kind)
         self._bodies: Dict[str, bytes] = {}
-        self._summary = CountingBloomFilter.for_capacity(
-            expected_documents_for_cache(
-                config.cache_capacity, config.expected_doc_size
-            ),
-            load_factor=config.summary.load_factor,
-            hash_family=MD5HashFamily(
-                num_functions=config.summary.num_hashes
-            ),
-            counter_width=config.summary.counter_width,
+        #: The local summary plus its update bookkeeping.  The proxy
+        #: never tracks a shipped copy (peers hold the remote copies),
+        #: so ``track_shipped=False``.
+        self._node = SummaryNode(
+            config.summary,
+            config.cache_capacity,
+            doc_size=config.expected_doc_size,
+            track_shipped=False,
         )
+        self._update_policy = config.effective_update_policy()
         self._cache = WebCache(
             config.cache_capacity,
             max_object_size=config.max_object_size,
             on_insert=self._on_cache_insert,
             on_evict=self._on_cache_evict,
         )
-        self._new_since_update = 0
         self._peers: Dict[Tuple[str, int], _PeerState] = {}
         self._pending: Dict[int, _PendingQuery] = {}
         self._request_counter = 0
@@ -318,7 +331,7 @@ class SummaryCacheProxy:
             ("proxy_cache_evictions", "CacheStats evictions",
              lambda: self._cache.stats.evictions),
             ("proxy_summary_fill_ratio", "own summary fill ratio",
-             lambda: self._summary.fill_ratio()),
+             lambda: self._node.local.fill_ratio()),
             ("proxy_peers", "configured peers", lambda: len(self._peers)),
             ("proxy_pending_queries", "outstanding ICP query rounds",
              lambda: len(self._pending)),
@@ -404,11 +417,10 @@ class SummaryCacheProxy:
     # ------------------------------------------------------------------
 
     def _on_cache_insert(self, url: str) -> None:
-        self._summary.add(url)
-        self._new_since_update += 1
+        self._node.on_insert(url)
 
     def _on_cache_evict(self, url: str) -> None:
-        self._summary.remove(url)
+        self._node.on_evict(url)
         self._bodies.pop(url, None)
 
     def _store(self, url: str, body: bytes) -> None:
@@ -422,49 +434,40 @@ class SummaryCacheProxy:
             self._maybe_broadcast_update()
 
     def _maybe_resize_summary(self) -> None:
-        """Grow the filter when the cache outruns its expected size.
+        """Rebuild the summary when the cache outruns its expected size.
 
-        The filter was sized for ``cache_capacity / expected_doc_size``
-        documents; if the cache holds far more (documents smaller than
-        anticipated), the effective load factor -- and with it the
-        false-hit rate at every peer -- degrades.  Rebuilding at double
-        the bits from the live directory restores it; peers resync via
-        a whole-filter digest (a delta cannot describe a geometry
-        change).
+        A Bloom summary was sized for ``cache_capacity /
+        expected_doc_size`` documents; if the cache holds far more
+        (documents smaller than anticipated), the effective load factor
+        -- and with it the false-hit rate at every peer -- degrades.
+        Rebuilding at double the bits from the live directory restores
+        it; peers resync via a whole-filter digest (a delta cannot
+        describe a geometry change).  Set representations never report
+        themselves overloaded, so this is a no-op for them.
         """
         threshold = self.config.resize_threshold
         if threshold <= 0:
             return
-        expected = self._summary.num_bits // self.config.summary.load_factor
-        if len(self._cache) <= expected * threshold:
+        if not self._node.local.overloaded(len(self._cache), threshold):
             return
-        rebuilt = CountingBloomFilter(
-            self._summary.num_bits * 2,
-            hash_family=self._summary.hash_family,
-            counter_width=self.config.summary.counter_width,
-        )
-        for url in self._cache.urls():
-            rebuilt.add(url)
-        rebuilt.drain_flips()  # peers get a digest, not a delta
-        self._summary = rebuilt
-        self._new_since_update = 0
+        self._node.rebuild(self._cache.urls(), perf_counter())
         self.stats.summary_resizes += 1
         self._m.summary_resizes.inc()
         logger.info(
             "proxy=%s summary resized to %d bits (%d cached documents)",
             self.config.name,
-            rebuilt.num_bits,
+            getattr(self._node.local, "num_bits", 0),
             len(self._cache),
         )
         self._broadcast_digest()
 
     def _broadcast_digest(self) -> None:
-        """Ship the whole filter to every peer (resync after a resize)."""
+        """Ship the whole summary to every peer (resync after a resize)."""
         if not self._peers or self._icp is None:
             return
         transport = self._icp.transport
-        messages = build_digest_messages(
-            self._summary, mtu=self.config.mtu
+        messages = codec.whole_summary_messages(
+            self._node.local, mtu=self.config.mtu
         )
         for peer_addr, state in self._peers.items():
             if not state.alive:
@@ -477,32 +480,31 @@ class SummaryCacheProxy:
                 self._m.udp_sent.inc()
 
     def _maybe_broadcast_update(self) -> None:
-        docs = max(1, len(self._cache))
-        if self._new_since_update / docs < self.config.update_threshold:
+        now = perf_counter()
+        if not self._node.due_for_update(
+            self._update_policy, now, len(self._cache)
+        ):
             return
-        flips = self._summary.drain_flips()
-        self._new_since_update = 0
-        if not flips or not self._peers or self._icp is None:
+        delta = self._node.publish(now)
+        if delta.is_empty() or not self._peers or self._icp is None:
             return
         trace_id = self.trace.next_trace_id()
         self.trace.record(
             trace_id,
             "dirupdate.drain",
-            flips=len(flips),
+            records=delta.change_count,
+            representation=self.config.summary.kind,
             encoding=self.config.update_encoding,
             peers=sum(1 for s in self._peers.values() if s.alive),
         )
         if self.config.update_encoding == "digest":
             # Squid cache-digest style: ship the whole bit array.
-            messages = build_digest_messages(
-                self._summary, mtu=self.config.mtu
+            messages = codec.whole_summary_messages(
+                self._node.local, mtu=self.config.mtu
             )
         else:
-            messages = build_dir_update_messages(
-                flips,
-                self._summary.hash_family,
-                self._summary.num_bits,
-                mtu=self.config.mtu,
+            messages = codec.delta_messages(
+                self._node.local, delta, mtu=self.config.mtu
             )
         transport = self._icp.transport
         for peer_addr, state in self._peers.items():
@@ -515,9 +517,9 @@ class SummaryCacheProxy:
                 self._m.dirupdates_sent.inc()
                 self._m.udp_sent.inc()
         logger.debug(
-            "proxy=%s dirupdate drained flips=%d messages=%d",
+            "proxy=%s dirupdate drained records=%d messages=%d",
             self.config.name,
-            len(flips),
+            delta.change_count,
             len(messages),
         )
 
@@ -536,7 +538,7 @@ class SummaryCacheProxy:
             self._handle_query(message, addr)
         elif isinstance(message, (IcpHit, IcpMiss)):
             self._handle_reply(message, addr)
-        elif isinstance(message, DirUpdate):
+        elif isinstance(message, (DirUpdate, SetDirUpdate)):
             self._handle_dir_update(message, addr)
         elif isinstance(message, DigestChunk):
             self._handle_digest_chunk(message, addr)
@@ -579,39 +581,45 @@ class SummaryCacheProxy:
         if not pending.outstanding:
             pending.future.set_result(None)
 
-    def _handle_dir_update(self, update: DirUpdate, addr) -> None:
+    def _handle_dir_update(self, update, addr) -> None:
+        """Patch the sender's remote copy from a (Set)DirUpdate.
+
+        A mismatched update -- wrong representation, or a Bloom delta
+        whose geometry disagrees with the copy (the peer resized and
+        this datagram predates the digest resync) -- is rejected
+        cleanly: the copy is left untouched and the peer's digest (or
+        pending-everything delta after a set rebuild) resynchronizes it.
+        """
         self.stats.dirupdates_received += 1
         self._m.dirupdates_received.inc()
         state = self._peers.get(addr)
         if state is None:
             return  # update from an unconfigured peer
-        if (
-            state.summary is None
-            or state.summary.num_bits != update.bit_array_size
-            or state.summary.hash_family.spec()
-            != (update.function_num, update.function_bits)
-        ):
-            # First update from this peer, or the peer rebuilt its
-            # filter (e.g. after restart): reinitialize from the
-            # header's geometry.
-            state.summary = BloomFilter(
-                update.bit_array_size,
-                hash_family=MD5HashFamily.from_spec(
-                    update.function_num, update.function_bits
-                ),
+        try:
+            state.summary, changed = codec.apply_update(
+                state.summary, update
+            )
+        except SummaryMismatchError as exc:
+            self.stats.dirupdate_rejects += 1
+            self._m.dirupdate_rejects.inc()
+            self.trace.record(
+                self.trace.next_trace_id(),
+                "dirupdate.reject",
+                peer=state.address.name,
+                reason=str(exc),
             )
             logger.debug(
-                "proxy=%s initialized summary for peer=%s (%d bits)",
+                "proxy=%s rejected dirupdate from peer=%s: %s",
                 self.config.name,
                 state.address.name,
-                update.bit_array_size,
+                exc,
             )
-        changed = apply_dir_update(state.summary, update)
+            return
         self.trace.record(
             self.trace.next_trace_id(),
             "dirupdate.apply",
             peer=state.address.name,
-            records=len(update.flips),
+            records=update.change_count,
             changed=changed,
         )
 
@@ -624,7 +632,7 @@ class SummaryCacheProxy:
             return
         completed = state.assembler.add(chunk)
         if completed is not None:
-            state.summary = completed
+            state.summary = BloomRemote(completed)
             self.trace.record(
                 self.trace.next_trace_id(),
                 "digest.apply",
@@ -673,7 +681,8 @@ class SummaryCacheProxy:
                 "cache_entries": len(self._cache),
                 "cache_used_bytes": self._cache.used_bytes,
                 "cache_capacity_bytes": self._cache.capacity_bytes,
-                "summary_fill_ratio": self._summary.fill_ratio(),
+                "summary_fill_ratio": self._node.local.fill_ratio(),
+                "summary_representation": self.config.summary.kind,
                 "peers": len(self._peers),
             }
         )
@@ -926,11 +935,13 @@ class SummaryCacheProxy:
         return self._cache
 
     @property
-    def summary(self) -> CountingBloomFilter:
-        """This proxy's own counting Bloom filter."""
-        return self._summary
+    def summary(self) -> LocalSummary:
+        """This proxy's own local summary."""
+        return self._node.local
 
-    def peer_summary(self, icp_addr: Tuple[str, int]) -> Optional[BloomFilter]:
-        """The current filter copy held for the peer at *icp_addr*."""
+    def peer_summary(
+        self, icp_addr: Tuple[str, int]
+    ) -> Optional[RemoteSummary]:
+        """The current summary copy held for the peer at *icp_addr*."""
         state = self._peers.get(icp_addr)
         return state.summary if state else None

@@ -105,10 +105,10 @@ def simulate_hierarchy(
     )
     live = (
         isinstance(cfg.update_policy, ThresholdUpdatePolicy)
-        and cfg.update_policy.threshold == 0.0
+        and cfg.update_policy.live
     )
     key_cache: dict = {}
-    key_of = children[0].local_summary.key_of
+    key_of = children[0].node.local.key_of
 
     for req in trace:
         g = group_of(req.client_id, num_children)
@@ -130,9 +130,7 @@ def simulate_hierarchy(
             for j, peer in enumerate(children):
                 if j == g:
                     continue
-                summary = (
-                    peer.local_summary if live else peer.shipped_summary
-                )
+                summary = peer.node.local if live else peer.node.shipped
                 if summary.contains_key(key):
                     candidates.append(j)
             if candidates:
@@ -166,9 +164,11 @@ def simulate_hierarchy(
         if (
             sibling_sharing
             and not live
-            and me.due_for_update(cfg.update_policy, req.timestamp)
+            and me.node.due_for_update(
+                cfg.update_policy, req.timestamp, len(me.cache)
+            )
         ):
-            delta = me.publish(req.timestamp)
+            delta = me.node.publish(req.timestamp)
             fanout = num_children - 1
             result.sibling_update_messages += fanout
             result.sibling_update_bytes += _delta_bytes(delta) * fanout

@@ -17,16 +17,10 @@ four outcome classes of Section V -- remote hit, false hit, false miss,
 remote stale hit -- are tallied along with message counts and bytes
 under the paper's size model (:mod:`repro.sharing.messages`).
 
-Update dissemination is governed by an update policy:
-
-- :class:`ThresholdUpdatePolicy` -- ship when the fraction of cached
-  documents not yet reflected in the shipped summary reaches a
-  threshold (the paper's main design, studied at 0.1%..10% in Fig. 2);
-- :class:`IntervalUpdatePolicy` -- ship every fixed simulated-time
-  interval (the alternative Section V-A mentions, used by the update
-  -policy ablation benchmark).
-
-A threshold of 0 means peers always see the live directory (the "no
+Update dissemination is governed by an update policy from
+:mod:`repro.summaries.policies` (threshold / interval / packet-fill;
+re-exported here for compatibility with pre-refactor imports).  A
+threshold of 0 means peers always see the live directory (the "no
 update delay" top line of Fig. 2).
 """
 
@@ -34,17 +28,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Union
+from typing import List, Optional
 
 from repro.cache import WebCache
-from repro.core.summary import (
-    AVERAGE_DOCUMENT_SIZE,
-    BitFlipDelta,
-    BloomSummary as BloomSummaryType,
-    DigestDelta,
-    SummaryConfig,
-    make_local_summary,
-)
 from repro.errors import ConfigurationError
 from repro.obs.registry import get_registry
 from repro.sharing.messages import (
@@ -55,70 +41,28 @@ from repro.sharing.messages import (
 )
 from repro.sharing.results import SharingResult
 from repro.sharing.schemes import Capacity, resolve_capacities
+from repro.summaries import (
+    AVERAGE_DOCUMENT_SIZE,
+    BitFlipDelta,
+    DigestDelta,
+    IntervalUpdatePolicy,
+    PacketFillUpdatePolicy,
+    SummaryConfig,
+    SummaryNode,
+    ThresholdUpdatePolicy,
+    UpdatePolicy,
+)
 from repro.traces.model import Trace
 from repro.traces.partition import group_of
 
-
-@dataclass(frozen=True)
-class ThresholdUpdatePolicy:
-    """Ship an update when new-document fraction reaches *threshold*.
-
-    "the update can occur ... when a certain percentage of the cached
-    documents are not reflected in the summary."  A threshold of 0
-    disables delay entirely (peers probe the live directory).
-    """
-
-    threshold: float = 0.01
-
-    def __post_init__(self) -> None:
-        if not 0.0 <= self.threshold <= 1.0:
-            raise ConfigurationError(
-                f"threshold must be in [0, 1], got {self.threshold}"
-            )
-
-    def label(self) -> str:
-        return f"threshold={self.threshold:g}"
-
-
-@dataclass(frozen=True)
-class IntervalUpdatePolicy:
-    """Ship an update every *interval* simulated seconds."""
-
-    interval: float = 300.0
-
-    def __post_init__(self) -> None:
-        if self.interval <= 0:
-            raise ConfigurationError(
-                f"interval must be > 0, got {self.interval}"
-            )
-
-    def label(self) -> str:
-        return f"interval={self.interval:g}s"
-
-
-@dataclass(frozen=True)
-class PacketFillUpdatePolicy:
-    """Ship an update once pending changes fill one IP packet.
-
-    The Squid prototype's behaviour: "sends updates whenever there are
-    enough changes to fill an IP packet" (Section VI-B).  The default
-    of 342 records is an MTU-sized DIRUPDATE: (1400 - 32) / 4.
-    """
-
-    records: int = (1400 - 32) // 4
-
-    def __post_init__(self) -> None:
-        if self.records < 1:
-            raise ConfigurationError(
-                f"records must be >= 1, got {self.records}"
-            )
-
-    def label(self) -> str:
-        return f"packet-fill={self.records}"
-
-
-UpdatePolicy = Union[
-    ThresholdUpdatePolicy, IntervalUpdatePolicy, PacketFillUpdatePolicy
+__all__ = [
+    "IntervalUpdatePolicy",
+    "PacketFillUpdatePolicy",
+    "SummarySharingConfig",
+    "ThresholdUpdatePolicy",
+    "UpdatePolicy",
+    "simulate_icp",
+    "simulate_summary_sharing",
 ]
 
 
@@ -143,61 +87,25 @@ class SummarySharingConfig:
 
 
 class _ProxyState:
-    """Per-proxy simulation state."""
+    """Per-proxy simulation state: a cache wired to a summary node.
 
-    __slots__ = (
-        "cache",
-        "local_summary",
-        "shipped_summary",
-        "new_since_update",
-        "last_update_time",
-    )
+    All summary plumbing (local/shipped copies, update bookkeeping)
+    lives in :class:`repro.summaries.SummaryNode`; this class only pairs
+    it with the document cache driving its callbacks.
+    """
+
+    __slots__ = ("cache", "node")
 
     def __init__(self, capacity: int, config: SummarySharingConfig) -> None:
-        self.local_summary = make_local_summary(
+        self.node = SummaryNode(
             config.summary, capacity, doc_size=config.expected_doc_size
         )
         self.cache = WebCache(
             capacity,
             policy=config.policy,
-            on_insert=self._on_insert,
-            on_evict=self._on_evict,
+            on_insert=self.node.on_insert,
+            on_evict=self.node.on_evict,
         )
-        self.shipped_summary = self.local_summary.export()
-        self.new_since_update = 0
-        self.last_update_time = 0.0
-
-    def _on_insert(self, url: str) -> None:
-        self.local_summary.add(url)
-        self.new_since_update += 1
-
-    def _on_evict(self, url: str) -> None:
-        self.local_summary.remove(url)
-
-    def due_for_update(self, policy: UpdatePolicy, now: float) -> bool:
-        """Check whether the shipped summary should be refreshed."""
-        if isinstance(policy, ThresholdUpdatePolicy):
-            if policy.threshold == 0.0:
-                return False  # live probing handles this case
-            docs = max(1, len(self.cache))
-            return self.new_since_update / docs >= policy.threshold
-        if isinstance(policy, PacketFillUpdatePolicy):
-            return (
-                self.local_summary.pending_change_count()
-                >= policy.records
-            )
-        return now - self.last_update_time >= policy.interval
-
-    def publish(self, now: float):
-        """Drain the pending delta into the shipped summary.
-
-        Returns the delta (for message-size accounting).
-        """
-        delta = self.local_summary.drain_delta()
-        self.shipped_summary.apply_delta(delta)
-        self.new_since_update = 0
-        self.last_update_time = now
-        return delta
 
 
 class _SharingMetrics:
@@ -303,7 +211,7 @@ def simulate_summary_sharing(
     proxies = [_ProxyState(size, cfg) for size in capacities]
     live = (
         isinstance(cfg.update_policy, ThresholdUpdatePolicy)
-        and cfg.update_policy.threshold == 0.0
+        and cfg.update_policy.live
     )
     result = SharingResult(
         scheme=f"summary/{cfg.label()}",
@@ -318,7 +226,7 @@ def simulate_summary_sharing(
     # probe key (MD5 digest / server name / bit positions) of a URL is
     # identical at every peer: derive it once per URL, ever.
     key_cache: dict = {}
-    key_of = proxies[0].local_summary.key_of if proxies else None
+    key_of = proxies[0].node.local.key_of if proxies else None
 
     for req in trace:
         g = group_of(req.client_id, num_proxies)
@@ -346,9 +254,7 @@ def simulate_summary_sharing(
         for j, peer in enumerate(proxies):
             if j == g:
                 continue
-            summary = (
-                peer.local_summary if live else peer.shipped_summary
-            )
+            summary = peer.node.local if live else peer.node.shipped
             if summary.contains_key(key):
                 candidates.append(j)
 
@@ -404,14 +310,12 @@ def simulate_summary_sharing(
         # Fetch (from peer or origin) and cache locally, then check the
         # update trigger -- insertion may have pushed us past threshold.
         me.cache.put(req.url, req.size, version=req.version)
-        if not live and me.due_for_update(cfg.update_policy, req.timestamp):
-            delta = me.publish(req.timestamp)
+        if not live and me.node.due_for_update(
+            cfg.update_policy, req.timestamp, len(me.cache)
+        ):
+            delta = me.node.publish(req.timestamp)
             fanout = num_proxies - 1
-            num_bits = (
-                me.local_summary.num_bits
-                if isinstance(me.local_summary, BloomSummaryType)
-                else None
-            )
+            num_bits = getattr(me.node.local, "num_bits", None)
             update_bytes = _delta_bytes(delta, num_bits) * fanout
             msgs.update_messages += fanout
             msgs.update_bytes += update_bytes
@@ -432,8 +336,8 @@ def simulate_summary_sharing(
     # Memory per proxy: one remote copy per peer, plus this proxy's own
     # local structure (counters included for Bloom summaries).
     if proxies:
-        remote = proxies[0].local_summary.remote_size_bytes()
-        local = proxies[0].local_summary.size_bytes()
+        remote = proxies[0].node.local.remote_size_bytes()
+        local = proxies[0].node.local.size_bytes()
         result.summary_memory_bytes = remote * (num_proxies - 1) + local
     return result
 

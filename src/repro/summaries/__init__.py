@@ -1,0 +1,69 @@
+"""The unified summary backend layer.
+
+One package owns everything about summaries -- the representations the
+paper compares (Section V), the update policies that govern when changes
+ship (Sections V-A, VI-B), and the codec that puts representation-tagged
+deltas on the wire (Section VI-A) -- so the Section V simulator, the
+wire protocol, and the live asyncio proxy all consume the same classes:
+
+- :mod:`repro.summaries.backend` -- the :class:`LocalSummary` /
+  :class:`RemoteSummary` ABCs, :class:`SummaryConfig`, delta types, the
+  :func:`make_local_summary` factory, and :class:`SummaryNode` (shared
+  update bookkeeping);
+- :mod:`repro.summaries.exact`, :mod:`repro.summaries.servername`,
+  :mod:`repro.summaries.bloom` -- one module per representation;
+- :mod:`repro.summaries.policies` -- threshold / interval / packet-fill
+  update policies;
+- :mod:`repro.summaries.codec` -- representation-tagged delta and
+  digest encode/decode against :mod:`repro.protocol`.
+
+``repro.core.summary`` re-exports the representation classes for
+compatibility with pre-refactor imports.
+"""
+
+from repro.summaries.backend import (
+    AVERAGE_DOCUMENT_SIZE,
+    BitFlipDelta,
+    DigestDelta,
+    DigestSetRemote,
+    LocalSummary,
+    RemoteSummary,
+    SummaryConfig,
+    SummaryNode,
+    expected_documents_for_cache,
+    make_local_summary,
+)
+from repro.summaries.bloom import BloomRemote, BloomSummary
+from repro.summaries.exact import ExactDirectoryRemote, ExactDirectorySummary
+from repro.summaries.policies import (
+    IntervalUpdatePolicy,
+    PacketFillUpdatePolicy,
+    ThresholdUpdatePolicy,
+    UpdatePolicy,
+    parse_update_policy,
+)
+from repro.summaries.servername import ServerNameRemote, ServerNameSummary
+
+__all__ = [
+    "AVERAGE_DOCUMENT_SIZE",
+    "BitFlipDelta",
+    "BloomRemote",
+    "BloomSummary",
+    "DigestDelta",
+    "DigestSetRemote",
+    "ExactDirectoryRemote",
+    "ExactDirectorySummary",
+    "IntervalUpdatePolicy",
+    "LocalSummary",
+    "PacketFillUpdatePolicy",
+    "RemoteSummary",
+    "ServerNameRemote",
+    "ServerNameSummary",
+    "SummaryConfig",
+    "SummaryNode",
+    "ThresholdUpdatePolicy",
+    "UpdatePolicy",
+    "expected_documents_for_cache",
+    "make_local_summary",
+    "parse_update_policy",
+]

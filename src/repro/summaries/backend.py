@@ -1,0 +1,363 @@
+"""The summary backend: ABCs, sizing, and shared update bookkeeping.
+
+A *summary* is the compact stand-in for a peer's cache directory.  Each
+representation comes in two halves:
+
+- a **local summary** (:class:`LocalSummary`), maintained by the cache's
+  owner as documents enter and leave, which can emit *deltas* (the
+  changes since the last shipped update); and
+- a **remote summary** (:class:`RemoteSummary`), the possibly stale copy
+  a peer holds, which can be probed and patched with deltas.
+
+Three representations are implemented, exactly the ones the paper
+evaluates (Section V):
+
+==========================================  =====================================  =============================
+Representation                              Local state                            Shipped/remote state
+==========================================  =====================================  =============================
+:class:`~repro.summaries.exact.ExactDirectorySummary`       set of 16-byte MD5 URL digests        same set (frozen)
+:class:`~repro.summaries.servername.ServerNameSummary`      refcounted set of server names        set of names (frozen)
+:class:`~repro.summaries.bloom.BloomSummary`                counting Bloom filter                 plain Bloom filter
+==========================================  =====================================  =============================
+
+Every consumer -- the Section V simulator, the wire protocol codec, and
+the live asyncio proxy -- works against these ABCs; representation is
+selected purely by :class:`SummaryConfig`.  Delta sizes for the
+simulator follow the paper's Fig. 8 accounting and are computed in
+:mod:`repro.sharing.messages`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Tuple
+
+from repro.errors import ConfigurationError
+from repro.summaries.policies import UpdatePolicy
+
+#: The paper's average-document-size divisor: "The average number of
+#: documents is calculated by dividing the cache size by 8 K (the average
+#: document size)."
+AVERAGE_DOCUMENT_SIZE = 8 * 1024
+
+
+@dataclass(frozen=True)
+class SummaryConfig:
+    """Parameters selecting and sizing a summary representation.
+
+    Attributes
+    ----------
+    kind:
+        ``"exact-directory"``, ``"server-name"``, or ``"bloom"``.
+    load_factor:
+        Bits per expected document for Bloom summaries (8/16/32 in the
+        paper).  Ignored by the other representations.
+    num_hashes:
+        Hash functions for Bloom summaries (the paper uses 4).
+    counter_width:
+        Counter bits for the local counting filter (the paper uses 4).
+    """
+
+    kind: str = "bloom"
+    load_factor: int = 8
+    num_hashes: int = 4
+    counter_width: int = 4
+
+    KINDS = ("exact-directory", "server-name", "bloom")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ConfigurationError(
+                f"unknown summary kind {self.kind!r}; expected one of {self.KINDS}"
+            )
+        if self.load_factor < 1:
+            raise ConfigurationError(
+                f"load_factor must be >= 1, got {self.load_factor}"
+            )
+        if self.num_hashes < 1:
+            raise ConfigurationError(
+                f"num_hashes must be >= 1, got {self.num_hashes}"
+            )
+
+    def label(self) -> str:
+        """Human-readable label matching the paper's figure legends."""
+        if self.kind == "bloom":
+            return f"bloom-{self.load_factor}"
+        return self.kind
+
+
+@dataclass
+class DigestDelta:
+    """Changes to a digest-set summary since the last shipped update."""
+
+    added: List = field(default_factory=list)
+    removed: List = field(default_factory=list)
+
+    @property
+    def change_count(self) -> int:
+        """Number of 16-byte change records the update carries."""
+        return len(self.added) + len(self.removed)
+
+    def is_empty(self) -> bool:
+        return not self.added and not self.removed
+
+
+@dataclass
+class BitFlipDelta:
+    """Absolute bit set/clear records for a Bloom summary update."""
+
+    flips: List[Tuple[int, bool]] = field(default_factory=list)
+
+    @property
+    def change_count(self) -> int:
+        """Number of 32-bit flip records the update carries."""
+        return len(self.flips)
+
+    def is_empty(self) -> bool:
+        return not self.flips
+
+
+class RemoteSummary(ABC):
+    """A peer's (possibly stale) view of another proxy's directory.
+
+    Probing twice: :meth:`may_contain` is the convenient form;
+    :meth:`key_of` + :meth:`contains_key` split the (potentially
+    expensive) key derivation from the probe so a simulator checking
+    one URL against many peer summaries hashes it once.
+    """
+
+    @abstractmethod
+    def may_contain(self, url: str) -> bool:
+        """Probe the summary; a ``False`` is authoritative for this copy."""
+
+    @abstractmethod
+    def key_of(self, url: str):
+        """Derive the probe key for *url* (digest, name, or positions)."""
+
+    @abstractmethod
+    def contains_key(self, key) -> bool:
+        """Probe with a key previously derived by :meth:`key_of`."""
+
+    @abstractmethod
+    def apply_delta(self, delta) -> None:
+        """Patch the copy with a received delta update."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """DRAM footprint of this copy at the peer."""
+
+
+class LocalSummary(ABC):
+    """The summary a proxy maintains for its own cache."""
+
+    @abstractmethod
+    def add(self, url: str) -> None:
+        """Record that *url* entered the cache."""
+
+    @abstractmethod
+    def remove(self, url: str) -> None:
+        """Record that *url* left the cache."""
+
+    @abstractmethod
+    def may_contain(self, url: str) -> bool:
+        """Probe the up-to-date local summary."""
+
+    @abstractmethod
+    def key_of(self, url: str):
+        """Derive the probe key for *url* (digest, name, or positions)."""
+
+    @abstractmethod
+    def contains_key(self, key) -> bool:
+        """Probe with a key previously derived by :meth:`key_of`."""
+
+    @abstractmethod
+    def drain_delta(self):
+        """Return changes since the last drain and mark them shipped."""
+
+    @abstractmethod
+    def pending_change_count(self) -> int:
+        """How many change records the next delta would carry."""
+
+    @abstractmethod
+    def export(self) -> RemoteSummary:
+        """Return a fresh remote copy reflecting the current directory."""
+
+    @abstractmethod
+    def size_bytes(self) -> int:
+        """Local DRAM footprint (including any counters)."""
+
+    @abstractmethod
+    def remote_size_bytes(self) -> int:
+        """DRAM footprint of the shipped representation at one peer."""
+
+    @abstractmethod
+    def rebuild(self, urls: Iterable[str]) -> None:
+        """Reconstruct the summary from the live directory *urls*.
+
+        For Bloom summaries this grows the filter geometry (the proxy's
+        resize-and-redigest path); peers must resynchronize from a whole
+        summary transfer afterwards, so implementations discard any
+        pending delta and, for set representations, mark the full
+        directory as pending so the next delta carries everything.
+        """
+
+    def overloaded(self, num_documents: int, factor: float) -> bool:
+        """Does holding *num_documents* degrade this summary's accuracy?
+
+        Only fixed-geometry representations (Bloom filters sized for an
+        expected document count) can be overloaded; set representations
+        grow with the directory and always return ``False``.
+        """
+        return False
+
+    def fill_ratio(self) -> float:
+        """Fraction of summary capacity in use (0.0 when not meaningful)."""
+        return 0.0
+
+
+class DigestSetRemote(RemoteSummary):
+    """Remote half shared by the exact-directory and server-name forms."""
+
+    __slots__ = ("_digests", "_bytes_per_entry")
+
+    def __init__(self, digests: set, bytes_per_entry: int) -> None:
+        self._digests = set(digests)
+        self._bytes_per_entry = bytes_per_entry
+
+    def _key(self, url: str):
+        raise NotImplementedError
+
+    def may_contain(self, url: str) -> bool:
+        return self._key(url) in self._digests
+
+    def key_of(self, url: str):
+        return self._key(url)
+
+    def contains_key(self, key) -> bool:
+        return key in self._digests
+
+    def apply_delta(self, delta: DigestDelta) -> None:
+        for digest in delta.removed:
+            self._digests.discard(digest)
+        for digest in delta.added:
+            self._digests.add(digest)
+
+    def size_bytes(self) -> int:
+        return len(self._digests) * self._bytes_per_entry
+
+    def __len__(self) -> int:
+        return len(self._digests)
+
+
+def expected_documents_for_cache(
+    cache_size_bytes: int, doc_size: int = AVERAGE_DOCUMENT_SIZE
+) -> int:
+    """Expected document count for a cache: size / average document size.
+
+    The paper's rule divides by 8 KB; pass a workload-derived *doc_size*
+    (e.g. the trace's mean cacheable document size) when the workload's
+    average differs, otherwise the filter is mis-sized and the false-hit
+    ratio drifts from the nominal load factor's.
+    """
+    if cache_size_bytes < 1:
+        raise ConfigurationError(
+            f"cache_size_bytes must be >= 1, got {cache_size_bytes}"
+        )
+    if doc_size < 1:
+        raise ConfigurationError(f"doc_size must be >= 1, got {doc_size}")
+    return max(1, cache_size_bytes // doc_size)
+
+
+def make_local_summary(
+    config: SummaryConfig,
+    cache_size_bytes: int,
+    doc_size: int = AVERAGE_DOCUMENT_SIZE,
+) -> LocalSummary:
+    """Construct the local summary named by *config* for a cache of the given size."""
+    # Imported here: the representation modules subclass the ABCs above.
+    from repro.summaries.bloom import BloomSummary
+    from repro.summaries.exact import ExactDirectorySummary
+    from repro.summaries.servername import ServerNameSummary
+
+    if config.kind == "exact-directory":
+        return ExactDirectorySummary()
+    if config.kind == "server-name":
+        return ServerNameSummary()
+    return BloomSummary(
+        expected_documents_for_cache(cache_size_bytes, doc_size),
+        config=config,
+    )
+
+
+class SummaryNode:
+    """One proxy's summary state plus update-policy bookkeeping.
+
+    Bundles the local summary, optionally the *shipped* copy peers
+    currently hold (the Section V simulator's reliable-multicast
+    assumption collapses the n-1 identical peer copies into one), and
+    the counters the update policies consult.  Both the simulator and
+    the live proxy drive their summaries through this class, so the
+    "when is an update due" logic exists exactly once.
+    """
+
+    __slots__ = ("local", "shipped", "new_since_update", "last_update_time")
+
+    def __init__(
+        self,
+        config: SummaryConfig,
+        cache_capacity: int,
+        doc_size: int = AVERAGE_DOCUMENT_SIZE,
+        track_shipped: bool = True,
+    ) -> None:
+        self.local = make_local_summary(config, cache_capacity, doc_size=doc_size)
+        self.shipped: Optional[RemoteSummary] = (
+            self.local.export() if track_shipped else None
+        )
+        self.new_since_update = 0
+        self.last_update_time = 0.0
+
+    def on_insert(self, url: str) -> None:
+        """Cache-insert hook: update the local summary and counters."""
+        self.local.add(url)
+        self.new_since_update += 1
+
+    def on_evict(self, url: str) -> None:
+        """Cache-evict hook: update the local summary."""
+        self.local.remove(url)
+
+    def due_for_update(
+        self, policy: UpdatePolicy, now: float, cached_documents: int
+    ) -> bool:
+        """Check whether the shipped summary should be refreshed."""
+        return policy.due(
+            new_documents=self.new_since_update,
+            cached_documents=cached_documents,
+            pending_records=self.local.pending_change_count(),
+            now=now,
+            last_update=self.last_update_time,
+        )
+
+    def publish(self, now: float):
+        """Drain the pending delta (into the shipped copy, if tracked).
+
+        Returns the delta (for message building or size accounting).
+        """
+        delta = self.local.drain_delta()
+        if self.shipped is not None:
+            self.shipped.apply_delta(delta)
+        self.new_since_update = 0
+        self.last_update_time = now
+        return delta
+
+    def rebuild(self, urls: Iterable[str], now: float) -> None:
+        """Rebuild the local summary from the live directory.
+
+        Resets the update bookkeeping: after a rebuild, peers resync
+        from a whole-summary transfer, not a delta.
+        """
+        self.local.rebuild(urls)
+        if self.shipped is not None:
+            self.shipped = self.local.export()
+        self.new_since_update = 0
+        self.last_update_time = now

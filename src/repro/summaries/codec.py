@@ -1,0 +1,229 @@
+"""Representation-tagged encode/decode between summaries and the wire.
+
+The wire protocol tags every ``ICP_OP_DIRUPDATE`` with a representation
+id (see :mod:`repro.protocol.wire`); this module is the single place
+that maps between those ids, the summary classes, and their delta
+payloads, so the proxy never dispatches on concrete summary types:
+
+- :func:`delta_messages` -- turn a drained delta into MTU-sized
+  datagrams for whatever representation the local summary uses;
+- :func:`whole_summary_messages` -- the whole-summary resync transfer
+  (Bloom only: ``ICP_OP_DIGEST`` chunks);
+- :func:`apply_update` -- patch (or initialize) a peer's remote copy
+  from a received DIRUPDATE, rejecting updates that do not match the
+  copy's representation or geometry with
+  :class:`~repro.errors.SummaryMismatchError`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple, Union
+
+from repro.core.bloom import BloomFilter
+from repro.core.hashing import MD5HashFamily
+from repro.errors import ConfigurationError, SummaryMismatchError
+from repro.protocol.update import (
+    DEFAULT_MTU,
+    apply_dir_update,
+    build_digest_messages,
+    build_dir_update_messages,
+    build_set_update_messages,
+)
+from repro.protocol.wire import (
+    REPR_BLOOM,
+    REPR_EXACT,
+    REPR_SERVER_NAME,
+    DigestChunk,
+    DirUpdate,
+    SetDirUpdate,
+)
+from repro.summaries.backend import (
+    BitFlipDelta,
+    DigestDelta,
+    LocalSummary,
+    RemoteSummary,
+)
+from repro.summaries.bloom import BloomRemote, BloomSummary
+from repro.summaries.exact import ExactDirectoryRemote, ExactDirectorySummary
+from repro.summaries.servername import ServerNameRemote, ServerNameSummary
+
+#: SummaryConfig.kind <-> wire representation id.
+KIND_TO_REPRESENTATION = {
+    "bloom": REPR_BLOOM,
+    "exact-directory": REPR_EXACT,
+    "server-name": REPR_SERVER_NAME,
+}
+REPRESENTATION_TO_KIND = {v: k for k, v in KIND_TO_REPRESENTATION.items()}
+
+UpdateMessage = Union[DirUpdate, SetDirUpdate]
+
+
+def representation_id(kind: str) -> int:
+    """The wire representation id for a ``SummaryConfig.kind``."""
+    try:
+        return KIND_TO_REPRESENTATION[kind]
+    except KeyError:
+        raise ConfigurationError(f"unknown summary kind {kind!r}") from None
+
+
+def representation_kind(rep_id: int) -> str:
+    """The ``SummaryConfig.kind`` for a wire representation id."""
+    try:
+        return REPRESENTATION_TO_KIND[rep_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown representation id {rep_id}"
+        ) from None
+
+
+def _encode_record(record) -> bytes:
+    """One delta record as wire bytes (digests pass through, names UTF-8)."""
+    if isinstance(record, bytes):
+        return record
+    return record.encode("utf-8")
+
+
+def _decode_records(representation: int, records) -> List:
+    """Wire records back to summary keys (names decode to ``str``)."""
+    if representation == REPR_SERVER_NAME:
+        return [record.decode("utf-8") for record in records]
+    return list(records)
+
+
+def delta_messages(
+    summary: LocalSummary,
+    delta,
+    mtu: int = DEFAULT_MTU,
+    request_number: int = 0,
+    sender: int = 0,
+) -> List[UpdateMessage]:
+    """Batch a drained *delta* into DIRUPDATE datagrams for *summary*."""
+    if isinstance(summary, BloomSummary):
+        if not isinstance(delta, BitFlipDelta):
+            raise ConfigurationError(
+                f"Bloom summary cannot ship a {type(delta).__name__}"
+            )
+        return build_dir_update_messages(
+            delta.flips,
+            summary.hash_family,
+            summary.num_bits,
+            mtu=mtu,
+            request_number=request_number,
+            sender=sender,
+        )
+    if isinstance(summary, ExactDirectorySummary):
+        representation = REPR_EXACT
+    elif isinstance(summary, ServerNameSummary):
+        representation = REPR_SERVER_NAME
+    else:
+        raise ConfigurationError(
+            f"no codec for summary type {type(summary).__name__}"
+        )
+    if not isinstance(delta, DigestDelta):
+        raise ConfigurationError(
+            f"set summary cannot ship a {type(delta).__name__}"
+        )
+    return build_set_update_messages(
+        representation,
+        [_encode_record(r) for r in delta.added],
+        [_encode_record(r) for r in delta.removed],
+        mtu=mtu,
+        request_number=request_number,
+        sender=sender,
+    )
+
+
+def whole_summary_messages(
+    summary: LocalSummary,
+    mtu: int = DEFAULT_MTU,
+    request_number: int = 0,
+    sender: int = 0,
+) -> List[DigestChunk]:
+    """Whole-summary transfer (resync after a rebuild, or digest mode).
+
+    Only Bloom summaries have a whole-summary wire form
+    (``ICP_OP_DIGEST``); set representations resync through their
+    pending-everything delta after :meth:`LocalSummary.rebuild`.
+    """
+    if isinstance(summary, BloomSummary):
+        return build_digest_messages(
+            summary.counting_filter,
+            mtu=mtu,
+            request_number=request_number,
+            sender=sender,
+        )
+    raise ConfigurationError(
+        "whole-summary digest transfers are defined for Bloom summaries "
+        f"only, not {type(summary).__name__}"
+    )
+
+
+def empty_remote_for(update: UpdateMessage) -> RemoteSummary:
+    """A fresh, empty remote copy matching an update's representation.
+
+    Implements the paper's lazy initialization: "The structure is
+    initialized when the first summary update message is received from
+    the neighbor."
+    """
+    if isinstance(update, DirUpdate):
+        return BloomRemote(
+            BloomFilter(
+                update.bit_array_size,
+                hash_family=MD5HashFamily.from_spec(
+                    update.function_num, update.function_bits
+                ),
+            )
+        )
+    if isinstance(update, SetDirUpdate):
+        if update.representation == REPR_EXACT:
+            return ExactDirectoryRemote(set())
+        return ServerNameRemote(set())
+    raise ConfigurationError(
+        f"no remote summary for message type {type(update).__name__}"
+    )
+
+
+def apply_update(
+    existing: Optional[RemoteSummary], update: UpdateMessage
+) -> Tuple[RemoteSummary, int]:
+    """Patch a peer's remote copy with *update*; return ``(copy, changed)``.
+
+    ``existing`` is ``None`` before the first update from a peer; the
+    copy is then initialized from the message itself.  An update whose
+    representation (or, for Bloom, filter geometry and hash spec) does
+    not match the existing copy raises
+    :class:`~repro.errors.SummaryMismatchError` -- the copy is left
+    untouched and the peer needs a whole-summary resynchronization.
+    """
+    if isinstance(update, DirUpdate):
+        if existing is None:
+            existing = empty_remote_for(update)
+        elif not isinstance(existing, BloomRemote):
+            raise SummaryMismatchError(
+                "Bloom DIRUPDATE for a peer whose copy is "
+                f"{type(existing).__name__}"
+            )
+        changed = apply_dir_update(existing.filter, update)
+        return existing, changed
+    if isinstance(update, SetDirUpdate):
+        expected = (
+            ExactDirectoryRemote
+            if update.representation == REPR_EXACT
+            else ServerNameRemote
+        )
+        if existing is None:
+            existing = empty_remote_for(update)
+        elif type(existing) is not expected:
+            raise SummaryMismatchError(
+                f"{representation_kind(update.representation)} DIRUPDATE "
+                f"for a peer whose copy is {type(existing).__name__}"
+            )
+        delta = DigestDelta(
+            added=_decode_records(update.representation, update.added),
+            removed=_decode_records(update.representation, update.removed),
+        )
+        existing.apply_delta(delta)
+        return existing, delta.change_count
+    raise ConfigurationError(
+        f"cannot apply message type {type(update).__name__}"
+    )

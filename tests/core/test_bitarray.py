@@ -97,6 +97,48 @@ class TestBitArray:
         with pytest.raises(ConfigurationError):
             BitArray(0)
 
+    def test_set_many_reports_changed_indices(self):
+        bits = BitArray(64)
+        bits.set(5)
+        changed = bits.set_many([3, 5, 9, 3])
+        assert changed == [3, 9]  # 5 was already set; 3 repeats
+        assert bits.popcount == 3
+
+    def test_set_many_clear(self):
+        bits = BitArray(64)
+        bits.set_many([1, 2, 3])
+        assert bits.set_many([2, 3, 4], value=False) == [2, 3]
+        assert set(bits.iter_set_bits()) == {1}
+        assert bits.popcount == 1
+
+    def test_set_many_bounds(self):
+        bits = BitArray(8)
+        with pytest.raises(IndexError):
+            bits.set_many([0, 8])
+        with pytest.raises(IndexError):
+            bits.set_many([-1], value=False)
+
+    def test_flipped_indices(self):
+        mine = BitArray(80)
+        mine.set_many([1, 9, 40])
+        theirs = BitArray(80)
+        theirs.set_many([9, 40, 77])
+        flips = mine.flipped_indices(theirs)
+        # (index, value-in-self): replaying onto `theirs` yields `mine`.
+        assert sorted(flips) == [(1, True), (77, False)]
+        for index, value in flips:
+            theirs.set(index, value)
+        assert theirs == mine
+
+    def test_flipped_indices_identical(self):
+        mine = BitArray(33)
+        mine.set_many([0, 32])
+        assert mine.flipped_indices(mine.copy()) == []
+
+    def test_flipped_indices_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            BitArray(8).flipped_indices(BitArray(16))
+
     @given(
         st.lists(
             st.tuples(st.integers(0, 199), st.booleans()),
@@ -115,6 +157,25 @@ class TestBitArray:
                 reference.discard(index)
         assert set(bits.iter_set_bits()) == reference
         assert bits.popcount == len(reference)
+
+    @given(
+        st.lists(st.integers(0, 199), max_size=60),
+        st.lists(st.integers(0, 199), max_size=60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_set_many_and_diff_match_set_model(self, added, removed):
+        bits = BitArray(200)
+        reference = set(added)
+        changed_add = bits.set_many(added)
+        assert len(changed_add) == len(reference)
+        changed_clear = bits.set_many(removed, value=False)
+        assert set(changed_clear) == reference & set(removed)
+        reference -= set(removed)
+        assert bits.popcount == len(reference)
+        empty = BitArray(200)
+        assert sorted(i for i, v in bits.flipped_indices(empty)) == sorted(
+            reference
+        )
 
 
 class TestCounterArray:

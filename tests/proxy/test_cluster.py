@@ -276,9 +276,19 @@ class TestValidation:
         with pytest.raises(ConfigurationError):
             run(scenario())
 
-    def test_prototype_rejects_non_bloom_summaries(self):
+    def test_digest_encoding_requires_bloom_summary(self):
+        # Whole-filter digests (ICP_OP_DIGEST) are a Bloom-only wire
+        # form; set representations must stick with delta updates.
         with pytest.raises(ConfigurationError):
-            ProxyConfig(summary=SummaryConfig(kind="exact-directory"))
+            ProxyConfig(
+                summary=SummaryConfig(kind="exact-directory"),
+                update_encoding="digest",
+            )
+
+    def test_non_bloom_summaries_accepted(self):
+        for kind in ("exact-directory", "server-name"):
+            config = ProxyConfig(summary=SummaryConfig(kind=kind))
+            assert config.summary.kind == kind
 
 
 class TestDigestEncoding:

@@ -83,12 +83,14 @@ class TestMetricsEndpoint:
                 parsed["proxy_icp_replies_received_total"][""]
                 == stats.icp_replies_received
             )
+            # DIRUPDATE counters carry the summary representation label.
+            rep = 'representation="%s"' % proxy.config.summary.kind
             assert (
-                parsed["proxy_dirupdates_sent_total"][""]
+                parsed["proxy_dirupdates_sent_total"][rep]
                 == stats.dirupdates_sent
             )
             assert (
-                parsed["proxy_dirupdates_received_total"][""]
+                parsed["proxy_dirupdates_received_total"][rep]
                 == stats.dirupdates_received
             )
             assert (

@@ -1,0 +1,183 @@
+"""Tests for the representation-tagged summary codec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    ProtocolError,
+    SummaryMismatchError,
+)
+from repro.protocol.wire import (
+    REPR_BLOOM,
+    REPR_EXACT,
+    REPR_SERVER_NAME,
+    DigestChunk,
+    DirUpdate,
+    SetDirUpdate,
+)
+from repro.summaries import SummaryConfig, SummaryNode, codec
+from repro.summaries.bloom import BloomRemote, BloomSummary
+from repro.summaries.exact import ExactDirectoryRemote, ExactDirectorySummary
+from repro.summaries.servername import ServerNameRemote, ServerNameSummary
+
+URLS = [f"http://c{i % 5}.codec.net/doc{i}" for i in range(25)]
+
+
+def node_for(kind: str) -> SummaryNode:
+    return SummaryNode(SummaryConfig(kind=kind), 1024 * 1024)
+
+
+def messages_for(node: SummaryNode, now: float = 1.0):
+    delta = node.publish(now)
+    return codec.delta_messages(node.local, delta, mtu=1400)
+
+
+class TestRepresentationIds:
+    @pytest.mark.parametrize(
+        "kind, rep",
+        [
+            ("bloom", REPR_BLOOM),
+            ("exact-directory", REPR_EXACT),
+            ("server-name", REPR_SERVER_NAME),
+        ],
+    )
+    def test_kind_id_roundtrip(self, kind, rep):
+        assert codec.representation_id(kind) == rep
+        assert codec.representation_kind(rep) == kind
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            codec.representation_id("merkle")
+
+    def test_unknown_id(self):
+        with pytest.raises(ConfigurationError):
+            codec.representation_kind(9)
+
+
+class TestDeltaMessages:
+    @pytest.mark.parametrize(
+        "kind, message_type",
+        [
+            ("bloom", DirUpdate),
+            ("exact-directory", SetDirUpdate),
+            ("server-name", SetDirUpdate),
+        ],
+    )
+    def test_dispatch_per_summary_type(self, kind, message_type):
+        node = node_for(kind)
+        for url in URLS:
+            node.on_insert(url)
+        messages = messages_for(node)
+        assert messages
+        assert all(isinstance(m, message_type) for m in messages)
+
+    def test_empty_delta_yields_no_messages(self):
+        node = node_for("exact-directory")
+        assert messages_for(node) == []
+
+    def test_whole_summary_messages_bloom_only(self):
+        node = node_for("bloom")
+        node.on_insert(URLS[0])
+        chunks = codec.whole_summary_messages(node.local, mtu=1400)
+        assert chunks
+        assert all(isinstance(c, DigestChunk) for c in chunks)
+        with pytest.raises(ConfigurationError):
+            codec.whole_summary_messages(
+                node_for("server-name").local, mtu=1400
+            )
+
+
+class TestApplyUpdate:
+    @pytest.mark.parametrize(
+        "kind, remote_type",
+        [
+            ("bloom", BloomRemote),
+            ("exact-directory", ExactDirectoryRemote),
+            ("server-name", ServerNameRemote),
+        ],
+    )
+    def test_lazy_init_and_sync(self, kind, remote_type):
+        """A peer starting from None converges on the sender's summary
+        by replaying its update stream."""
+        node = node_for(kind)
+        remote = None
+        for batch in (URLS[:10], URLS[10:]):
+            for url in batch:
+                node.on_insert(url)
+            for message in messages_for(node):
+                remote, changed = codec.apply_update(remote, message)
+                assert changed > 0
+        assert isinstance(remote, remote_type)
+        assert all(remote.may_contain(u) for u in URLS)
+
+    def test_removals_replay(self):
+        node = node_for("exact-directory")
+        for url in URLS:
+            node.on_insert(url)
+        remote = None
+        for message in messages_for(node):
+            remote, _ = codec.apply_update(remote, message)
+        node.on_evict(URLS[3])
+        for message in messages_for(node, now=2.0):
+            remote, _ = codec.apply_update(remote, message)
+        assert not remote.may_contain(URLS[3])
+        assert remote.may_contain(URLS[4])
+
+    def test_bloom_delta_onto_set_copy_mismatch(self):
+        bloom_node = node_for("bloom")
+        bloom_node.on_insert(URLS[0])
+        message = messages_for(bloom_node)[0]
+        set_copy = ExactDirectoryRemote(set())
+        with pytest.raises(SummaryMismatchError):
+            codec.apply_update(set_copy, message)
+
+    def test_set_delta_onto_wrong_set_copy_mismatch(self):
+        name_node = node_for("server-name")
+        name_node.on_insert(URLS[0])
+        message = messages_for(name_node)[0]
+        with pytest.raises(SummaryMismatchError):
+            codec.apply_update(ExactDirectoryRemote(set()), message)
+
+    def test_bloom_geometry_change_mismatch(self):
+        node = node_for("bloom")
+        node.on_insert(URLS[0])
+        message = messages_for(node)[0]
+        remote, _ = codec.apply_update(None, message)
+        stale = DirUpdate(
+            function_num=message.function_num,
+            function_bits=message.function_bits,
+            bit_array_size=message.bit_array_size * 2,
+            flips=((0, True),),
+        )
+        with pytest.raises(SummaryMismatchError):
+            codec.apply_update(remote, stale)
+
+    def test_mismatch_is_a_protocol_error(self):
+        assert issubclass(SummaryMismatchError, ProtocolError)
+
+
+class TestLocalRemoteAgreement:
+    """The local summary and a remote copy built from its exports must
+    answer membership identically (up to Bloom false positives)."""
+
+    @pytest.mark.parametrize(
+        "summary_cls", [ExactDirectorySummary, ServerNameSummary]
+    )
+    def test_export_matches_local(self, summary_cls):
+        summary = summary_cls()
+        for url in URLS:
+            summary.add(url)
+        remote = summary.export()
+        probes = URLS + ["http://other.net/x", "http://c0.codec.net/no"]
+        for url in probes:
+            assert remote.may_contain(url) == summary.may_contain(url)
+
+    def test_bloom_export_matches_local(self):
+        summary = BloomSummary(1000, config=SummaryConfig(kind="bloom"))
+        for url in URLS:
+            summary.add(url)
+        remote = BloomRemote(summary.export())
+        for url in URLS + ["http://other.net/x"]:
+            assert remote.may_contain(url) == summary.may_contain(url)

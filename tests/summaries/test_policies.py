@@ -1,0 +1,108 @@
+"""Tests for the update policies and their CLI spec parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.summaries import (
+    IntervalUpdatePolicy,
+    PacketFillUpdatePolicy,
+    ThresholdUpdatePolicy,
+    parse_update_policy,
+)
+
+
+def due(policy, **overrides):
+    kwargs = {
+        "new_documents": 0,
+        "cached_documents": 100,
+        "pending_records": 0,
+        "now": 0.0,
+        "last_update": 0.0,
+    }
+    kwargs.update(overrides)
+    return policy.due(**kwargs)
+
+
+class TestThreshold:
+    def test_fires_at_fraction(self):
+        policy = ThresholdUpdatePolicy(0.05)
+        assert not due(policy, new_documents=4, cached_documents=100)
+        assert due(policy, new_documents=5, cached_documents=100)
+
+    def test_empty_cache_uses_floor_of_one(self):
+        assert due(
+            ThresholdUpdatePolicy(0.5), new_documents=1, cached_documents=0
+        )
+
+    def test_zero_threshold_is_live_and_fires_per_insert(self):
+        policy = ThresholdUpdatePolicy(0.0)
+        assert policy.live
+        assert not due(policy, new_documents=0)
+        assert due(policy, new_documents=1, cached_documents=10_000)
+
+    def test_nonzero_threshold_is_not_live(self):
+        assert not ThresholdUpdatePolicy(0.01).live
+
+    @pytest.mark.parametrize("bad", [-0.1, 1.1])
+    def test_range_validated(self, bad):
+        with pytest.raises(ConfigurationError):
+            ThresholdUpdatePolicy(bad)
+
+
+class TestInterval:
+    def test_fires_on_elapsed_time(self):
+        policy = IntervalUpdatePolicy(300.0)
+        assert not due(policy, now=299.0, last_update=0.0)
+        assert due(policy, now=300.0, last_update=0.0)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigurationError):
+            IntervalUpdatePolicy(0.0)
+
+
+class TestPacketFill:
+    def test_fires_on_pending_records(self):
+        policy = PacketFillUpdatePolicy(342)
+        assert not due(policy, pending_records=341)
+        assert due(policy, pending_records=342)
+
+    def test_default_is_one_mtu_of_flip_records(self):
+        assert PacketFillUpdatePolicy().records == (1400 - 32) // 4
+
+    def test_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            PacketFillUpdatePolicy(0)
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        "spec, expected",
+        [
+            ("threshold:0.05", ThresholdUpdatePolicy(0.05)),
+            ("threshold:0", ThresholdUpdatePolicy(0.0)),
+            ("threshold", ThresholdUpdatePolicy()),
+            ("interval:60", IntervalUpdatePolicy(60.0)),
+            ("interval", IntervalUpdatePolicy()),
+            ("packet-fill:100", PacketFillUpdatePolicy(100)),
+            ("packet-fill", PacketFillUpdatePolicy()),
+            ("  Threshold:0.1 ", ThresholdUpdatePolicy(0.1)),
+        ],
+    )
+    def test_accepted_specs(self, spec, expected):
+        assert parse_update_policy(spec) == expected
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "bogus", "threshold:x", "interval:abc", "packet-fill:1.5",
+         "threshold:2"],
+    )
+    def test_rejected_specs(self, spec):
+        with pytest.raises(ConfigurationError):
+            parse_update_policy(spec)
+
+    def test_labels_are_stable(self):
+        assert ThresholdUpdatePolicy(0.01).label() == "threshold=0.01"
+        assert IntervalUpdatePolicy(300).label() == "interval=300s"
+        assert PacketFillUpdatePolicy(342).label() == "packet-fill=342"
