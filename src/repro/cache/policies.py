@@ -21,7 +21,7 @@ from abc import ABC, abstractmethod
 from collections import OrderedDict
 from typing import Dict
 
-from repro.errors import ConfigurationError
+from repro.errors import CacheStateError, ConfigurationError
 
 
 class ReplacementPolicy(ABC):
@@ -64,6 +64,8 @@ class LRUPolicy(ReplacementPolicy):
         del self._order[key]
 
     def victim(self) -> str:
+        if not self._order:
+            raise CacheStateError("victim() on empty LRU policy")
         return next(iter(self._order))
 
     def __len__(self) -> int:
@@ -86,6 +88,8 @@ class FIFOPolicy(ReplacementPolicy):
         del self._order[key]
 
     def victim(self) -> str:
+        if not self._order:
+            raise CacheStateError("victim() on empty FIFO policy")
         return next(iter(self._order))
 
     def __len__(self) -> int:
@@ -127,7 +131,7 @@ class LFUPolicy(ReplacementPolicy):
                 heapq.heappop(self._heap)  # stale entry
                 continue
             return key
-        raise KeyError("victim() on empty LFU policy")
+        raise CacheStateError("victim() on empty LFU policy")
 
     def __len__(self) -> int:
         return len(self._freq)
@@ -160,7 +164,7 @@ class SizePolicy(ReplacementPolicy):
                 heapq.heappop(self._heap)
                 continue
             return key
-        raise KeyError("victim() on empty SIZE policy")
+        raise CacheStateError("victim() on empty SIZE policy")
 
     def __len__(self) -> int:
         return len(self._size)
@@ -212,7 +216,7 @@ class GDSFPolicy(ReplacementPolicy):
                 continue
             self._inflation = priority
             return key
-        raise KeyError("victim() on empty GDSF policy")
+        raise CacheStateError("victim() on empty GDSF policy")
 
     def __len__(self) -> int:
         return len(self._freq)

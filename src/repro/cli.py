@@ -26,10 +26,12 @@ from __future__ import annotations
 import argparse
 import asyncio
 import sys
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 from repro import experiments
 from repro.analysis.tables import format_table
+from repro.lint.cli import add_lint_arguments
+from repro.lint.cli import run as run_lint_command
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logconfig import configure_logging
 from repro.summaries import parse_update_policy
@@ -188,10 +190,16 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     p.add_argument("--out", required=True, help="output JSONL path")
 
+    p = sub.add_parser(
+        "lint",
+        help="run the sc-lint static-analysis suite (SC001..SC006)",
+    )
+    add_lint_arguments(p)
+
     return parser
 
 
-def _summary_overrides(args) -> dict:
+def _summary_overrides(args: argparse.Namespace) -> Dict[str, Any]:
     """``representations()``/``metrics_snapshot()`` kwargs from CLI flags."""
     kwargs = {}
     if args.summary_repr is not None:
@@ -203,7 +211,7 @@ def _summary_overrides(args) -> dict:
     return kwargs
 
 
-async def _serve(args) -> int:
+async def _serve(args: argparse.Namespace) -> int:
     """Run a live cluster, print its endpoints, wait for the deadline."""
     from repro.proxy.cluster import ProxyCluster
     from repro.proxy.config import ProxyMode
@@ -386,6 +394,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return asyncio.run(_serve(args))
         except KeyboardInterrupt:
             return 0
+    elif args.command == "lint":
+        return run_lint_command(args)
     elif args.command == "gen-trace":
         trace, groups = make_workload(args.workload, scale=args.scale)
         write_jsonl(trace, args.out)

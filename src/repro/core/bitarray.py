@@ -19,7 +19,11 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Tuple
 
-from repro.errors import ConfigurationError
+from repro.errors import (
+    BitIndexError,
+    ConfigurationError,
+    SummaryStateError,
+)
 
 try:
     _bit_count = int.bit_count  # Python >= 3.10: one CPython opcode
@@ -57,7 +61,9 @@ class BitArray:
 
     def _check_index(self, index: int) -> None:
         if not 0 <= index < self._size:
-            raise IndexError(f"bit index {index} out of range [0, {self._size})")
+            raise BitIndexError(
+                f"bit index {index} out of range [0, {self._size})"
+            )
 
     def get(self, index: int) -> bool:
         """Return the value of bit *index*."""
@@ -98,7 +104,7 @@ class BitArray:
         if value:
             for index in indices:
                 if not 0 <= index < size:
-                    raise IndexError(
+                    raise BitIndexError(
                         f"bit index {index} out of range [0, {size})"
                     )
                 byte_index = index >> 3
@@ -110,7 +116,7 @@ class BitArray:
         else:
             for index in indices:
                 if not 0 <= index < size:
-                    raise IndexError(
+                    raise BitIndexError(
                         f"bit index {index} out of range [0, {size})"
                     )
                 byte_index = index >> 3
@@ -266,9 +272,9 @@ class CounterArray:
         """
         return self._saturated
 
-    def _locate(self, index: int) -> tuple:
+    def _locate(self, index: int) -> Tuple[int, int]:
         if not 0 <= index < self._size:
-            raise IndexError(
+            raise BitIndexError(
                 f"counter index {index} out of range [0, {self._size})"
             )
         per_byte = 8 // self._width
@@ -302,7 +308,8 @@ class CounterArray:
         """Decrement counter *index*.
 
         A saturated counter is left untouched (the paper's stick-at-max
-        rule); a zero counter raises :class:`ValueError` because the
+        rule); a zero counter raises
+        :class:`~repro.errors.SummaryStateError` because the
         caller tried to delete a key that was never inserted.
 
         Returns the new counter value.
@@ -311,7 +318,7 @@ class CounterArray:
         if value == self._max:
             return value
         if value == 0:
-            raise ValueError(
+            raise SummaryStateError(
                 f"counter {index} underflow: decrement of a zero counter"
             )
         self._put(index, value - 1)

@@ -16,7 +16,7 @@ from typing import Iterable, List, Optional, Tuple
 from repro.core.bitarray import BitArray
 from repro.core.hashing import Key, MD5HashFamily
 from repro.errors import ConfigurationError
-from repro.obs.registry import get_registry
+from repro.obs.registry import MetricsRegistry, get_registry
 
 #: Histogram bounds for single filter operations (sub-us .. 1 ms).
 _OP_BUCKETS = (1e-7, 5e-7, 1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 1e-3)
@@ -27,7 +27,7 @@ class _BloomInstruments:
 
     __slots__ = ("probes", "probe_positives", "inserts", "op_seconds")
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.probes = registry.counter(
             "bloom_probes_total", "membership probes against plain filters"
         )

@@ -21,8 +21,8 @@ from typing import List, Optional, Tuple
 from repro.core.bitarray import CounterArray
 from repro.core.bloom import BloomFilter, _OP_BUCKETS
 from repro.core.hashing import Key, MD5HashFamily
-from repro.errors import ConfigurationError, ProtocolError
-from repro.obs.registry import get_registry
+from repro.errors import ConfigurationError, ProtocolError, SummaryStateError
+from repro.obs.registry import MetricsRegistry, get_registry
 
 
 class _CountingInstruments:
@@ -30,7 +30,7 @@ class _CountingInstruments:
 
     __slots__ = ("inserts", "deletes", "op_seconds")
 
-    def __init__(self, registry) -> None:
+    def __init__(self, registry: MetricsRegistry) -> None:
         self.inserts = registry.counter(
             "counting_bloom_inserts_total",
             "keys inserted into counting filters",
@@ -153,7 +153,8 @@ class CountingBloomFilter:
     def remove(self, key: Key) -> None:
         """Delete *key*, recording any 1 -> 0 bit flips for the next delta.
 
-        Removing a key that was never added raises :class:`ValueError`
+        Removing a key that was never added raises
+        :class:`~repro.errors.SummaryStateError`
         (counter underflow) rather than silently corrupting the filter.
         """
         obs = self._obs
@@ -163,7 +164,7 @@ class CountingBloomFilter:
         # leaves the filter untouched.
         for pos in positions:
             if self.counters.get(pos) == 0:
-                raise ValueError(
+                raise SummaryStateError(
                     f"remove of key not present in filter (counter {pos} is 0)"
                 )
         for pos in positions:

@@ -1,0 +1,50 @@
+"""``sc-lint``: project-invariant static analysis for the reproduction.
+
+The interpreter never checks the invariants the paper's correctness
+rests on: wire headers must pack big-endian to the exact SC-ICP layout
+of Section VI, counting-Bloom counters may only be touched through the
+core modules (the Section V-C overflow bound assumes disciplined
+increments and decrements), and the asyncio proxy must never block its
+event loop or the Table II latency story collapses.  This package makes
+those invariants machine-checked:
+
+- :mod:`repro.lint.framework` -- the AST visitor core, rule registry,
+  per-line suppression comments, and the runner;
+- :mod:`repro.lint.rules` -- the domain rules (SC001..SC006);
+- :mod:`repro.lint.reporters` -- text and JSON output;
+- :mod:`repro.lint.cli` -- the ``summary-cache lint`` subcommand and the
+  ``python -m repro.lint`` entry point.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the paper
+rationale behind each rule.
+"""
+
+from repro.lint.framework import (
+    FileContext,
+    Finding,
+    LintConfig,
+    LintResult,
+    ProjectContext,
+    Rule,
+    all_rules,
+    register,
+    run_lint,
+)
+from repro.lint.reporters import render_json, render_text
+
+# Importing the rules package registers every built-in rule.
+from repro.lint import rules as _rules  # noqa: F401  (import for effect)
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintConfig",
+    "LintResult",
+    "ProjectContext",
+    "Rule",
+    "all_rules",
+    "register",
+    "render_json",
+    "render_text",
+    "run_lint",
+]

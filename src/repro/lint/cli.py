@@ -1,0 +1,115 @@
+"""The ``sc-lint`` command line: ``summary-cache lint`` and
+``python -m repro.lint``.
+
+Exit codes: 0 clean, 1 findings, 2 usage or I/O error.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+from typing import FrozenSet, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.lint.framework import LintConfig, all_rules, run_lint
+from repro.lint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``sc-lint`` argument parser (also mounted under ``summary-cache``)."""
+    parser = argparse.ArgumentParser(
+        prog="sc-lint",
+        description=(
+            "Project-invariant static analysis for the summary cache "
+            "reproduction (rules SC001..SC006; see "
+            "docs/static-analysis.md)."
+        ),
+    )
+    add_lint_arguments(parser)
+    return parser
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the lint options on *parser* (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        default=None,
+        help=(
+            "project root for relative paths and docs/ cross-checks "
+            "(default: nearest ancestor with a pyproject.toml)"
+        ),
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list the registered rules and exit",
+    )
+
+
+def _parse_ids(raw: Optional[str]) -> Optional[FrozenSet[str]]:
+    if raw is None:
+        return None
+    ids = frozenset(part.strip() for part in raw.split(",") if part.strip())
+    return ids or None
+
+
+def list_rules() -> str:
+    """One line per registered rule: ``SC001  title [scopes]``."""
+    lines = []
+    for rule_id, cls in all_rules().items():
+        scope = ", ".join(cls.scopes) if cls.scopes else "all files"
+        lines.append(f"{rule_id}  {cls.title}  [{scope}]")
+    return "\n".join(lines)
+
+
+def run(args: argparse.Namespace) -> int:
+    """Execute a parsed lint invocation; returns the exit code."""
+    if args.list_rules:
+        print(list_rules())
+        return 0
+    config = LintConfig(
+        select=_parse_ids(args.select),
+        ignore=_parse_ids(args.ignore) or frozenset(),
+        root=Path(args.root) if args.root else None,
+    )
+    try:
+        result = run_lint(args.paths, config)
+    except ConfigurationError as exc:
+        print(f"sc-lint: error: {exc}")
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    args = build_parser().parse_args(argv)
+    return run(args)

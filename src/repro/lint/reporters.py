@@ -1,0 +1,59 @@
+"""Text and JSON rendering of a :class:`~repro.lint.framework.LintResult`."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.framework import LintResult
+
+#: Version of the JSON report schema below.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    """Human-readable report: one ``path:line:col: RULE message`` per line.
+
+    Ends with a one-line summary (findings, files, rules) so a clean run
+    still produces evidence it looked at something.
+    """
+    lines = [finding.render() for finding in result.findings]
+    counts = result.counts
+    if counts:
+        per_rule = ", ".join(f"{rule}: {n}" for rule, n in counts.items())
+        summary = (
+            f"{len(result.findings)} finding(s) in "
+            f"{result.files_checked} file(s) ({per_rule})"
+        )
+    else:
+        summary = (
+            f"clean: {result.files_checked} file(s), "
+            f"{len(result.rules_run)} rule(s)"
+        )
+    return "\n".join([*lines, summary])
+
+
+def render_json(result: LintResult) -> str:
+    """Machine-readable report.
+
+    Schema (version 1)::
+
+        {
+          "version": 1,
+          "files_checked": <int>,
+          "rules_run": ["SC001", ...],
+          "counts": {"SC001": <int>, ...},
+          "findings": [
+            {"rule": "SC001", "path": "src/...", "line": 1,
+             "col": 0, "message": "..."},
+            ...
+          ]
+        }
+    """
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_checked": result.files_checked,
+        "rules_run": list(result.rules_run),
+        "counts": result.counts,
+        "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,22 @@
+"""Built-in ``sc-lint`` rules.
+
+Importing this package registers every rule with the framework
+registry; the catalogue (ids, scopes, rationale) is documented in
+``docs/static-analysis.md``.
+"""
+
+from repro.lint.rules.sc001_blocking import NoBlockingCallsInAsync
+from repro.lint.rules.sc002_wire import WireFormatByteOrder
+from repro.lint.rules.sc003_metrics import MetricNameConventions
+from repro.lint.rules.sc004_encapsulation import SummaryEncapsulation
+from repro.lint.rules.sc005_exceptions import ExceptionHygiene
+from repro.lint.rules.sc006_codec_sync import CodecDocSync
+
+__all__ = [
+    "NoBlockingCallsInAsync",
+    "WireFormatByteOrder",
+    "MetricNameConventions",
+    "SummaryEncapsulation",
+    "ExceptionHygiene",
+    "CodecDocSync",
+]

@@ -1,0 +1,110 @@
+"""SC004: Bloom bit arrays and counters mutate only through the core.
+
+The Section V-C overflow analysis (4-bit counters overflow with
+probability 1.37e-15 per entry) holds only when every increment and
+decrement travels through :class:`~repro.core.counting_bloom.
+CountingBloomFilter`, which validates underflow and records the 0 <-> 1
+transitions a delta update needs.  A stray ``filter.bits.set(...)`` in a
+simulator desynchronizes the shipped copy from the counters without any
+runtime error.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from repro.lint.astutil import dotted_name
+from repro.lint.framework import FileContext, Finding, Rule, register
+
+#: Attribute names that hold a BitArray / CounterArray on the summary
+#: structures (``BloomFilter.bits``, ``CountingBloomFilter.counters``).
+STORAGE_ATTRIBUTES = ("bits", "counters", "bit_array", "counter_array")
+
+#: Mutating methods of BitArray / CounterArray.
+MUTATOR_METHODS = (
+    "set",
+    "set_many",
+    "flip",
+    "reset",
+    "increment",
+    "decrement",
+    "load_from",
+    "load_bytes",
+    "apply_flips",
+)
+
+#: Private storage internals of BitArray / CounterArray; touching these
+#: anywhere outside core/ is always a violation.
+PRIVATE_STORAGE_ATTRIBUTES = ("_buf", "_popcount")
+
+
+@register
+class SummaryEncapsulation(Rule):
+    """Flag direct bit/counter mutation outside ``core/``/``summaries/``."""
+
+    id = "SC004"
+    title = "no direct BitArray/counter mutation outside core and summaries"
+    rationale = (
+        "Section V-C's counter overflow bound assumes disciplined "
+        "increments/decrements through the counting filter; direct bit "
+        "twiddling desynchronizes summaries from their counters."
+    )
+    scopes = ("repro",)
+    exempt = ("repro/core", "repro/summaries", "repro/lint")
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in PRIVATE_STORAGE_ATTRIBUTES
+                and not self._is_self_access(node.value)
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"access to private storage field .{node.attr} "
+                        "outside repro.core",
+                    )
+                )
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in MUTATOR_METHODS
+            ):
+                owner = self._storage_owner(func.value)
+                if owner is not None:
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            node,
+                            f"direct mutation {owner}.{func.attr}(...) "
+                            "outside repro.core/repro.summaries; go "
+                            "through CountingBloomFilter / the summary "
+                            "backend instead",
+                        )
+                    )
+        return iter(findings)
+
+    @staticmethod
+    def _storage_owner(node: ast.expr) -> Optional[str]:
+        """Dotted receiver when it names bit/counter storage, else None.
+
+        Matches receivers whose final attribute (or bare name) is one of
+        :data:`STORAGE_ATTRIBUTES`, e.g. ``summary.filter.bits`` or a
+        local variable literally called ``counters``.
+        """
+        if isinstance(node, ast.Attribute) and node.attr in STORAGE_ATTRIBUTES:
+            return dotted_name(node) or node.attr
+        if isinstance(node, ast.Name) and node.id in STORAGE_ATTRIBUTES:
+            return node.id
+        return None
+
+    @staticmethod
+    def _is_self_access(node: ast.expr) -> bool:
+        """True for ``self._buf``-style access (a class's own internals)."""
+        return isinstance(node, ast.Name) and node.id == "self"

@@ -1,0 +1,96 @@
+"""SC005: library code raises only the ``repro.errors`` hierarchy and
+never uses bare ``except``.
+
+Callers distinguish library failures from programming errors by
+catching :class:`~repro.errors.ReproError`; a stray ``raise ValueError``
+escapes that contract, and a bare ``except:`` swallows
+``KeyboardInterrupt``/``SystemExit`` along with genuine bugs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List
+
+from repro.lint.framework import FileContext, Finding, Rule, register
+
+#: Builtin exceptions library code must not raise directly.  The repro
+#: hierarchy subclasses the natural builtins (``ConfigurationError`` is
+#: a ``ValueError``, ``CacheStateError`` a ``KeyError``, ...), so raising
+#: the domain class keeps builtin-catching callers working.
+FORBIDDEN_BUILTIN_RAISES: FrozenSet[str] = frozenset(
+    {
+        "ArithmeticError",
+        "AssertionError",
+        "AttributeError",
+        "BaseException",
+        "BufferError",
+        "EOFError",
+        "Exception",
+        "IOError",
+        "IndexError",
+        "KeyError",
+        "LookupError",
+        "MemoryError",
+        "OSError",
+        "OverflowError",
+        "RuntimeError",
+        "StopAsyncIteration",
+        "StopIteration",
+        "SystemError",
+        "TimeoutError",
+        "TypeError",
+        "ValueError",
+        "ZeroDivisionError",
+    }
+)
+
+
+@register
+class ExceptionHygiene(Rule):
+    """Flag builtin-exception raises and bare excepts in library code."""
+
+    id = "SC005"
+    title = "raise only the repro.errors hierarchy; no bare except"
+    rationale = (
+        "Callers catch ReproError to separate library failures from "
+        "programming errors; builtin raises and bare excepts break that "
+        "contract (and bare except swallows KeyboardInterrupt)."
+    )
+    scopes = ("repro",)
+    exempt = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        "bare 'except:' swallows KeyboardInterrupt and "
+                        "SystemExit; catch a specific exception",
+                    )
+                )
+            elif isinstance(node, ast.Raise) and node.exc is not None:
+                name = self._raised_name(node.exc)
+                if name in FORBIDDEN_BUILTIN_RAISES:
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            node,
+                            f"raise of builtin {name}; raise a "
+                            "repro.errors class instead (subclass the "
+                            "builtin if callers rely on it)",
+                        )
+                    )
+        return iter(findings)
+
+    @staticmethod
+    def _raised_name(exc: ast.expr) -> str:
+        """The exception class name of ``raise X`` / ``raise X(...)``."""
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        if isinstance(exc, ast.Name):
+            return exc.id
+        return ""

@@ -81,7 +81,7 @@ def render_prometheus(registry: MetricsRegistry) -> str:
     return "\n".join(lines) + "\n"
 
 
-def render_json(registry: MetricsRegistry, **extra) -> str:
+def render_json(registry: MetricsRegistry, **extra: object) -> str:
     """The registry snapshot as a JSON document.
 
     Keyword arguments are merged into the top-level object (the proxy

@@ -13,6 +13,7 @@ JSON dependency.
 from __future__ import annotations
 
 import logging
+from typing import Optional, TextIO
 from typing import Optional
 
 #: The root of the package's logger tree.
@@ -23,7 +24,9 @@ LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s %(message)s"
 
 
 def configure_logging(
-    verbosity: int = 0, stream=None, fmt: str = LOG_FORMAT
+    verbosity: int = 0,
+    stream: Optional[TextIO] = None,
+    fmt: str = LOG_FORMAT,
 ) -> logging.Logger:
     """Configure the ``repro`` logger tree for CLI use.
 

@@ -36,12 +36,31 @@ import time
 from bisect import bisect_left
 from contextlib import contextmanager
 from functools import wraps
-from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+    TypeVar,
+    Union,
+    cast,
+)
 
 from repro.errors import ConfigurationError
 
 LabelSpec = Optional[Dict[str, str]]
 LabelKey = Tuple[Tuple[str, str], ...]
+
+#: Any concrete instrument the registry can hand out.
+Instrument = Union["Counter", "Gauge", "Histogram"]
+
+_I = TypeVar("_I", "Counter", "Gauge", "Histogram")
+_F = TypeVar("_F", bound=Callable[..., Any])
 
 #: Default histogram bounds for wall-clock phase timings, in seconds.
 #: Spans sub-microsecond filter probes up to multi-second experiment
@@ -83,7 +102,7 @@ class Counter:
         """Zero the counter (registry reset; not part of normal use)."""
         self.value = 0
 
-    def sample(self) -> dict:
+    def sample(self) -> Dict[str, Any]:
         """One snapshot record."""
         return {
             "name": self.name,
@@ -142,7 +161,7 @@ class Gauge:
         """Zero the stored value (callback gauges are unaffected)."""
         self._value = 0
 
-    def sample(self) -> dict:
+    def sample(self) -> Dict[str, Any]:
         """One snapshot record."""
         return {
             "name": self.name,
@@ -211,7 +230,7 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
 
-    def sample(self) -> dict:
+    def sample(self) -> Dict[str, Any]:
         """One snapshot record."""
         return {
             "name": self.name,
@@ -266,7 +285,7 @@ class _NullInstrument:
     def reset(self) -> None:
         pass
 
-    def sample(self) -> dict:
+    def sample(self) -> Dict[str, Any]:
         return {}
 
 
@@ -286,11 +305,18 @@ class MetricsRegistry:
     enabled = True
 
     def __init__(self) -> None:
-        self._metrics: Dict[Tuple[str, LabelKey], object] = {}
+        self._metrics: Dict[Tuple[str, LabelKey], Instrument] = {}
 
     # -- instrument constructors ---------------------------------------
 
-    def _get_or_create(self, cls, name, help, labels, **kwargs):
+    def _get_or_create(
+        self,
+        cls: Type[_I],
+        name: str,
+        help: str,
+        labels: LabelSpec,
+        **kwargs: Any,
+    ) -> _I:
         key = (name, _label_key(labels))
         metric = self._metrics.get(key)
         if metric is None:
@@ -348,36 +374,36 @@ class MetricsRegistry:
 
     def timed(
         self, name: str, labels: LabelSpec = None
-    ) -> Callable:
+    ) -> Callable[[_F], _F]:
         """Decorator timing every call of the wrapped function."""
 
-        def decorate(fn: Callable) -> Callable:
+        def decorate(fn: _F) -> _F:
             hist = self.histogram(
                 name, help=f"wall time of {fn.__name__} (seconds)",
                 labels=labels,
             )
 
             @wraps(fn)
-            def wrapper(*args, **kwargs):
+            def wrapper(*args: Any, **kwargs: Any) -> Any:
                 start = time.perf_counter()
                 try:
                     return fn(*args, **kwargs)
                 finally:
                     hist.observe(time.perf_counter() - start)
 
-            return wrapper
+            return cast(_F, wrapper)
 
         return decorate
 
     # -- inspection ----------------------------------------------------
 
-    def collect(self) -> List[object]:
+    def collect(self) -> List[Instrument]:
         """All instruments, ordered by (name, labels)."""
         return [
             self._metrics[key] for key in sorted(self._metrics)
         ]
 
-    def snapshot(self) -> List[dict]:
+    def snapshot(self) -> List[Dict[str, Any]]:
         """A JSON-ready list of every instrument's current state."""
         return [metric.sample() for metric in self.collect()]
 
@@ -392,11 +418,13 @@ class MetricsRegistry:
     def __contains__(self, name: str) -> bool:
         return any(key[0] == name for key in self._metrics)
 
-    def get(self, name: str, labels: LabelSpec = None):
+    def get(self, name: str, labels: LabelSpec = None) -> Optional[Instrument]:
         """Fetch an instrument if it exists, else ``None``."""
         return self._metrics.get((name, _label_key(labels)))
 
-    def value(self, name: str, labels: LabelSpec = None, default: float = 0.0):
+    def value(
+        self, name: str, labels: LabelSpec = None, default: float = 0.0
+    ) -> float:
         """Shortcut: a counter/gauge's current value, or *default*."""
         metric = self.get(name, labels)
         if metric is None:
@@ -438,21 +466,38 @@ class NullRegistry(MetricsRegistry):
 
     enabled = False
 
-    def counter(self, name, help="", labels=None):  # noqa: ARG002
-        return NULL_INSTRUMENT
+    def counter(
+        self, name: str, help: str = "", labels: LabelSpec = None
+    ) -> Counter:
+        return cast(Counter, NULL_INSTRUMENT)
 
-    def gauge(self, name, help="", labels=None):  # noqa: ARG002
-        return NULL_INSTRUMENT
+    def gauge(
+        self, name: str, help: str = "", labels: LabelSpec = None
+    ) -> Gauge:
+        return cast(Gauge, NULL_INSTRUMENT)
 
-    def histogram(self, name, help="", labels=None, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002,E501
-        return NULL_INSTRUMENT
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: LabelSpec = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Histogram:
+        return cast(Histogram, NULL_INSTRUMENT)
 
     @contextmanager
-    def time_block(self, name, labels=None, buckets=DEFAULT_TIME_BUCKETS):  # noqa: ARG002,E501
+    def time_block(
+        self,
+        name: str,
+        labels: LabelSpec = None,
+        buckets: Sequence[float] = DEFAULT_TIME_BUCKETS,
+    ) -> Iterator[None]:
         yield
 
-    def timed(self, name, labels=None):  # noqa: ARG002
-        def decorate(fn):
+    def timed(
+        self, name: str, labels: LabelSpec = None
+    ) -> Callable[[_F], _F]:
+        def decorate(fn: _F) -> _F:
             return fn
 
         return decorate

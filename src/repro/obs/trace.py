@@ -37,7 +37,9 @@ from __future__ import annotations
 import itertools
 import time
 from collections import deque
-from typing import Deque, Dict, List, Optional
+from typing import Any, Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError
 
 
 class TraceEvent:
@@ -57,7 +59,7 @@ class TraceEvent:
         self.timestamp = timestamp
         self.fields = fields
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form."""
         return {
             "trace_id": self.trace_id,
@@ -79,7 +81,7 @@ class TraceRing:
 
     def __init__(self, capacity: int = 2048) -> None:
         if capacity < 1:
-            raise ValueError(f"capacity must be >= 1, got {capacity}")
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self._capacity = capacity
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
         #: Events discarded because the ring was full.
@@ -95,7 +97,9 @@ class TraceRing:
         """A fresh id correlating the events of one request lifecycle."""
         return next(self._ids)
 
-    def record(self, trace_id: int, kind: str, **fields) -> TraceEvent:
+    def record(
+        self, trace_id: int, kind: str, **fields: object
+    ) -> TraceEvent:
         """Append one event; oldest events fall off a full ring."""
         if len(self._events) == self._capacity:
             self.dropped += 1

@@ -39,7 +39,7 @@ from __future__ import annotations
 import enum
 import struct
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import List, Tuple, Union
 
 from repro.errors import ProtocolError
 
@@ -434,10 +434,19 @@ class DigestChunk:
         )
 
 
-IcpMessage = object  # union marker for documentation purposes
+#: Every message :func:`decode_message` can produce.
+IcpMessage = Union[
+    IcpQuery,
+    IcpHit,
+    IcpMiss,
+    IcpMissNoFetch,
+    DirUpdate,
+    SetDirUpdate,
+    DigestChunk,
+]
 
 
-def decode_message(data: bytes):
+def decode_message(data: bytes) -> IcpMessage:
     """Decode one ICP datagram into its message dataclass.
 
     Raises :class:`~repro.errors.ProtocolError` for short datagrams,

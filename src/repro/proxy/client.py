@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError, ProxyError
-from repro.proxy.http import read_response, write_request
+from repro.proxy.http import HttpResponse, read_response, write_request
 from repro.traces.model import Request
 
 logger = logging.getLogger(__name__)
@@ -129,7 +129,7 @@ class ClientDriver:
         )
         return response.body
 
-    async def _request(self, url: str, size: int):
+    async def _request(self, url: str, size: int) -> HttpResponse:
         """One connection / request / response round trip."""
         reader, writer = await asyncio.open_connection(self.host, self.port)
         try:

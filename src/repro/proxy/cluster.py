@@ -91,7 +91,7 @@ class ProxyCluster:
         await self.start()
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.stop()
 
     async def start(self) -> None:

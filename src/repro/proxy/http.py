@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 from repro.errors import ProtocolError
 
@@ -68,7 +68,7 @@ async def _read_head(reader: asyncio.StreamReader) -> bytes:
     return head
 
 
-def _parse_headers(lines) -> Dict[str, str]:
+def _parse_headers(lines: Iterable[str]) -> Dict[str, str]:
     headers: Dict[str, str] = {}
     for line in lines:
         if not line:

@@ -40,7 +40,7 @@ import json
 import logging
 from dataclasses import asdict, dataclass
 from time import perf_counter
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union, cast
 
 from repro.cache import WebCache
 from repro.obs.export import (
@@ -243,10 +243,12 @@ class _IcpProtocol(asyncio.DatagramProtocol):
         self._proxy = proxy
         self.transport: Optional[asyncio.DatagramTransport] = None
 
-    def connection_made(self, transport) -> None:
-        self.transport = transport
+    def connection_made(self, transport: asyncio.BaseTransport) -> None:
+        self.transport = cast(asyncio.DatagramTransport, transport)
 
-    def datagram_received(self, data: bytes, addr) -> None:
+    def datagram_received(
+        self, data: bytes, addr: Tuple[str, int]
+    ) -> None:
         self._proxy._on_datagram(data, addr)
 
 
@@ -255,8 +257,10 @@ class _PendingQuery:
 
     __slots__ = ("future", "outstanding", "trace_id")
 
-    def __init__(self, outstanding: set, trace_id: int = 0) -> None:
-        self.future: asyncio.Future = (
+    def __init__(
+        self, outstanding: Set[Tuple[str, int]], trace_id: int = 0
+    ) -> None:
+        self.future: "asyncio.Future[Optional[Tuple[str, int]]]" = (
             asyncio.get_event_loop().create_future()
         )
         self.outstanding = outstanding
@@ -317,29 +321,37 @@ class SummaryCacheProxy:
         # Scrape-time gauges: evaluated when /metrics renders, free
         # between scrapes.  cache_hits/requests mirror CacheStats so a
         # scrape can be cross-checked against the in-process counters.
-        gauges = (
-            ("proxy_cache_entries", "documents cached",
-             lambda: len(self._cache)),
-            ("proxy_cache_used_bytes", "bytes cached",
-             lambda: self._cache.used_bytes),
-            ("proxy_cache_capacity_bytes", "cache capacity",
-             lambda: self._cache.capacity_bytes),
-            ("proxy_cache_hits", "CacheStats fresh hits",
-             lambda: self._cache.stats.hits),
-            ("proxy_cache_requests", "CacheStats lookups",
-             lambda: self._cache.stats.requests),
-            ("proxy_cache_evictions", "CacheStats evictions",
-             lambda: self._cache.stats.evictions),
-            ("proxy_summary_fill_ratio", "own summary fill ratio",
-             lambda: self._node.local.fill_ratio()),
-            ("proxy_peers", "configured peers", lambda: len(self._peers)),
-            ("proxy_pending_queries", "outstanding ICP query rounds",
-             lambda: len(self._pending)),
-            ("proxy_trace_events_dropped", "trace-ring events dropped",
-             lambda: self.trace.dropped),
+        g = self.registry.gauge
+        g("proxy_cache_entries", "documents cached").set_function(
+            lambda: len(self._cache)
         )
-        for name, help_text, fn in gauges:
-            self.registry.gauge(name, help_text).set_function(fn)
+        g("proxy_cache_used_bytes", "bytes cached").set_function(
+            lambda: self._cache.used_bytes
+        )
+        g("proxy_cache_capacity_bytes", "cache capacity").set_function(
+            lambda: self._cache.capacity_bytes
+        )
+        g("proxy_cache_hits", "CacheStats fresh hits").set_function(
+            lambda: self._cache.stats.hits
+        )
+        g("proxy_cache_requests", "CacheStats lookups").set_function(
+            lambda: self._cache.stats.requests
+        )
+        g("proxy_cache_evictions", "CacheStats evictions").set_function(
+            lambda: self._cache.stats.evictions
+        )
+        g("proxy_summary_fill_ratio", "own summary fill ratio").set_function(
+            lambda: self._node.local.fill_ratio()
+        )
+        g("proxy_peers", "configured peers").set_function(
+            lambda: len(self._peers)
+        )
+        g("proxy_pending_queries", "outstanding ICP query rounds").set_function(
+            lambda: len(self._pending)
+        )
+        g("proxy_trace_events_dropped", "trace-ring events dropped").set_function(
+            lambda: self.trace.dropped
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -527,7 +539,7 @@ class SummaryCacheProxy:
     # ICP datagram path
     # ------------------------------------------------------------------
 
-    def _on_datagram(self, data: bytes, addr) -> None:
+    def _on_datagram(self, data: bytes, addr: Tuple[str, int]) -> None:
         self.stats.udp_received += 1
         self._m.udp_received.inc()
         try:
@@ -543,7 +555,9 @@ class SummaryCacheProxy:
         elif isinstance(message, DigestChunk):
             self._handle_digest_chunk(message, addr)
 
-    def _handle_query(self, query: IcpQuery, addr) -> None:
+    def _handle_query(
+        self, query: IcpQuery, addr: Tuple[str, int]
+    ) -> None:
         self.stats.icp_queries_received += 1
         self._m.icp_queries_received.inc()
         if self._icp is None or self._icp.transport is None:
@@ -562,7 +576,9 @@ class SummaryCacheProxy:
         self._m.icp_replies_sent.inc()
         self._m.udp_sent.inc()
 
-    def _handle_reply(self, reply, addr) -> None:
+    def _handle_reply(
+        self, reply: Union[IcpHit, IcpMiss], addr: Tuple[str, int]
+    ) -> None:
         self.stats.icp_replies_received += 1
         self._m.icp_replies_received.inc()
         pending = self._pending.get(reply.request_number)
@@ -581,7 +597,11 @@ class SummaryCacheProxy:
         if not pending.outstanding:
             pending.future.set_result(None)
 
-    def _handle_dir_update(self, update, addr) -> None:
+    def _handle_dir_update(
+        self,
+        update: Union[DirUpdate, SetDirUpdate],
+        addr: Tuple[str, int],
+    ) -> None:
         """Patch the sender's remote copy from a (Set)DirUpdate.
 
         A mismatched update -- wrong representation, or a Bloom delta
@@ -623,7 +643,9 @@ class SummaryCacheProxy:
             changed=changed,
         )
 
-    def _handle_digest_chunk(self, chunk: DigestChunk, addr) -> None:
+    def _handle_digest_chunk(
+        self, chunk: DigestChunk, addr: Tuple[str, int]
+    ) -> None:
         """Feed a whole-filter chunk to the peer's reassembler."""
         self.stats.dirupdates_received += 1
         self._m.dirupdates_received.inc()
@@ -671,7 +693,7 @@ class SummaryCacheProxy:
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
-    async def _serve_stats(self, writer) -> None:
+    async def _serve_stats(self, writer: asyncio.StreamWriter) -> None:
         """Serve the admin endpoint: counters and cache state as JSON."""
         payload = dict(asdict(self.stats))
         payload.update(
@@ -695,7 +717,9 @@ class SummaryCacheProxy:
         )
         await writer.drain()
 
-    async def _serve_metrics(self, request, writer) -> None:
+    async def _serve_metrics(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
         """Serve the registry: Prometheus text, or JSON on request.
 
         ``GET /metrics`` returns the text exposition format;
@@ -725,7 +749,9 @@ class SummaryCacheProxy:
         )
         await writer.drain()
 
-    async def _serve_peer(self, request, writer) -> None:
+    async def _serve_peer(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
         """Serve a proxy-to-proxy fetch: cache or 504, never recurse."""
         body = self._lookup_local(request.url)
         if body is None:
@@ -738,7 +764,9 @@ class SummaryCacheProxy:
             )
         await writer.drain()
 
-    async def _serve_client(self, request, writer) -> None:
+    async def _serve_client(
+        self, request: HttpRequest, writer: asyncio.StreamWriter
+    ) -> None:
         self.stats.http_requests += 1
         self._m.http_requests.inc()
         url = request.url
@@ -774,7 +802,9 @@ class SummaryCacheProxy:
             return None
         return body
 
-    async def _miss_path(self, url: str, size_hint: str, trace_id: int = 0):
+    async def _miss_path(
+        self, url: str, size_hint: str, trace_id: int = 0
+    ) -> Tuple[bytes, str]:
         """Resolve a local miss via peers (per mode) then the origin."""
         candidates = self._candidate_peers(url)
         if candidates:
@@ -911,7 +941,7 @@ class SummaryCacheProxy:
         return response.body
 
     async def _fetch(
-        self, host: str, port: int, url: str, headers
+        self, host: str, port: int, url: str, headers: Dict[str, str]
     ) -> HttpResponse:
         reader, writer = await asyncio.open_connection(host, port)
         try:

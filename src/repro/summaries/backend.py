@@ -31,10 +31,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Tuple
+from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SummaryMismatchError
 from repro.summaries.policies import UpdatePolicy
+
+#: A digest-set change record: a 16-byte MD5 digest (exact directory)
+#: or a server name (server-name summary).
+DigestKey = Union[bytes, str]
+
+#: Any delta a summary can emit: digest-set changes or bit flips.
+SummaryDelta = Union["DigestDelta", "BitFlipDelta"]
 
 #: The paper's average-document-size divisor: "The average number of
 #: documents is calculated by dividing the cache size by 8 K (the average
@@ -91,8 +98,8 @@ class SummaryConfig:
 class DigestDelta:
     """Changes to a digest-set summary since the last shipped update."""
 
-    added: List = field(default_factory=list)
-    removed: List = field(default_factory=list)
+    added: Sequence[DigestKey] = field(default_factory=list)
+    removed: Sequence[DigestKey] = field(default_factory=list)
 
     @property
     def change_count(self) -> int:
@@ -132,16 +139,24 @@ class RemoteSummary(ABC):
         """Probe the summary; a ``False`` is authoritative for this copy."""
 
     @abstractmethod
-    def key_of(self, url: str):
-        """Derive the probe key for *url* (digest, name, or positions)."""
+    def key_of(self, url: str) -> Any:
+        """Derive the probe key for *url* (digest, name, or positions).
+
+        The key is opaque: valid only for :meth:`contains_key` of the
+        same representation.
+        """
 
     @abstractmethod
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         """Probe with a key previously derived by :meth:`key_of`."""
 
     @abstractmethod
-    def apply_delta(self, delta) -> None:
-        """Patch the copy with a received delta update."""
+    def apply_delta(self, delta: SummaryDelta) -> None:
+        """Patch the copy with a received delta update.
+
+        Raises :class:`~repro.errors.SummaryMismatchError` when the
+        delta's type does not match the representation.
+        """
 
     @abstractmethod
     def size_bytes(self) -> int:
@@ -164,15 +179,19 @@ class LocalSummary(ABC):
         """Probe the up-to-date local summary."""
 
     @abstractmethod
-    def key_of(self, url: str):
-        """Derive the probe key for *url* (digest, name, or positions)."""
+    def key_of(self, url: str) -> Any:
+        """Derive the probe key for *url* (digest, name, or positions).
+
+        The key is opaque: valid only for :meth:`contains_key` of the
+        same representation.
+        """
 
     @abstractmethod
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         """Probe with a key previously derived by :meth:`key_of`."""
 
     @abstractmethod
-    def drain_delta(self):
+    def drain_delta(self) -> SummaryDelta:
         """Return changes since the last drain and mark them shipped."""
 
     @abstractmethod
@@ -221,23 +240,29 @@ class DigestSetRemote(RemoteSummary):
 
     __slots__ = ("_digests", "_bytes_per_entry")
 
-    def __init__(self, digests: set, bytes_per_entry: int) -> None:
-        self._digests = set(digests)
+    def __init__(
+        self, digests: Set[DigestKey], bytes_per_entry: int
+    ) -> None:
+        self._digests: Set[DigestKey] = set(digests)
         self._bytes_per_entry = bytes_per_entry
 
-    def _key(self, url: str):
+    def _key(self, url: str) -> DigestKey:
         raise NotImplementedError
 
     def may_contain(self, url: str) -> bool:
         return self._key(url) in self._digests
 
-    def key_of(self, url: str):
+    def key_of(self, url: str) -> DigestKey:
         return self._key(url)
 
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         return key in self._digests
 
-    def apply_delta(self, delta: DigestDelta) -> None:
+    def apply_delta(self, delta: SummaryDelta) -> None:
+        if not isinstance(delta, DigestDelta):
+            raise SummaryMismatchError(
+                f"digest-set summary cannot apply {type(delta).__name__}"
+            )
         for digest in delta.removed:
             self._digests.discard(digest)
         for digest in delta.added:
@@ -338,7 +363,7 @@ class SummaryNode:
             last_update=self.last_update_time,
         )
 
-    def publish(self, now: float):
+    def publish(self, now: float) -> SummaryDelta:
         """Drain the pending delta (into the shipped copy, if tracked).
 
         Returns the delta (for message building or size accounting).

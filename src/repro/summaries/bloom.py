@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
-from typing import Iterable, Optional
+from typing import Any, Iterable, Optional, Tuple
 
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily
-from repro.errors import ConfigurationError
-from repro.summaries.backend import BitFlipDelta, LocalSummary, RemoteSummary, SummaryConfig
+from repro.errors import ConfigurationError, SummaryMismatchError
+from repro.summaries.backend import (
+    BitFlipDelta,
+    LocalSummary,
+    RemoteSummary,
+    SummaryConfig,
+    SummaryDelta,
+)
 
 
 class BloomRemote(RemoteSummary):
@@ -27,17 +33,21 @@ class BloomRemote(RemoteSummary):
     def may_contain(self, url: str) -> bool:
         return self.filter.may_contain(url)
 
-    def key_of(self, url: str):
+    def key_of(self, url: str) -> Tuple[int, ...]:
         return self.filter.positions(url)
 
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         get = self.filter.bits.get
         for pos in key:
             if not get(pos):
                 return False
         return True
 
-    def apply_delta(self, delta: BitFlipDelta) -> None:
+    def apply_delta(self, delta: SummaryDelta) -> None:
+        if not isinstance(delta, BitFlipDelta):
+            raise SummaryMismatchError(
+                f"bloom summary cannot apply {type(delta).__name__}"
+            )
         self.filter.apply_flips(delta.flips)
 
     def size_bytes(self) -> int:
@@ -100,10 +110,10 @@ class BloomSummary(LocalSummary):
     def may_contain(self, url: str) -> bool:
         return self._cbf.may_contain(url)
 
-    def key_of(self, url: str):
+    def key_of(self, url: str) -> Tuple[int, ...]:
         return self._cbf.filter.positions(url)
 
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         get = self._cbf.filter.bits.get
         for pos in key:
             if not get(pos):

@@ -17,7 +17,7 @@ payloads, so the proxy never dispatches on concrete summary types:
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from repro.core.bloom import BloomFilter
 from repro.core.hashing import MD5HashFamily
@@ -40,15 +40,17 @@ from repro.protocol.wire import (
 from repro.summaries.backend import (
     BitFlipDelta,
     DigestDelta,
+    DigestKey,
     LocalSummary,
     RemoteSummary,
+    SummaryDelta,
 )
 from repro.summaries.bloom import BloomRemote, BloomSummary
 from repro.summaries.exact import ExactDirectoryRemote, ExactDirectorySummary
 from repro.summaries.servername import ServerNameRemote, ServerNameSummary
 
 #: SummaryConfig.kind <-> wire representation id.
-KIND_TO_REPRESENTATION = {
+KIND_TO_REPRESENTATION: Dict[str, int] = {
     "bloom": REPR_BLOOM,
     "exact-directory": REPR_EXACT,
     "server-name": REPR_SERVER_NAME,
@@ -76,14 +78,16 @@ def representation_kind(rep_id: int) -> str:
         ) from None
 
 
-def _encode_record(record) -> bytes:
+def _encode_record(record: DigestKey) -> bytes:
     """One delta record as wire bytes (digests pass through, names UTF-8)."""
     if isinstance(record, bytes):
         return record
     return record.encode("utf-8")
 
 
-def _decode_records(representation: int, records) -> List:
+def _decode_records(
+    representation: int, records: Iterable[bytes]
+) -> List[DigestKey]:
     """Wire records back to summary keys (names decode to ``str``)."""
     if representation == REPR_SERVER_NAME:
         return [record.decode("utf-8") for record in records]
@@ -92,7 +96,7 @@ def _decode_records(representation: int, records) -> List:
 
 def delta_messages(
     summary: LocalSummary,
-    delta,
+    delta: SummaryDelta,
     mtu: int = DEFAULT_MTU,
     request_number: int = 0,
     sender: int = 0,

@@ -2,16 +2,17 @@
 
 from __future__ import annotations
 
-from typing import Iterable
+from typing import Any, Iterable, Set
 
 from repro.core.hashing import md5_digest
+from repro.errors import SummaryStateError
 from repro.summaries.backend import DigestDelta, DigestSetRemote, LocalSummary
 
 
 class ExactDirectoryRemote(DigestSetRemote):
     """Peer copy of an exact directory: a set of MD5 URL digests."""
 
-    def __init__(self, digests: set) -> None:
+    def __init__(self, digests: Set[bytes]) -> None:
         super().__init__(digests, bytes_per_entry=16)
 
     def _key(self, url: str) -> bytes:
@@ -22,9 +23,9 @@ class ExactDirectorySummary(LocalSummary):
     """Local exact directory: every cached URL's 16-byte MD5 signature."""
 
     def __init__(self) -> None:
-        self._digests: set = set()
-        self._pending_added: set = set()
-        self._pending_removed: set = set()
+        self._digests: Set[bytes] = set()
+        self._pending_added: Set[bytes] = set()
+        self._pending_removed: Set[bytes] = set()
 
     def add(self, url: str) -> None:
         digest = md5_digest(url)
@@ -39,7 +40,7 @@ class ExactDirectorySummary(LocalSummary):
     def remove(self, url: str) -> None:
         digest = md5_digest(url)
         if digest not in self._digests:
-            raise ValueError(f"remove of URL not in directory: {url!r}")
+            raise SummaryStateError(f"remove of URL not in directory: {url!r}")
         self._digests.discard(digest)
         if digest in self._pending_added:
             self._pending_added.discard(digest)
@@ -49,10 +50,10 @@ class ExactDirectorySummary(LocalSummary):
     def may_contain(self, url: str) -> bool:
         return md5_digest(url) in self._digests
 
-    def key_of(self, url: str):
+    def key_of(self, url: str) -> bytes:
         return md5_digest(url)
 
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         return key in self._digests
 
     def drain_delta(self) -> DigestDelta:

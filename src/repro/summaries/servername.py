@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable
+from typing import Any, Dict, Iterable, Set
 
+from repro.errors import SummaryStateError
 from repro.summaries.backend import DigestDelta, DigestSetRemote, LocalSummary
 from repro.urlutil import server_of
 
@@ -16,7 +17,7 @@ class ServerNameRemote(DigestSetRemote):
     regenerated with the paper's own assumptions.
     """
 
-    def __init__(self, names: set) -> None:
+    def __init__(self, names: Set[str]) -> None:
         super().__init__(names, bytes_per_entry=16)
 
     def _key(self, url: str) -> str:
@@ -28,8 +29,8 @@ class ServerNameSummary(LocalSummary):
 
     def __init__(self) -> None:
         self._refcounts: Dict[str, int] = {}
-        self._pending_added: set = set()
-        self._pending_removed: set = set()
+        self._pending_added: Set[str] = set()
+        self._pending_removed: Set[str] = set()
 
     def add(self, url: str) -> None:
         name = server_of(url)
@@ -45,7 +46,7 @@ class ServerNameSummary(LocalSummary):
         name = server_of(url)
         count = self._refcounts.get(name, 0)
         if count == 0:
-            raise ValueError(f"remove of URL with unknown server: {url!r}")
+            raise SummaryStateError(f"remove of URL with unknown server: {url!r}")
         if count == 1:
             del self._refcounts[name]
             if name in self._pending_added:
@@ -58,10 +59,10 @@ class ServerNameSummary(LocalSummary):
     def may_contain(self, url: str) -> bool:
         return server_of(url) in self._refcounts
 
-    def key_of(self, url: str):
+    def key_of(self, url: str) -> str:
         return server_of(url)
 
-    def contains_key(self, key) -> bool:
+    def contains_key(self, key: Any) -> bool:
         return key in self._refcounts
 
     def drain_delta(self) -> DigestDelta:

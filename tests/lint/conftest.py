@@ -1,0 +1,57 @@
+"""Shared fixture: build a throwaway project tree for the linter.
+
+Every rule test writes a minimal fake project (a ``pyproject.toml``
+root, ``src/repro/...`` sources, optionally ``docs/``) into ``tmp_path``
+and runs the real :func:`repro.lint.framework.run_lint` over it, so the
+tests exercise scoping, suppression, and the finalize phase exactly as
+the CLI does.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.lint.framework import Finding, LintConfig, run_lint
+
+
+class LintProject:
+    """A scratch project directory the tests populate and lint."""
+
+    def __init__(self, root: Path) -> None:
+        self.root = root
+        (root / "pyproject.toml").write_text("[project]\nname = 'x'\n")
+
+    def write(self, rel_path: str, source: str) -> Path:
+        path = self.root / rel_path
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+        return path
+
+    def lint(
+        self,
+        select: Optional[str] = None,
+        paths: Optional[List[str]] = None,
+    ) -> List[Finding]:
+        config = LintConfig(
+            select=frozenset([select]) if select else None,
+            root=self.root,
+        )
+        result = run_lint(
+            [str(self.root / p) for p in (paths or ["src"])], config
+        )
+        return list(result.findings)
+
+    def rule_counts(self, **kwargs: object) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.lint(**kwargs):  # type: ignore[arg-type]
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+
+@pytest.fixture
+def project(tmp_path: Path) -> LintProject:
+    return LintProject(tmp_path)

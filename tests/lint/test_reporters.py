@@ -1,0 +1,86 @@
+"""Text and JSON reporter output contracts."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.framework import Finding, LintResult
+from repro.lint.reporters import (
+    JSON_SCHEMA_VERSION,
+    render_json,
+    render_text,
+)
+
+
+def _dirty_result() -> LintResult:
+    return LintResult(
+        findings=[
+            Finding(
+                path="src/repro/core/mod.py",
+                line=3,
+                col=8,
+                rule="SC005",
+                message="raise of builtin ValueError",
+            ),
+            Finding(
+                path="src/repro/proxy/mod.py",
+                line=4,
+                col=4,
+                rule="SC001",
+                message="blocking call time.sleep()",
+            ),
+        ],
+        files_checked=2,
+        rules_run=("SC001", "SC005"),
+    )
+
+
+class TestTextReporter:
+    def test_one_line_per_finding_plus_summary(self) -> None:
+        text = render_text(_dirty_result())
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert (
+            lines[0]
+            == "src/repro/core/mod.py:3:8: SC005 raise of builtin ValueError"
+        )
+        assert lines[-1] == (
+            "2 finding(s) in 2 file(s) (SC001: 1, SC005: 1)"
+        )
+
+    def test_clean_summary_reports_work_done(self) -> None:
+        result = LintResult(files_checked=83, rules_run=tuple("ABCDEF"))
+        assert render_text(result) == "clean: 83 file(s), 6 rule(s)"
+
+
+class TestJsonReporter:
+    def test_schema_version_1_fields(self) -> None:
+        payload = json.loads(render_json(_dirty_result()))
+        assert payload["version"] == JSON_SCHEMA_VERSION == 1
+        assert payload["files_checked"] == 2
+        assert payload["rules_run"] == ["SC001", "SC005"]
+        assert payload["counts"] == {"SC001": 1, "SC005": 1}
+        assert payload["findings"] == [
+            {
+                "rule": "SC005",
+                "path": "src/repro/core/mod.py",
+                "line": 3,
+                "col": 8,
+                "message": "raise of builtin ValueError",
+            },
+            {
+                "rule": "SC001",
+                "path": "src/repro/proxy/mod.py",
+                "line": 4,
+                "col": 4,
+                "message": "blocking call time.sleep()",
+            },
+        ]
+
+    def test_clean_result_round_trips(self) -> None:
+        payload = json.loads(
+            render_json(LintResult(files_checked=5, rules_run=("SC001",)))
+        )
+        assert payload["findings"] == []
+        assert payload["counts"] == {}
+        assert payload["files_checked"] == 5

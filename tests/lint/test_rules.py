@@ -1,0 +1,644 @@
+"""Positive/negative fixtures for every SC rule.
+
+Each test builds a minimal fake project (see ``conftest.LintProject``)
+and asserts the rule fires on the violating idiom and stays silent on
+the compliant one, including the scope/exempt boundaries.
+"""
+
+from __future__ import annotations
+
+from tests.lint.conftest import LintProject
+
+
+class TestSC001Blocking:
+    def test_time_sleep_in_async_def(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """,
+        )
+        findings = project.lint(select="SC001")
+        assert len(findings) == 1
+        assert findings[0].rule == "SC001"
+        assert "time.sleep" in findings[0].message
+        assert findings[0].line == 4
+
+    def test_from_import_alias_resolves(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            from time import sleep as snooze
+
+            async def handler():
+                snooze(1)
+            """,
+        )
+        assert project.rule_counts(select="SC001") == {"SC001": 1}
+
+    def test_module_prefix_call(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            import socket
+
+            async def handler():
+                socket.socket()
+            """,
+        )
+        assert project.rule_counts(select="SC001") == {"SC001": 1}
+
+    def test_bare_open_in_async(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(path):
+                with open(path) as fh:
+                    return fh.read()
+            """,
+        )
+        assert project.rule_counts(select="SC001") == {"SC001": 1}
+
+    def test_sync_def_is_fine(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            import time
+
+            def setup():
+                time.sleep(1)
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+    def test_nested_sync_def_resets_scope(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            import time
+
+            async def handler():
+                def sync_helper():
+                    time.sleep(1)
+                return sync_helper
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+    def test_await_asyncio_sleep_is_fine(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            import asyncio
+
+            async def handler():
+                await asyncio.sleep(1)
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+    def test_outside_proxy_scope_not_checked(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/simulation/mod.py",
+            """\
+            import time
+
+            async def handler():
+                time.sleep(1)
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+
+class TestSC002Wire:
+    def test_host_order_format_flagged(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            def encode(value):
+                return struct.pack("<I", value)
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "network byte order" in findings[0].message
+
+    def test_non_literal_format_flagged(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            def encode(fmt, value):
+                return struct.pack(fmt, value)
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "statically verifiable" in findings[0].message
+
+    def test_size_constant_mismatch(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            FOO_HEADER_SIZE = 9
+            _FOO_HEADER = struct.Struct("!II")
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "packs 8 bytes" in findings[0].message
+        assert "FOO_HEADER_SIZE declares 9" in findings[0].message
+
+    def test_annotated_size_constant_still_seen(
+        self, project: LintProject
+    ) -> None:
+        # Regression: a type annotation must not hide the constant.
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            FOO_HEADER_SIZE: int = 9
+            _FOO_HEADER = struct.Struct("!II")
+            """,
+        )
+        assert project.rule_counts(select="SC002") == {"SC002": 1}
+
+    def test_header_alias_maps_to_icp_header_size(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            ICP_HEADER_SIZE = 4
+            _HEADER = struct.Struct("!II")
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "ICP_HEADER_SIZE declares 4" in findings[0].message
+
+    def test_matching_format_and_size_clean(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/protocol/mod.py",
+            """\
+            import struct
+
+            FOO_HEADER_SIZE = 8
+            _FOO_HEADER = struct.Struct("!II")
+
+            def encode(a, b):
+                return struct.pack("!II", a, b)
+            """,
+        )
+        assert project.lint(select="SC002") == []
+
+
+class TestSC003Metrics:
+    def test_non_snake_case_name(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.counter("Bad-Name")
+            """,
+        )
+        findings = project.lint(select="SC003")
+        assert len(findings) == 1
+        assert "not snake_case" in findings[0].message
+
+    def test_counter_without_total_suffix(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.counter("requests")
+            """,
+        )
+        findings = project.lint(select="SC003")
+        assert len(findings) == 1
+        assert "_total" in findings[0].message
+
+    def test_gauge_with_total_suffix(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.gauge("entries_total")
+            """,
+        )
+        findings = project.lint(select="SC003")
+        assert len(findings) == 1
+        assert "must not end in '_total'" in findings[0].message
+
+    def test_histogram_without_unit_suffix(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.histogram("latency")
+            """,
+        )
+        findings = project.lint(select="SC003")
+        assert len(findings) == 1
+        assert "base-unit suffix" in findings[0].message
+
+    def test_bound_method_alias_recognised(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                c = registry.counter
+                c("requests")
+            """,
+        )
+        assert project.rule_counts(select="SC003") == {"SC003": 1}
+
+    def test_kind_conflict_across_files(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/a.py",
+            """\
+            def setup(registry):
+                registry.gauge("queue_depth")
+            """,
+        )
+        project.write(
+            "src/repro/obs/b.py",
+            """\
+            def setup(registry):
+                registry.histogram("queue_depth")
+            """,
+        )
+        findings = project.lint(select="SC003")
+        conflict = [f for f in findings if "registered as" in f.message]
+        assert len(conflict) == 1
+
+    def test_doc_catalogue_two_way_check(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.counter("hits_total")
+                registry.gauge("entries")
+            """,
+        )
+        project.write(
+            "docs/observability.md",
+            """\
+            | name | kind | help |
+            | --- | --- | --- |
+            | `hits_total` | counter | cache hits |
+            | `misses_total` | counter | cache misses |
+            """,
+        )
+        findings = project.lint(select="SC003")
+        messages = sorted(f.message for f in findings)
+        assert len(findings) == 2
+        assert any(
+            "'entries' is not documented" in m for m in messages
+        )
+        assert any(
+            "'misses_total' is not registered" in m for m in messages
+        )
+
+    def test_doc_kind_mismatch(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.gauge("queue_depth")
+            """,
+        )
+        project.write(
+            "docs/observability.md",
+            """\
+            | `queue_depth` | histogram | queued work |
+            """,
+        )
+        findings = project.lint(select="SC003")
+        assert len(findings) == 1
+        assert "documented as histogram" in findings[0].message
+
+    def test_consistent_code_and_doc_clean(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.counter("hits_total")
+                registry.histogram("latency_seconds")
+            """,
+        )
+        project.write(
+            "docs/observability.md",
+            """\
+            | `hits_total` | counter | cache hits |
+            | `latency_seconds` | histogram | request latency |
+            """,
+        )
+        assert project.lint(select="SC003") == []
+
+    def test_no_docs_dir_skips_doc_check(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/obs/mod.py",
+            """\
+            def setup(registry):
+                registry.counter("hits_total")
+            """,
+        )
+        assert project.lint(select="SC003") == []
+
+
+class TestSC004Encapsulation:
+    def test_direct_bit_mutation_outside_core(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/sharing/mod.py",
+            """\
+            def poke(remote):
+                remote.bits.set(1)
+            """,
+        )
+        findings = project.lint(select="SC004")
+        assert len(findings) == 1
+        assert "remote.bits.set(...)" in findings[0].message
+
+    def test_bare_storage_name_mutation(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/simulation/mod.py",
+            """\
+            def poke(counters):
+                counters.increment(3)
+            """,
+        )
+        assert project.rule_counts(select="SC004") == {"SC004": 1}
+
+    def test_private_storage_access(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/sharing/mod.py",
+            """\
+            def peek(array):
+                return array._buf[0]
+            """,
+        )
+        findings = project.lint(select="SC004")
+        assert len(findings) == 1
+        assert "._buf" in findings[0].message
+
+    def test_self_private_access_allowed(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/sharing/mod.py",
+            """\
+            class Wrapper:
+                def peek(self):
+                    return self._buf[0]
+            """,
+        )
+        assert project.lint(select="SC004") == []
+
+    def test_core_and_summaries_exempt(self, project: LintProject) -> None:
+        source = """\
+        def poke(remote):
+            remote.bits.set(1)
+        """
+        project.write("src/repro/core/mod.py", source)
+        project.write("src/repro/summaries/mod.py", source)
+        assert project.lint(select="SC004") == []
+
+    def test_non_storage_receiver_ignored(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/sharing/mod.py",
+            """\
+            def ok(flags):
+                flags.set(1)
+                seen = set()
+                seen.add(2)
+            """,
+        )
+        assert project.lint(select="SC004") == []
+
+
+class TestSC005Exceptions:
+    def test_builtin_raise_flagged(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/core/mod.py",
+            """\
+            def check(x):
+                if x < 0:
+                    raise ValueError("negative")
+            """,
+        )
+        findings = project.lint(select="SC005")
+        assert len(findings) == 1
+        assert "builtin ValueError" in findings[0].message
+
+    def test_bare_except_flagged(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/core/mod.py",
+            """\
+            def swallow(fn):
+                try:
+                    fn()
+                except:
+                    pass
+            """,
+        )
+        findings = project.lint(select="SC005")
+        assert len(findings) == 1
+        assert "bare 'except:'" in findings[0].message
+
+    def test_domain_raise_and_reraise_clean(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/core/mod.py",
+            """\
+            from repro.errors import ConfigurationError
+
+            def check(x):
+                if x < 0:
+                    raise ConfigurationError("negative")
+                try:
+                    return 1 / x
+                except ZeroDivisionError:
+                    raise
+            """,
+        )
+        assert project.lint(select="SC005") == []
+
+    def test_not_implemented_error_allowed(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/core/mod.py",
+            """\
+            def todo():
+                raise NotImplementedError
+            """,
+        )
+        assert project.lint(select="SC005") == []
+
+
+_WIRE = """\
+REPR_BLOOM = 0
+REPR_EXACT = 1
+"""
+
+_CODEC_OK = """\
+KIND_TO_REPRESENTATION = {
+    "bloom": REPR_BLOOM,
+    "exact": REPR_EXACT,
+}
+"""
+
+_DOC_OK = """\
+| id | constant | payload |
+| --- | --- | --- |
+| 0 | `REPR_BLOOM` | bit flips |
+| 1 | `REPR_EXACT` | URL records |
+"""
+
+
+class TestSC006CodecSync:
+    def test_consistent_trio_clean(self, project: LintProject) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write("docs/wire-protocol.md", _DOC_OK)
+        assert project.lint(select="SC006") == []
+
+    def test_annotated_mapping_still_found(
+        self, project: LintProject
+    ) -> None:
+        # Regression: KIND_TO_REPRESENTATION carries a type annotation in
+        # the real codec; the rule must still find the AnnAssign literal.
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write(
+            "src/repro/summaries/codec.py",
+            """\
+            from typing import Dict
+
+            KIND_TO_REPRESENTATION: Dict[str, int] = {
+                "bloom": REPR_BLOOM,
+                "exact": REPR_EXACT,
+            }
+            """,
+        )
+        project.write("docs/wire-protocol.md", _DOC_OK)
+        assert project.lint(select="SC006") == []
+
+    def test_missing_mapping_flagged(self, project: LintProject) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write(
+            "src/repro/summaries/codec.py", "OTHER = {}\n"
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "no KIND_TO_REPRESENTATION" in findings[0].message
+
+    def test_kind_maps_to_undefined_constant(
+        self, project: LintProject
+    ) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write(
+            "src/repro/summaries/codec.py",
+            """\
+            KIND_TO_REPRESENTATION = {
+                "bloom": REPR_BLOOM,
+                "exact": REPR_EXACT,
+                "delta": REPR_DELTA,
+            }
+            """,
+        )
+        project.write("docs/wire-protocol.md", _DOC_OK)
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "REPR_DELTA" in findings[0].message
+        assert "does not define" in findings[0].message
+
+    def test_wire_constant_without_mapping_entry(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/protocol/wire.py",
+            _WIRE + "REPR_SERVER_NAME = 2\n",
+        )
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write(
+            "docs/wire-protocol.md",
+            _DOC_OK + "| 2 | `REPR_SERVER_NAME` | server names |\n",
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "REPR_SERVER_NAME" in findings[0].message
+        assert "no KIND_TO_REPRESENTATION entry" in findings[0].message
+
+    def test_doc_id_mismatch(self, project: LintProject) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write(
+            "docs/wire-protocol.md",
+            """\
+            | 0 | `REPR_BLOOM` | bit flips |
+            | 7 | `REPR_EXACT` | URL records |
+            """,
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "documented as id 7" in findings[0].message
+        assert findings[0].path == "docs/wire-protocol.md"
+
+    def test_doc_missing_constant(self, project: LintProject) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write(
+            "docs/wire-protocol.md",
+            "| 0 | `REPR_BLOOM` | bit flips |\n",
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "REPR_EXACT" in findings[0].message
+        assert "missing" in findings[0].message
+
+    def test_doc_documents_undefined_constant(
+        self, project: LintProject
+    ) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write(
+            "docs/wire-protocol.md",
+            _DOC_OK + "| 9 | `REPR_GHOST` | never existed |\n",
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "REPR_GHOST" in findings[0].message
+        assert "not defined" in findings[0].message
+
+    def test_doc_without_table_flagged(self, project: LintProject) -> None:
+        project.write("src/repro/protocol/wire.py", _WIRE)
+        project.write("src/repro/summaries/codec.py", _CODEC_OK)
+        project.write(
+            "docs/wire-protocol.md", "Prose only, no table here.\n"
+        )
+        findings = project.lint(select="SC006")
+        assert len(findings) == 1
+        assert "no representation-id table" in findings[0].message
