@@ -9,6 +9,7 @@ Every table and figure in the paper can be regenerated from the shell::
     summary-cache table3
     summary-cache fig4
     summary-cache representations --workload upisa   # Figs. 5-8
+    summary-cache simulate --workloads nlanr upisa --jobs 4
     summary-cache table4                             # client-bound replay
     summary-cache table5                             # round-robin replay
     summary-cache scalability
@@ -51,6 +52,19 @@ def _add_workload_args(parser: argparse.ArgumentParser) -> None:
         type=float,
         default=1.0,
         help="workload scale factor (default: 1.0)",
+    )
+
+
+def _add_jobs_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "fan independent simulation cells across N worker processes "
+            "(default: 1, serial; results are identical either way)"
+        ),
     )
 
 
@@ -110,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("table3", help="summary memory (Table III)")
     p.add_argument("--scale", type=float, default=1.0)
+    _add_jobs_arg(p)
     sub.add_parser("fig4", help="false-positive curves (Fig. 4)")
 
     p = sub.add_parser(
@@ -118,6 +133,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_workload_args(p)
     _add_summary_args(p)
     p.add_argument("--threshold", type=float, default=0.01)
+    _add_jobs_arg(p)
+
+    p = sub.add_parser(
+        "simulate",
+        help=(
+            "run a Fig. 5-style grid of simulation cells, optionally on "
+            "worker processes (--jobs)"
+        ),
+    )
+    p.add_argument(
+        "--workloads",
+        nargs="+",
+        default=["nlanr"],
+        choices=sorted(WORKLOAD_PRESETS),
+        help="workload presets to sweep (default: nlanr)",
+    )
+    p.add_argument(
+        "--scale", type=float, default=1.0,
+        help="workload scale factor (default: 1.0)",
+    )
+    p.add_argument(
+        "--load-factors",
+        nargs="+",
+        type=int,
+        default=[8, 16, 32],
+        metavar="LF",
+        help="Bloom load factors to sweep (default: 8 16 32)",
+    )
+    p.add_argument(
+        "--thresholds",
+        nargs="+",
+        type=float,
+        default=[0.01],
+        metavar="T",
+        help="update-delay thresholds to sweep (default: 0.01)",
+    )
+    p.add_argument(
+        "--no-icp", action="store_true",
+        help="skip the per-workload ICP baseline cell",
+    )
+    _add_jobs_arg(p)
 
     p = sub.add_parser("table4", help="client-bound replay (Table IV)")
     _add_workload_args(p)
@@ -296,7 +352,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     elif args.command == "table3":
-        headers, rows = experiments.table3(scale=args.scale)
+        headers, rows = experiments.table3(scale=args.scale, jobs=args.jobs)
         print(
             format_table(headers, rows, title="Table III: summary memory")
         )
@@ -312,6 +368,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             args.workload,
             scale=args.scale,
             threshold=args.threshold,
+            jobs=args.jobs,
             **_summary_overrides(args),
         )
         headers, rows = experiments.representation_rows(results)
@@ -322,6 +379,40 @@ def main(argv: Optional[List[str]] = None) -> int:
                 title=(
                     f"Figs. 5-8: summary representations ({args.workload}, "
                     f"threshold {args.threshold:g})"
+                ),
+            )
+        )
+    elif args.command == "simulate":
+        from repro.simulation.parallel import fig5_grid, run_cells
+
+        cells = fig5_grid(
+            args.workloads,
+            load_factors=args.load_factors,
+            thresholds=args.thresholds,
+            include_icp=not args.no_icp,
+            scale=args.scale,
+        )
+        results = run_cells(cells, jobs=args.jobs)
+        headers = (
+            "cell", "total-HR", "false-hit", "msgs/req", "bytes/req",
+        )
+        rows = [
+            (
+                cell.label(),
+                f"{r.total_hit_ratio:.3f}",
+                f"{r.false_hit_ratio:.4f}",
+                f"{r.messages_per_request:.3f}",
+                f"{r.message_bytes_per_request:.0f}",
+            )
+            for cell, r in zip(cells, results)
+        ]
+        print(
+            format_table(
+                headers,
+                rows,
+                title=(
+                    f"Simulation grid ({len(cells)} cells, "
+                    f"jobs={args.jobs})"
                 ),
             )
         )

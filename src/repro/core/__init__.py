@@ -15,6 +15,9 @@ This subpackage contains the paper's primary algorithmic contribution:
   counter-overflow formulas behind Fig. 4.
 - :mod:`repro.core.summary` -- the three summary representations compared
   in Section V (exact-directory, server-name, Bloom filter).
+- :mod:`repro.core.position_cache` -- the shared LRU memo of MD5 digests
+  and derived bit positions that lets N proxies probing the same URL
+  hash once instead of N times (see ``docs/performance.md``).
 """
 
 from repro.core.bfmath import (
@@ -28,6 +31,12 @@ from repro.core.bitarray import BitArray, CounterArray
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily, PolynomialHashFamily, md5_digest
+from repro.core.position_cache import (
+    HashPositionCache,
+    get_position_cache,
+    position_cache,
+    set_position_cache,
+)
 from repro.core.summary import (
     BloomSummary,
     DigestDelta,
@@ -45,6 +54,7 @@ __all__ = [
     "CountingBloomFilter",
     "DigestDelta",
     "ExactDirectorySummary",
+    "HashPositionCache",
     "MD5HashFamily",
     "PolynomialHashFamily",
     "ServerNameSummary",
@@ -52,8 +62,11 @@ __all__ = [
     "counter_overflow_probability",
     "false_positive_probability",
     "false_positive_probability_exact",
+    "get_position_cache",
     "make_local_summary",
     "md5_digest",
     "min_false_positive_probability",
     "optimal_num_hashes",
+    "position_cache",
+    "set_position_cache",
 ]

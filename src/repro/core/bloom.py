@@ -130,6 +130,26 @@ class BloomFilter:
         obs.inserts.inc()
         return flipped
 
+    def add_many(self, keys: Iterable[Key]) -> List[int]:
+        """Insert every key in one batch; return all bits flipped 0 -> 1.
+
+        The batch form of :meth:`add`: every key's positions are set via
+        a single :meth:`~repro.core.bitarray.BitArray.set_many` sweep, so
+        per-key popcount bookkeeping and instrument checks disappear from
+        the hot path.  Used by rebuild/resync and batched trace replay.
+        """
+        keys = list(keys)
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
+        positions = self.positions
+        flipped = self.bits.set_many(
+            pos for key in keys for pos in positions(key)
+        )
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.inserts.inc(len(keys))
+        return flipped
+
     def may_contain(self, key: Key) -> bool:
         """Return ``False`` if *key* is definitely absent, ``True`` if it may be present."""
         obs = self._obs
@@ -142,6 +162,22 @@ class BloomFilter:
         if result:
             obs.probe_positives.inc()
         return result
+
+    def may_contain_many(self, keys: Iterable[Key]) -> List[bool]:
+        """Batch membership probes: one answer per key, in order."""
+        keys = list(keys)
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
+        get = self.bits.get
+        positions = self.positions
+        results = [
+            all(get(pos) for pos in positions(key)) for key in keys
+        ]
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.probes.inc(len(keys))
+            obs.probe_positives.inc(sum(results))
+        return results
 
     def __contains__(self, key: Key) -> bool:
         return self.may_contain(key)

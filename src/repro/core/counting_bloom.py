@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import struct
 from time import perf_counter
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.core.bitarray import CounterArray
 from repro.core.bloom import BloomFilter, _OP_BUCKETS
@@ -149,6 +149,49 @@ class CountingBloomFilter:
         if obs is not None:
             obs.op_seconds.observe(perf_counter() - start)
             obs.inserts.inc()
+
+    def add_at(self, positions: Tuple[int, ...]) -> None:
+        """Insert one key by its precomputed bit *positions*.
+
+        The positions MUST come from this filter's own hash family and
+        geometry (e.g. :meth:`MD5HashFamily.hashes_from_digest` over a
+        digest stored at cache-insert time); anything else desynchronizes
+        the filter from its peers' wire-spec positions.
+        """
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
+        for pos in positions:
+            if self.counters.increment(pos) == 1:
+                self.filter.bits.set(pos, True)
+                self._pending_flips.append((pos, True))
+        self._keys_added += 1
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.inserts.inc()
+
+    def add_many(self, keys: Iterable[Key]) -> None:
+        """Insert every key in one batch (the rebuild/resync fast path).
+
+        Equivalent to calling :meth:`add` per key -- same counters, same
+        bit flips, same pending-delta records -- but instruments and
+        attribute lookups are hoisted out of the loop.
+        """
+        keys = list(keys)
+        obs = self._obs
+        start = perf_counter() if obs is not None else 0.0
+        positions_of = self.filter.positions
+        increment = self.counters.increment
+        set_bit = self.filter.bits.set
+        record = self._pending_flips.append
+        for key in keys:
+            for pos in positions_of(key):
+                if increment(pos) == 1:
+                    set_bit(pos, True)
+                    record((pos, True))
+        self._keys_added += len(keys)
+        if obs is not None:
+            obs.op_seconds.observe(perf_counter() - start)
+            obs.inserts.inc(len(keys))
 
     def remove(self, key: Key) -> None:
         """Delete *key*, recording any 1 -> 0 bit flips for the next delta.

@@ -57,6 +57,7 @@ from repro.simulation.experiment import (
     run_overhead_experiment,
     run_replay_experiment,
 )
+from repro.simulation.parallel import ExperimentCell, run_cells
 from repro.summaries import UpdatePolicy
 from repro.traces.model import Trace
 from repro.traces.stats import compute_stats, mean_cacheable_size
@@ -302,6 +303,44 @@ REPRESENTATIONS: Tuple[SummaryConfig, ...] = (
 )
 
 
+def _representation_cells(
+    workload: str,
+    sweep: Sequence[SummaryConfig],
+    scale: float,
+    threshold: float,
+    cache_fraction: float,
+    include_icp: bool,
+) -> List[Tuple[str, ExperimentCell]]:
+    """(label, cell) pairs mirroring one :func:`representations` sweep."""
+    pairs = [
+        (
+            c.label(),
+            ExperimentCell(
+                workload=workload,
+                kind=c.kind,
+                load_factor=c.load_factor,
+                threshold=threshold,
+                scale=scale,
+                cache_fraction=cache_fraction,
+            ),
+        )
+        for c in sweep
+    ]
+    if include_icp:
+        pairs.append(
+            (
+                "icp",
+                ExperimentCell(
+                    workload=workload,
+                    kind="icp",
+                    scale=scale,
+                    cache_fraction=cache_fraction,
+                ),
+            )
+        )
+    return pairs
+
+
 def representations(
     workload: str,
     scale: float = 1.0,
@@ -310,23 +349,38 @@ def representations(
     include_icp: bool = True,
     representation: Optional[str] = None,
     update_policy: Optional[UpdatePolicy] = None,
+    jobs: int = 1,
 ) -> Dict[str, SharingResult]:
     """Run the Section V-D comparison over one workload.
 
     Returns results keyed by representation label (plus ``"icp"``),
     carrying everything Figs. 5-8 and Table III report.
     ``representation`` narrows the sweep to one ``SummaryConfig.kind``;
-    ``update_policy`` replaces the default threshold policy.
+    ``update_policy`` replaces the default threshold policy.  ``jobs``
+    above 1 fans the per-representation cells across worker processes
+    (:mod:`repro.simulation.parallel`); results are bit-exact with the
+    serial run.  A custom ``update_policy`` cannot be described by an
+    :class:`~repro.simulation.parallel.ExperimentCell`, so it forces the
+    serial path.
     """
-    trace, groups, capacity, doc_size, _stats = _workload_setup(
-        workload, scale, cache_fraction
-    )
-    policy = update_policy or ThresholdUpdatePolicy(threshold)
-    sweep = REPRESENTATIONS
+    sweep: Sequence[SummaryConfig] = REPRESENTATIONS
     if representation is not None:
         sweep = tuple(
             c for c in REPRESENTATIONS if c.kind == representation
         )
+    if jobs > 1 and update_policy is None:
+        pairs = _representation_cells(
+            workload, sweep, scale, threshold, cache_fraction, include_icp
+        )
+        outcomes = run_cells([cell for _, cell in pairs], jobs=jobs)
+        return {
+            label: outcome
+            for (label, _), outcome in zip(pairs, outcomes)
+        }
+    trace, groups, capacity, doc_size, _stats = _workload_setup(
+        workload, scale, cache_fraction
+    )
+    policy = update_policy or ThresholdUpdatePolicy(threshold)
     results: Dict[str, SharingResult] = {}
     for summary_config in sweep:
         cfg = SummarySharingConfig(
@@ -375,14 +429,36 @@ def table3(
     workloads: Sequence[str] = ALL_WORKLOADS,
     scale: float = 1.0,
     threshold: float = 0.01,
+    jobs: int = 1,
 ) -> Tuple[Headers, Rows]:
-    """Summary memory as % of proxy cache size (Table III)."""
+    """Summary memory as % of proxy cache size (Table III).
+
+    ``jobs`` above 1 fans the whole workloads-x-representations grid
+    across worker processes in one batch (rather than parallelising
+    within each workload), so the pool stays saturated.
+    """
     headers = ("trace",) + tuple(c.label() for c in REPRESENTATIONS)
+    per_workload: Dict[str, Dict[str, SharingResult]] = {}
+    if jobs > 1:
+        pairs = [
+            (name, label, cell)
+            for name in workloads
+            for label, cell in _representation_cells(
+                name, REPRESENTATIONS, scale, threshold,
+                DEFAULT_CACHE_FRACTION, False,
+            )
+        ]
+        outcomes = run_cells([cell for _, _, cell in pairs], jobs=jobs)
+        for (name, label, _), outcome in zip(pairs, outcomes):
+            per_workload.setdefault(name, {})[label] = outcome
+    else:
+        for name in workloads:
+            per_workload[name] = representations(
+                name, scale=scale, threshold=threshold, include_icp=False
+            )
     rows: Rows = []
     for name in workloads:
-        results = representations(
-            name, scale=scale, threshold=threshold, include_icp=False
-        )
+        results = per_workload[name]
         rows.append(
             (name,)
             + tuple(

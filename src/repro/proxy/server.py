@@ -312,6 +312,9 @@ class SummaryCacheProxy:
             max_object_size=config.max_object_size,
             on_insert=self._on_cache_insert,
             on_evict=self._on_cache_evict,
+            # The live proxy resizes and resyncs its summary, so digests
+            # stored at insert time spare a full directory re-hash then.
+            store_digests=True,
         )
         self._peers: Dict[Tuple[str, int], _PeerState] = {}
         self._pending: Dict[int, _PendingQuery] = {}
@@ -462,7 +465,9 @@ class SummaryCacheProxy:
             return
         if not self._node.local.overloaded(len(self._cache), threshold):
             return
-        self._node.rebuild(self._cache.urls(), perf_counter())
+        self._node.rebuild(
+            self._cache.urls(), perf_counter(), digests=self._cache.digests()
+        )
         self.stats.summary_resizes += 1
         self._m.summary_resizes.inc()
         logger.info(

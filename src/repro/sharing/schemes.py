@@ -19,7 +19,7 @@ from repro.cache import WebCache
 from repro.errors import ConfigurationError
 from repro.sharing.results import SharingResult
 from repro.traces.model import Trace
-from repro.traces.partition import group_of
+from repro.traces.partition import grouped_chunks
 
 #: Per-proxy capacity: one size for all, or one size per proxy (the
 #: paper's prescription under load imbalance is "to allocate cache size
@@ -68,17 +68,20 @@ def simulate_no_sharing(
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
     )
-    for req in trace:
-        g = group_of(req.client_id, num_proxies)
-        cache = caches[g]
-        result.requests += 1
-        result.bytes_requested += req.size
-        entry = cache.get(req.url, version=req.version, size=req.size)
-        if entry is not None:
-            result.local_hits += 1
-            result.bytes_hit += entry.size
-            continue
-        cache.put(req.url, req.size, version=req.version)
+    # Chunked replay: group ids for a whole chunk are derived in one
+    # sweep (see repro.traces.partition.grouped_chunks); per-request
+    # logic is unchanged, so results match the per-request loop exactly.
+    for chunk in grouped_chunks(trace, num_proxies):
+        for g, req in chunk:
+            cache = caches[g]
+            result.requests += 1
+            result.bytes_requested += req.size
+            entry = cache.get(req.url, version=req.version, size=req.size)
+            if entry is not None:
+                result.local_hits += 1
+                result.bytes_hit += entry.size
+                continue
+            cache.put(req.url, req.size, version=req.version)
     result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
     return result
 
@@ -102,25 +105,25 @@ def simulate_simple_sharing(
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
     )
-    for req in trace:
-        g = group_of(req.client_id, num_proxies)
-        cache = caches[g]
-        result.requests += 1
-        result.bytes_requested += req.size
-        entry = cache.get(req.url, version=req.version, size=req.size)
-        if entry is not None:
-            result.local_hits += 1
-            result.bytes_hit += entry.size
-            continue
-        holder = _find_fresh_peer(caches, g, req.url, req.version)
-        if holder is not None:
-            result.remote_hits += 1
-            result.bytes_hit += req.size
-            caches[holder].touch(req.url)  # serving peer refreshes recency
-        else:
-            if _any_stale_peer(caches, g, req.url, req.version):
-                result.remote_stale_hits += 1
-        cache.put(req.url, req.size, version=req.version)
+    for chunk in grouped_chunks(trace, num_proxies):
+        for g, req in chunk:
+            cache = caches[g]
+            result.requests += 1
+            result.bytes_requested += req.size
+            entry = cache.get(req.url, version=req.version, size=req.size)
+            if entry is not None:
+                result.local_hits += 1
+                result.bytes_hit += entry.size
+                continue
+            holder = _find_fresh_peer(caches, g, req.url, req.version)
+            if holder is not None:
+                result.remote_hits += 1
+                result.bytes_hit += req.size
+                caches[holder].touch(req.url)  # serving peer refreshes recency
+            else:
+                if _any_stale_peer(caches, g, req.url, req.version):
+                    result.remote_stale_hits += 1
+            cache.put(req.url, req.size, version=req.version)
     result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
     return result
 
@@ -145,25 +148,25 @@ def simulate_single_copy_sharing(
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
     )
-    for req in trace:
-        g = group_of(req.client_id, num_proxies)
-        cache = caches[g]
-        result.requests += 1
-        result.bytes_requested += req.size
-        entry = cache.get(req.url, version=req.version, size=req.size)
-        if entry is not None:
-            result.local_hits += 1
-            result.bytes_hit += entry.size
-            continue
-        holder = _find_fresh_peer(caches, g, req.url, req.version)
-        if holder is not None:
-            result.remote_hits += 1
-            result.bytes_hit += req.size
-            caches[holder].touch(req.url)
-            continue  # not cached locally -- that is the point
-        if _any_stale_peer(caches, g, req.url, req.version):
-            result.remote_stale_hits += 1
-        cache.put(req.url, req.size, version=req.version)
+    for chunk in grouped_chunks(trace, num_proxies):
+        for g, req in chunk:
+            cache = caches[g]
+            result.requests += 1
+            result.bytes_requested += req.size
+            entry = cache.get(req.url, version=req.version, size=req.size)
+            if entry is not None:
+                result.local_hits += 1
+                result.bytes_hit += entry.size
+                continue
+            holder = _find_fresh_peer(caches, g, req.url, req.version)
+            if holder is not None:
+                result.remote_hits += 1
+                result.bytes_hit += req.size
+                caches[holder].touch(req.url)
+                continue  # not cached locally -- that is the point
+            if _any_stale_peer(caches, g, req.url, req.version):
+                result.remote_stale_hits += 1
+            cache.put(req.url, req.size, version=req.version)
     result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
     return result
 

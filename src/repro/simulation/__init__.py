@@ -15,7 +15,9 @@ simulation:
 - :mod:`repro.simulation.nodes` -- client, proxy, and origin processes
   implementing the no-ICP / ICP / SC-ICP protocols;
 - :mod:`repro.simulation.experiment` -- harnesses producing the paper's
-  table rows.
+  table rows;
+- :mod:`repro.simulation.parallel` -- fans independent experiment cells
+  (trace x scheme x load factor x threshold) across worker processes.
 """
 
 from repro.simulation.costs import CostModel
@@ -26,15 +28,27 @@ from repro.simulation.experiment import (
     run_replay_experiment,
 )
 from repro.simulation.network import NetworkModel, PacketCounters
+from repro.simulation.parallel import (
+    ExperimentCell,
+    default_jobs,
+    fig5_grid,
+    run_cell,
+    run_cells,
+)
 
 __all__ = [
     "CostModel",
     "Engine",
+    "ExperimentCell",
     "ExperimentResult",
     "NetworkModel",
     "PacketCounters",
     "Resource",
     "Signal",
+    "default_jobs",
+    "fig5_grid",
+    "run_cell",
+    "run_cells",
     "run_overhead_experiment",
     "run_replay_experiment",
 ]

@@ -1,0 +1,288 @@
+"""Fan independent simulation cells across worker processes.
+
+A paper-style experiment sweep -- Figs. 5-8, Table III, the threshold
+sweep of Fig. 2 -- is a grid of *cells*: one trace replayed under one
+``(scheme, representation, load factor, threshold)`` configuration.
+Cells never share mutable state (each builds its own caches, summaries,
+and trace from a deterministic seed), so the grid is embarrassingly
+parallel.
+
+:class:`ExperimentCell` names one cell; :func:`run_cell` executes it;
+:func:`run_cells` runs a batch either serially (``jobs <= 1``) or on a
+``multiprocessing`` pool, streaming results back as workers finish
+(``imap_unordered``) and reassembling them in input order.  Because
+trace generation and replay are deterministic, a parallel run is
+bit-exact with a serial run of the same cells -- the equivalence tests
+assert exactly that.
+
+Workers inherit the parent's interpreter state where the platform forks
+(Linux); on spawn platforms each worker imports the package fresh.
+Either way every worker holds its own process-wide
+:class:`~repro.core.position_cache.HashPositionCache`, so cells sharing
+a worker warm-start their hash derivations.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from time import perf_counter
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+from repro.obs.registry import get_registry
+from repro.sharing.results import SharingResult
+from repro.sharing.summary_sharing import (
+    SummarySharingConfig,
+    ThresholdUpdatePolicy,
+    simulate_icp,
+    simulate_summary_sharing,
+)
+from repro.summaries import SummaryConfig
+from repro.traces.stats import compute_stats, mean_cacheable_size
+from repro.traces.workloads import make_workload
+
+__all__ = [
+    "ExperimentCell",
+    "default_jobs",
+    "fig5_grid",
+    "run_cell",
+    "run_cells",
+]
+
+#: Cells handed to a worker per pool dispatch.  One cell takes long
+#: enough (hundreds of milliseconds and up) that fine-grained dispatch
+#: overhead is negligible; 1 keeps the stream responsive and the load
+#: balanced when cell durations vary.
+DEFAULT_CHUNKSIZE = 1
+
+#: Summary kinds a cell may name, plus the ICP baseline.
+_CELL_KINDS = ("exact-directory", "server-name", "bloom", "icp")
+
+
+@dataclass(frozen=True)
+class ExperimentCell:
+    """One independent simulation: a trace under one configuration.
+
+    The cell is a frozen, picklable value object -- everything a worker
+    process needs to reproduce the simulation from scratch.  Two equal
+    cells produce identical :class:`~repro.sharing.results.SharingResult`
+    objects in any process (deterministic trace generation + replay).
+
+    Attributes
+    ----------
+    workload:
+        A :data:`~repro.traces.workloads.WORKLOAD_PRESETS` name.
+    kind:
+        Summary representation (``"exact-directory"``, ``"server-name"``,
+        ``"bloom"``) or ``"icp"`` for the message baseline.
+    load_factor:
+        Bloom bits per expected document (ignored by other kinds).
+    threshold:
+        Update-delay threshold (fraction of cached documents changed
+        before peers are updated); ignored by ``"icp"``.
+    scale:
+        Workload scale factor (1.0 = the preset's laptop scale).
+    cache_fraction:
+        Per-proxy capacity as a fraction of the infinite cache size
+        (the paper's headline setting is 10%).
+    policy:
+        Cache replacement policy name.
+    seed:
+        Overrides the workload preset's generator seed; ``None`` keeps
+        the preset's fixed seed.  Deterministic either way.
+    """
+
+    workload: str
+    kind: str = "bloom"
+    load_factor: int = 8
+    threshold: float = 0.01
+    scale: float = 1.0
+    cache_fraction: float = 0.10
+    policy: str = "lru"
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in _CELL_KINDS:
+            raise ConfigurationError(
+                f"unknown cell kind {self.kind!r}; expected one of "
+                f"{_CELL_KINDS}"
+            )
+
+    def label(self) -> str:
+        """Short human-readable cell name for logs and benchmark rows."""
+        rep = (
+            f"bloom-{self.load_factor}" if self.kind == "bloom" else self.kind
+        )
+        return f"{self.workload}/{rep}/t={self.threshold:g}"
+
+
+def run_cell(cell: ExperimentCell) -> SharingResult:
+    """Execute one cell from scratch and return its result.
+
+    Top-level (hence picklable) and self-contained: builds the trace,
+    sizes the per-proxy capacity exactly as
+    :func:`repro.experiments.representations` does, then replays.
+    """
+    trace, groups = make_workload(
+        cell.workload, scale=cell.scale, seed=cell.seed
+    )
+    stats = compute_stats(trace)
+    capacity = max(
+        1, int(stats.infinite_cache_bytes * cell.cache_fraction / groups)
+    )
+    if cell.kind == "icp":
+        return simulate_icp(trace, groups, capacity, policy=cell.policy)
+    summary = (
+        SummaryConfig(kind="bloom", load_factor=cell.load_factor)
+        if cell.kind == "bloom"
+        else SummaryConfig(kind=cell.kind)
+    )
+    cfg = SummarySharingConfig(
+        summary=summary,
+        update_policy=ThresholdUpdatePolicy(cell.threshold),
+        policy=cell.policy,
+        expected_doc_size=mean_cacheable_size(trace),
+    )
+    return simulate_summary_sharing(trace, groups, capacity, cfg)
+
+
+def _run_indexed(
+    indexed: Tuple[int, ExperimentCell],
+) -> Tuple[int, SharingResult, float]:
+    """Pool task: run one cell, reporting its index and wall time."""
+    index, cell = indexed
+    start = perf_counter()
+    result = run_cell(cell)
+    return index, result, perf_counter() - start
+
+
+def default_jobs() -> int:
+    """Worker count matching the CPUs this process may use."""
+    return multiprocessing.cpu_count()
+
+
+class _RunnerInstruments:
+    """Registry handles for the experiment runner (parent process)."""
+
+    __slots__ = ("cells", "cell_seconds")
+
+    def __init__(self, registry) -> None:
+        self.cells = registry.counter(
+            "parallel_cells_total",
+            "experiment cells completed by the runner",
+        )
+        self.cell_seconds = registry.histogram(
+            "parallel_cell_seconds",
+            "wall time of one experiment cell",
+            buckets=(0.1, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0),
+        )
+
+
+def run_cells(
+    cells: Sequence[ExperimentCell],
+    jobs: int = 1,
+    chunksize: int = DEFAULT_CHUNKSIZE,
+) -> List[SharingResult]:
+    """Run *cells*, serially or on *jobs* worker processes.
+
+    Results come back in the order of *cells* regardless of completion
+    order.  ``jobs <= 1`` runs in-process with no pool (the exact code
+    path a worker executes, so serial and parallel runs differ only in
+    scheduling); ``jobs`` above the cell count is clamped.  Per-cell
+    wall times feed the ``parallel_cell_seconds`` histogram in the
+    parent's registry -- worker processes have their own registries,
+    which die with them.
+    """
+    cells = list(cells)
+    if chunksize < 1:
+        raise ConfigurationError(f"chunksize must be >= 1, got {chunksize}")
+    registry = get_registry()
+    obs = _RunnerInstruments(registry) if registry.enabled else None
+    results: List[Optional[SharingResult]] = [None] * len(cells)
+    if not cells:
+        return []
+    jobs = min(jobs, len(cells))
+    if jobs <= 1:
+        for index, cell in enumerate(cells):
+            start = perf_counter()
+            results[index] = run_cell(cell)
+            if obs is not None:
+                obs.cells.inc()
+                obs.cell_seconds.observe(perf_counter() - start)
+        return results  # type: ignore[return-value]
+    with multiprocessing.Pool(processes=jobs) as pool:
+        # imap_unordered streams each cell's result back the moment its
+        # worker finishes -- no barrier at the end of the grid.
+        for index, result, seconds in pool.imap_unordered(
+            _run_indexed, enumerate(cells), chunksize=chunksize
+        ):
+            results[index] = result
+            if obs is not None:
+                obs.cells.inc()
+                obs.cell_seconds.observe(seconds)
+    missing = [i for i, r in enumerate(results) if r is None]
+    if missing:
+        raise ConfigurationError(
+            f"pool returned no result for cells {missing}"
+        )
+    return results  # type: ignore[return-value]
+
+
+def fig5_grid(
+    workloads: Iterable[str],
+    load_factors: Iterable[int] = (8, 16, 32),
+    thresholds: Iterable[float] = (0.01,),
+    include_exact: bool = True,
+    include_server_name: bool = True,
+    include_icp: bool = True,
+    scale: float = 1.0,
+    cache_fraction: float = 0.10,
+) -> List[ExperimentCell]:
+    """The Fig. 5-8 style grid: representations x workloads x thresholds.
+
+    One cell per (workload, representation, threshold), plus one ICP
+    baseline cell per workload when *include_icp*.
+    """
+    grid: List[ExperimentCell] = []
+    for workload in workloads:
+        for threshold in thresholds:
+            if include_exact:
+                grid.append(
+                    ExperimentCell(
+                        workload=workload,
+                        kind="exact-directory",
+                        threshold=threshold,
+                        scale=scale,
+                        cache_fraction=cache_fraction,
+                    )
+                )
+            if include_server_name:
+                grid.append(
+                    ExperimentCell(
+                        workload=workload,
+                        kind="server-name",
+                        threshold=threshold,
+                        scale=scale,
+                        cache_fraction=cache_fraction,
+                    )
+                )
+            for load_factor in load_factors:
+                grid.append(
+                    ExperimentCell(
+                        workload=workload,
+                        kind="bloom",
+                        load_factor=load_factor,
+                        threshold=threshold,
+                        scale=scale,
+                        cache_fraction=cache_fraction,
+                    )
+                )
+        if include_icp:
+            grid.append(
+                ExperimentCell(
+                    workload=workload, kind="icp", scale=scale,
+                    cache_fraction=cache_fraction,
+                )
+            )
+    return grid

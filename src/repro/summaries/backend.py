@@ -31,7 +31,17 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Any, Iterable, List, Optional, Sequence, Set, Tuple, Union
+from typing import (
+    Any,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
 
 from repro.errors import ConfigurationError, SummaryMismatchError
 from repro.summaries.policies import UpdatePolicy
@@ -211,7 +221,11 @@ class LocalSummary(ABC):
         """DRAM footprint of the shipped representation at one peer."""
 
     @abstractmethod
-    def rebuild(self, urls: Iterable[str]) -> None:
+    def rebuild(
+        self,
+        urls: Iterable[str],
+        digests: Optional[Mapping[str, bytes]] = None,
+    ) -> None:
         """Reconstruct the summary from the live directory *urls*.
 
         For Bloom summaries this grows the filter geometry (the proxy's
@@ -219,6 +233,11 @@ class LocalSummary(ABC):
         summary transfer afterwards, so implementations discard any
         pending delta and, for set representations, mark the full
         directory as pending so the next delta carries everything.
+
+        *digests* optionally maps URLs to MD5 digests stored by the
+        cache at insert time (:meth:`repro.cache.WebCache.digests`);
+        digest-based representations then rebuild without re-hashing
+        the directory.  URLs absent from the mapping are hashed.
         """
 
     def overloaded(self, num_documents: int, factor: float) -> bool:
@@ -375,13 +394,19 @@ class SummaryNode:
         self.last_update_time = now
         return delta
 
-    def rebuild(self, urls: Iterable[str], now: float) -> None:
+    def rebuild(
+        self,
+        urls: Iterable[str],
+        now: float,
+        digests: Optional[Mapping[str, bytes]] = None,
+    ) -> None:
         """Rebuild the local summary from the live directory.
 
         Resets the update bookkeeping: after a rebuild, peers resync
-        from a whole-summary transfer, not a delta.
+        from a whole-summary transfer, not a delta.  Pass the cache's
+        stored *digests* to skip re-hashing the directory.
         """
-        self.local.rebuild(urls)
+        self.local.rebuild(urls, digests=digests)
         if self.shipped is not None:
             self.shipped = self.local.export()
         self.new_since_update = 0

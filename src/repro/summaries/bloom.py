@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Tuple
+from typing import Any, Iterable, Mapping, Optional, Tuple
 
 from repro.core.bloom import BloomFilter
 from repro.core.counting_bloom import CountingBloomFilter
@@ -139,19 +139,43 @@ class BloomSummary(LocalSummary):
         expected = self._cbf.num_bits // self.config.load_factor
         return num_documents > expected * factor
 
-    def rebuild(self, urls: Iterable[str]) -> None:
+    def rebuild(
+        self,
+        urls: Iterable[str],
+        digests: Optional[Mapping[str, bytes]] = None,
+    ) -> None:
         """Rebuild at double the bits from the live directory.
 
         Pending flips are discarded: a delta cannot describe a geometry
-        change, so peers must resync from a whole-filter digest.
+        change, so peers must resync from a whole-filter digest.  With
+        *digests* (stored at cache-insert time) and a family needing at
+        most 128 stream bits -- the paper's 4x32 default -- positions are
+        sliced straight from the stored digests and no URL is re-hashed.
         """
+        family = self._cbf.hash_family
         rebuilt = CountingBloomFilter(
             self._cbf.num_bits * 2,
-            hash_family=self._cbf.hash_family,
+            hash_family=family,
             counter_width=self.config.counter_width,
         )
-        for url in urls:
-            rebuilt.add(url)
+        from_digest = (
+            digests is not None
+            and family.num_functions * family.function_bits <= 128
+        )
+        if from_digest:
+            assert digests is not None
+            table_size = rebuilt.num_bits
+            get = digests.get
+            for url in urls:
+                stored = get(url)
+                if stored is None:
+                    rebuilt.add(url)
+                else:
+                    rebuilt.add_at(
+                        family.hashes_from_digest(stored, table_size)
+                    )
+        else:
+            rebuilt.add_many(urls)
         rebuilt.drain_flips()
         self._cbf = rebuilt
 

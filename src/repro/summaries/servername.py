@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Set
+from typing import Any, Dict, Iterable, Mapping, Optional, Set
 
 from repro.errors import SummaryStateError
 from repro.summaries.backend import DigestDelta, DigestSetRemote, LocalSummary
@@ -80,7 +80,13 @@ class ServerNameSummary(LocalSummary):
     def export(self) -> ServerNameRemote:
         return ServerNameRemote(set(self._refcounts))
 
-    def rebuild(self, urls: Iterable[str]) -> None:
+    def rebuild(
+        self,
+        urls: Iterable[str],
+        digests: Optional[Mapping[str, bytes]] = None,
+    ) -> None:
+        # *digests* is unused: server names derive from the URL text,
+        # not its MD5 signature.
         self._refcounts = {}
         for url in urls:
             name = server_of(url)

@@ -33,7 +33,11 @@ from repro.traces.filters import (
     time_window,
 )
 from repro.traces.model import Request, Trace
-from repro.traces.partition import partition_by_client, split_by_group
+from repro.traces.partition import (
+    grouped_chunks,
+    partition_by_client,
+    split_by_group,
+)
 from repro.traces.readers import (
     read_csv,
     read_jsonl,
@@ -63,6 +67,7 @@ __all__ = [
     "make_workload",
     "mean_cacheable_size",
     "merge_traces",
+    "grouped_chunks",
     "partition_by_client",
     "sample_requests",
     "sharing_potential",

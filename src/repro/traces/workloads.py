@@ -23,7 +23,7 @@ Request counts are scaled down ~100x from the paper's (full-scale DEC is
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.traces.model import Trace
@@ -128,12 +128,19 @@ WORKLOAD_PRESETS: Dict[str, WorkloadPreset] = {
 }
 
 
-def make_workload(name: str, scale: float = 1.0) -> Tuple[Trace, int]:
+def make_workload(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> Tuple[Trace, int]:
     """Generate the preset workload *name* at the given *scale*.
 
     Returns ``(trace, num_groups)``.  ``scale`` multiplies request,
     client, and document counts together (client counts never scale below
-    the group count, so every proxy still receives traffic).
+    the group count, so every proxy still receives traffic).  ``seed``
+    overrides the preset's fixed generator seed; generation is fully
+    deterministic either way, so the same ``(name, scale, seed)`` yields
+    an identical trace in any process -- the property the parallel
+    experiment runner relies on to keep worker results bit-exact with a
+    serial run.
     """
     try:
         preset = WORKLOAD_PRESETS[name.lower()]
@@ -147,4 +154,6 @@ def make_workload(name: str, scale: float = 1.0) -> Tuple[Trace, int]:
         config = config.scaled(scale)
         if config.num_clients < preset.num_groups:
             config = replace(config, num_clients=preset.num_groups)
+    if seed is not None:
+        config = replace(config, seed=seed)
     return generate_trace(config), preset.num_groups

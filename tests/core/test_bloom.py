@@ -137,3 +137,24 @@ class TestBloomFilterUpdatesAndSerialization:
             filt.add(key)
         clone = BloomFilter.from_bytes(2048, filt.to_bytes())
         assert clone == filt
+
+
+class TestBatchOperations:
+    def test_add_many_equals_repeated_add(self):
+        urls = [f"http://batch{i}.com/p" for i in range(50)]
+        one_by_one = BloomFilter(2048)
+        for url in urls:
+            one_by_one.add(url)
+        batched = BloomFilter(2048)
+        batched.add_many(urls)
+        assert batched == one_by_one
+
+    def test_may_contain_many_matches_scalar(self):
+        filt = BloomFilter(2048)
+        present = [f"http://in{i}.com/p" for i in range(20)]
+        absent = [f"http://out{i}.com/p" for i in range(20)]
+        filt.add_many(present)
+        probes = present + absent
+        assert filt.may_contain_many(probes) == [
+            filt.may_contain(u) for u in probes
+        ]

@@ -249,3 +249,28 @@ class TestPersistence:
         # A restarted filter starts with a clean delta (peers should be
         # resynced with a full digest after a restart).
         assert clone.pending_flip_count == 0
+
+
+class TestBatchOperations:
+    def test_add_many_equals_repeated_add(self):
+        urls = [f"http://batch{i}.net/doc" for i in range(60)]
+        one_by_one = CountingBloomFilter(2048)
+        for url in urls:
+            one_by_one.add(url)
+        batched = CountingBloomFilter(2048)
+        batched.add_many(urls)
+        assert batched.snapshot() == one_by_one.snapshot()
+        assert batched.keys_added == one_by_one.keys_added
+        assert batched.drain_flips() == one_by_one.drain_flips()
+
+    def test_add_at_precomputed_positions_equals_add(self):
+        url = "http://precomputed.org/x"
+        direct = CountingBloomFilter(2048)
+        direct.add(url)
+        via_positions = CountingBloomFilter(2048)
+        positions = via_positions.hash_family.hashes(
+            url, via_positions.num_bits
+        )
+        via_positions.add_at(positions)
+        assert via_positions.snapshot() == direct.snapshot()
+        assert via_positions.keys_added == direct.keys_added

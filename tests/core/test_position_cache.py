@@ -1,0 +1,207 @@
+"""Tests for the shared hash-position cache (repro.core.position_cache)."""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro.core.hashing import MD5HashFamily, md5_digest
+from repro.core.position_cache import (
+    HashPositionCache,
+    get_position_cache,
+    md5_stream,
+    position_cache,
+    positions_from_stream,
+    set_position_cache,
+)
+from repro.errors import ConfigurationError, KeyTypeError
+
+URL = "http://www.example.com/a/b/c.html"
+
+
+class TestDigestMemoization:
+    def test_digest_matches_hashlib(self):
+        cache = HashPositionCache()
+        assert cache.digest(URL) == hashlib.md5(URL.encode()).digest()
+
+    def test_digest_interned(self):
+        cache = HashPositionCache()
+        first = cache.digest(URL)
+        assert cache.digest(URL) is first
+
+    def test_bytes_and_str_keys_both_work(self):
+        cache = HashPositionCache()
+        assert cache.digest(URL) == cache.digest(URL.encode())
+
+    def test_seed_digest_installs_without_hashing(self):
+        cache = HashPositionCache()
+        marker = hashlib.md5(URL.encode()).digest()
+        cache.seed_digest(URL, marker)
+        assert cache.digest(URL) is marker
+
+    def test_seed_digest_never_overwrites(self):
+        cache = HashPositionCache()
+        real = cache.digest(URL)
+        cache.seed_digest(URL, b"\x00" * 16)
+        assert cache.digest(URL) is real
+
+    def test_hit_miss_counters(self):
+        cache = HashPositionCache()
+        cache.digest(URL)
+        cache.digest(URL)
+        cache.digest(URL)
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 2
+
+    def test_rejects_bad_key_type(self):
+        cache = HashPositionCache()
+        with pytest.raises(KeyTypeError):
+            cache.digest(1234)  # type: ignore[arg-type]
+
+
+class TestGeometryKeying:
+    def test_positions_match_uncached_family(self):
+        """Wire-spec compatibility: cached positions == Section VI-A math."""
+        family = MD5HashFamily(num_functions=4, function_bits=32)
+        cache = HashPositionCache()
+        with position_cache(None):
+            uncached = family.hashes(URL, 12_345)
+        cached = cache.positions(URL, 4, 32, 12_345)
+        assert cached == uncached
+
+    def test_distinct_geometries_distinct_entries(self):
+        cache = HashPositionCache()
+        a = cache.positions(URL, 4, 32, 1_000)
+        b = cache.positions(URL, 4, 32, 2_000)
+        c = cache.positions(URL, 2, 32, 1_000)
+        assert a != b  # different table size -> different modulus
+        assert len(c) == 2
+        # Three geometries, one key: one line, three position tuples.
+        assert len(cache) == 1
+        assert cache.stats()["misses"] == 3
+
+    def test_repeat_geometry_is_a_hit(self):
+        cache = HashPositionCache()
+        first = cache.positions(URL, 4, 32, 1_000)
+        assert cache.positions(URL, 4, 32, 1_000) is first
+        assert cache.stats()["hits"] == 1
+
+    def test_wide_family_matches_uncached(self):
+        """Families needing > 128 stream bits use the extension rule."""
+        family = MD5HashFamily(num_functions=4, function_bits=50)
+        cache = HashPositionCache()
+        with position_cache(None):
+            uncached = family.hashes(URL, 99_991)
+        assert cache.positions(URL, 4, 50, 99_991) == uncached
+
+    def test_positions_derived_from_stored_digest(self):
+        """A <=128-bit geometry reuses the stored digest, bit for bit."""
+        cache = HashPositionCache()
+        digest = cache.digest(URL)
+        stream = int.from_bytes(digest, "big")
+        assert cache.positions(URL, 4, 32, 7_919) == positions_from_stream(
+            stream, 4, 32, 7_919
+        )
+
+
+class TestLruBound:
+    def test_eviction_at_capacity(self):
+        cache = HashPositionCache(max_entries=2)
+        cache.digest("a")
+        cache.digest("b")
+        cache.digest("c")
+        assert len(cache) == 2
+        assert cache.stats()["evictions"] == 1
+
+    def test_evicts_least_recently_used(self):
+        cache = HashPositionCache(max_entries=2)
+        cache.digest("a")
+        cache.digest("b")
+        cache.digest("a")  # refresh "a"; "b" is now LRU
+        cache.digest("c")  # evicts "b"
+        misses = cache.stats()["misses"]
+        cache.digest("a")  # still cached
+        assert cache.stats()["misses"] == misses
+        cache.digest("b")  # evicted -> recomputed
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_digest_and_positions_age_out_together(self):
+        cache = HashPositionCache(max_entries=1)
+        cache.positions("a", 4, 32, 1_000)
+        cache.digest("b")
+        assert len(cache) == 1
+        misses = cache.stats()["misses"]
+        cache.positions("a", 4, 32, 1_000)
+        assert cache.stats()["misses"] == misses + 1
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ConfigurationError):
+            HashPositionCache(max_entries=0)
+
+    def test_clear_preserves_counters(self):
+        cache = HashPositionCache()
+        cache.digest(URL)
+        cache.digest(URL)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.stats()["hits"] == 1
+
+
+class TestProcessDefault:
+    def test_default_installed_at_import(self):
+        assert get_position_cache() is not None
+
+    def test_swap_and_restore(self):
+        original = get_position_cache()
+        mine = HashPositionCache()
+        try:
+            assert set_position_cache(mine) is original
+            assert get_position_cache() is mine
+        finally:
+            set_position_cache(original)
+
+    def test_context_manager_scopes_swap(self):
+        original = get_position_cache()
+        with position_cache(None):
+            assert get_position_cache() is None
+        assert get_position_cache() is original
+
+    def test_md5_digest_identical_with_and_without_cache(self):
+        with position_cache(HashPositionCache()):
+            cached = md5_digest(URL)
+        with position_cache(None):
+            uncached = md5_digest(URL)
+        assert cached == uncached
+
+    def test_family_hashes_identical_with_and_without_cache(self):
+        family = MD5HashFamily()
+        with position_cache(HashPositionCache()):
+            cached = family.hashes(URL, 50_021)
+        with position_cache(None):
+            uncached = family.hashes(URL, 50_021)
+        assert cached == uncached
+
+
+class TestStreamPrimitives:
+    def test_md5_stream_first_block_is_digest(self):
+        data = URL.encode()
+        stream = md5_stream(data, 128)
+        assert stream == int.from_bytes(hashlib.md5(data).digest(), "big")
+
+    def test_md5_stream_extension_rule(self):
+        """Bits beyond 128 come from MD5(data*2), per Section VI-A."""
+        data = URL.encode()
+        stream = md5_stream(data, 256)
+        low = int.from_bytes(hashlib.md5(data).digest(), "big")
+        high = int.from_bytes(hashlib.md5(data * 2).digest(), "big")
+        assert stream == low | (high << 128)
+
+    def test_positions_from_stream_slices_in_order(self):
+        stream = int.from_bytes(bytes(range(1, 17)), "big")
+        mask = (1 << 32) - 1
+        expected = tuple(
+            ((stream >> (i * 32)) & mask) % 1_000_003 for i in range(4)
+        )
+        assert positions_from_stream(stream, 4, 32, 1_000_003) == expected

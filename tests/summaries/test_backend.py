@@ -129,3 +129,60 @@ class TestSummaryNode:
     def test_set_summaries_never_overloaded(self, kind):
         node = SummaryNode(SummaryConfig(kind=kind), 64 * 1024)
         assert not node.local.overloaded(10**9, 2.0)
+
+
+class TestRebuildFromStoredDigests:
+    """Rebuilds fed cache-stored MD5 digests must match rebuild-by-hashing."""
+
+    URLS = [f"http://digest{i}.example.com/obj/{i}" for i in range(40)]
+
+    def _digests(self):
+        import hashlib
+
+        return {u: hashlib.md5(u.encode()).digest() for u in self.URLS}
+
+    def test_bloom_rebuild_identical(self):
+        hashed = BloomSummary(128, SummaryConfig(kind="bloom"))
+        from_digests = BloomSummary(128, SummaryConfig(kind="bloom"))
+        hashed.rebuild(self.URLS)
+        from_digests.rebuild(self.URLS, digests=self._digests())
+        assert (
+            from_digests.counting_filter.snapshot()
+            == hashed.counting_filter.snapshot()
+        )
+
+    def test_bloom_rebuild_partial_digests_fall_back_to_hashing(self):
+        digests = self._digests()
+        for url in self.URLS[::3]:
+            del digests[url]
+        hashed = BloomSummary(128, SummaryConfig(kind="bloom"))
+        partial = BloomSummary(128, SummaryConfig(kind="bloom"))
+        hashed.rebuild(self.URLS)
+        partial.rebuild(self.URLS, digests=digests)
+        assert (
+            partial.counting_filter.snapshot()
+            == hashed.counting_filter.snapshot()
+        )
+
+    def test_bloom_wide_family_ignores_digests(self):
+        # 5 x 32 = 160 stream bits > 128: digests cannot cover the
+        # geometry, so the rebuild must hash and still be correct.
+        config = SummaryConfig(kind="bloom", num_hashes=5)
+        hashed = BloomSummary(128, config)
+        wide = BloomSummary(128, config)
+        hashed.rebuild(self.URLS)
+        wide.rebuild(self.URLS, digests=self._digests())
+        assert (
+            wide.counting_filter.snapshot()
+            == hashed.counting_filter.snapshot()
+        )
+
+    def test_exact_rebuild_identical(self):
+        hashed = ExactDirectorySummary()
+        from_digests = ExactDirectorySummary()
+        hashed.rebuild(self.URLS)
+        from_digests.rebuild(self.URLS, digests=self._digests())
+        assert len(from_digests) == len(hashed)
+        for url in self.URLS:
+            assert from_digests.may_contain(url)
+            assert from_digests.export().may_contain(url)

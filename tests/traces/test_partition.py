@@ -49,3 +49,35 @@ class TestSplitByGroup:
             4.0,
             5.0,
         ]
+
+
+class TestGroupedChunks:
+    def test_flattened_chunks_equal_split_by_group(self, tiny_trace):
+        from repro.traces.partition import grouped_chunks
+
+        expected = split_by_group(tiny_trace, 2)
+        for chunk_size in (1, 2, len(tiny_trace), len(tiny_trace) + 5):
+            flattened = [
+                pair
+                for chunk in grouped_chunks(tiny_trace, 2, chunk_size=chunk_size)
+                for pair in chunk
+            ]
+            assert flattened == expected
+
+    def test_chunk_boundaries(self, tiny_trace):
+        from repro.traces.partition import grouped_chunks
+
+        sizes = [len(c) for c in grouped_chunks(tiny_trace, 2, chunk_size=4)]
+        assert sizes == [4, len(tiny_trace) - 4]
+
+    def test_rejects_bad_group_count(self, tiny_trace):
+        from repro.traces.partition import grouped_chunks
+
+        with pytest.raises(ConfigurationError):
+            list(grouped_chunks(tiny_trace, 0))
+
+    def test_rejects_bad_chunk_size(self, tiny_trace):
+        from repro.traces.partition import grouped_chunks
+
+        with pytest.raises(ConfigurationError):
+            list(grouped_chunks(tiny_trace, 2, chunk_size=0))
