@@ -8,9 +8,24 @@ issued by different clients do not overlap; there is no remote cache
 hit among proxies."
 """
 
+from repro.benchmarkkit.loadgen import (
+    LoadGenConfig,
+    LoadGenResult,
+    render_comparison,
+    results_to_json,
+    run_loadgen,
+)
 from repro.benchmarkkit.wisconsin import (
     WisconsinConfig,
     generate_client_streams,
 )
 
-__all__ = ["WisconsinConfig", "generate_client_streams"]
+__all__ = [
+    "LoadGenConfig",
+    "LoadGenResult",
+    "WisconsinConfig",
+    "generate_client_streams",
+    "render_comparison",
+    "results_to_json",
+    "run_loadgen",
+]

@@ -1,0 +1,327 @@
+"""A load generator for the live proxy data plane.
+
+Replays the Wisconsin Proxy Benchmark workload (Section IV) over N
+concurrent clients against running proxies and measures what the
+paper's prototype claims rest on: sustained requests/sec and tail
+latency on real sockets.  Each client is a serial
+:class:`~repro.proxy.client.ClientDriver` (the benchmark's
+"no thinking time" client processes); clients run concurrently and are
+dealt round-robin across the target proxies.
+
+Two connection disciplines matter for `BENCH_proxy.json`:
+
+- ``keep_alive=True`` -- every client rides one persistent connection
+  and the proxies pool their origin/peer connections (the post-PR
+  data plane);
+- ``keep_alive=False`` -- one TCP connection per request and
+  ``pool_size=0`` proxies (the pre-keep-alive baseline).
+
+Cache behaviour is identical either way (same URLs in the same
+per-client order), so the comparison isolates pure data-plane
+overhead.
+
+Latency is measured client-side per request (exact percentiles over
+every sample) and cross-checked against the proxies'
+``proxy_request_phase_seconds`` obs histograms, whose bucket-
+interpolated quantiles ride along in the result.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.benchmarkkit.wisconsin import (
+    WisconsinConfig,
+    generate_client_streams,
+)
+from repro.errors import ConfigurationError, ProxyError, ReproError
+from repro.obs.registry import Histogram
+from repro.proxy.client import ClientDriver
+from repro.proxy.server import SummaryCacheProxy
+from repro.traces.model import Request
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Parameters of one load-generation run."""
+
+    #: Concurrent clients (each serial, no think time).
+    clients: int = 16
+    requests_per_client: int = 200
+    #: Persistent client connections + pooled upstream fetches when
+    #: true; one connection per request when false.
+    keep_alive: bool = True
+    #: Inherent hit ratio of each client's stream (Wisconsin knob).
+    target_hit_ratio: float = 0.25
+    mean_size: int = 8 * 1024
+    #: Cap on Pareto body sizes; modest by default so the measured
+    #: ceiling is connection handling, not loopback bandwidth.
+    max_size: int = 256 * 1024
+    seed: int = 1
+    #: Per-request wall-clock budget; ``None`` disables.
+    timeout: Optional[float] = 30.0
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ConfigurationError("clients must be >= 1")
+        if self.requests_per_client < 1:
+            raise ConfigurationError("requests_per_client must be >= 1")
+
+    def workload(self) -> WisconsinConfig:
+        """The Wisconsin workload this run replays."""
+        return WisconsinConfig(
+            num_clients=self.clients,
+            requests_per_client=self.requests_per_client,
+            target_hit_ratio=self.target_hit_ratio,
+            mean_size=self.mean_size,
+            max_size=self.max_size,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class LoadGenResult:
+    """What one load-generation run measured."""
+
+    label: str
+    clients: int
+    requests: int
+    errors: int
+    elapsed_seconds: float
+    requests_per_second: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    bytes_received: int
+    connections_opened: int
+    cache_sources: Dict[str, int] = field(default_factory=dict)
+    #: Bucket-interpolated p50/p99 (ms) of the proxies' aggregated
+    #: ``proxy_request_phase_seconds{phase="total"}`` histograms --
+    #: the server-side cross-check of the client-side numbers.
+    proxy_phase_p50_ms: Optional[float] = None
+    proxy_phase_p99_ms: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (the `BENCH_proxy.json` shape)."""
+        out: Dict[str, Any] = {
+            "label": self.label,
+            "clients": self.clients,
+            "requests": self.requests,
+            "errors": self.errors,
+            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "requests_per_second": round(self.requests_per_second, 1),
+            "latency_p50_ms": round(self.latency_p50_ms, 3),
+            "latency_p99_ms": round(self.latency_p99_ms, 3),
+            "latency_mean_ms": round(self.latency_mean_ms, 3),
+            "bytes_received": self.bytes_received,
+            "connections_opened": self.connections_opened,
+            "cache_sources": dict(sorted(self.cache_sources.items())),
+        }
+        if self.proxy_phase_p50_ms is not None:
+            out["proxy_phase_p50_ms"] = round(self.proxy_phase_p50_ms, 3)
+        if self.proxy_phase_p99_ms is not None:
+            out["proxy_phase_p99_ms"] = round(self.proxy_phase_p99_ms, 3)
+        return out
+
+
+def _quantile(sorted_samples: Sequence[float], q: float) -> float:
+    """Exact q-quantile (nearest-rank) of pre-sorted samples."""
+    if not sorted_samples:
+        return 0.0
+    index = min(
+        len(sorted_samples) - 1, max(0, round(q * (len(sorted_samples) - 1)))
+    )
+    return sorted_samples[index]
+
+
+def histogram_quantile(histogram: Histogram, q: float) -> Optional[float]:
+    """Bucket-interpolated q-quantile of an obs histogram, in seconds.
+
+    Mirrors Prometheus ``histogram_quantile``: find the first bucket
+    whose cumulative count covers the target rank and interpolate
+    linearly inside it.  ``None`` when the histogram is empty.
+    """
+    cumulative = histogram.cumulative()
+    if not cumulative or cumulative[-1][1] == 0:
+        return None
+    total = cumulative[-1][1]
+    rank = q * total
+    lower_bound = 0.0
+    lower_count = 0
+    for bound, count in cumulative:
+        if count >= rank:
+            if bound == float("inf"):
+                return lower_bound
+            span = count - lower_count
+            if span <= 0:
+                return bound
+            fraction = (rank - lower_count) / span
+            return lower_bound + (bound - lower_bound) * fraction
+        lower_bound, lower_count = bound, count
+    return lower_bound
+
+
+def aggregate_phase_quantiles(
+    proxies: Sequence[SummaryCacheProxy], q: float
+) -> Optional[float]:
+    """q-quantile (seconds) over all proxies' total-phase histograms."""
+    merged: Dict[float, int] = {}
+    for proxy in proxies:
+        histogram = proxy.registry.histogram(
+            "proxy_request_phase_seconds",
+            "wall time of one request phase",
+            labels={"phase": "total"},
+        )
+        for bound, count in histogram.cumulative():
+            merged[bound] = merged.get(bound, 0) + count
+    if not merged:
+        return None
+    cumulative = sorted(merged.items())
+    if cumulative[-1][1] == 0:
+        return None
+    # Re-run the interpolation over the merged cumulative counts.
+    rank = q * cumulative[-1][1]
+    lower_bound = 0.0
+    lower_count = 0
+    for bound, count in cumulative:
+        if count >= rank:
+            if bound == float("inf"):
+                return lower_bound
+            span = count - lower_count
+            if span <= 0:
+                return bound
+            fraction = (rank - lower_count) / span
+            return lower_bound + (bound - lower_bound) * fraction
+        lower_bound, lower_count = bound, count
+    return lower_bound
+
+
+async def _run_client(
+    driver: ClientDriver,
+    requests: Sequence[Request],
+    latencies: List[float],
+) -> None:
+    """Replay one client's stream, recording per-request latency."""
+    try:
+        for request in requests:
+            start = perf_counter()
+            try:
+                await driver.fetch(request.url, size=request.size)
+            except (ProxyError, ReproError, ConnectionError, OSError):
+                # fetch() already counted the error in the report.
+                continue
+            finally:
+                latencies.append(perf_counter() - start)
+    finally:
+        await driver.close()
+
+
+async def run_loadgen(
+    targets: Sequence[Tuple[str, int]],
+    config: LoadGenConfig,
+    label: str = "",
+    proxies: Sequence[SummaryCacheProxy] = (),
+) -> LoadGenResult:
+    """Replay the Wisconsin workload over concurrent clients.
+
+    Parameters
+    ----------
+    targets:
+        ``(host, http_port)`` of each proxy; clients are dealt
+        round-robin across them.
+    config:
+        Workload shape and connection discipline.
+    label:
+        Name recorded in the result (e.g. ``"keepalive_pooled"``).
+    proxies:
+        When the caller runs the cluster in-process, passing the proxy
+        objects lets the result carry the server-side histogram
+        quantiles next to the client-side ones.
+    """
+    if not targets:
+        raise ConfigurationError("loadgen needs at least one target proxy")
+    streams = generate_client_streams(config.workload())
+    drivers: List[ClientDriver] = []
+    latencies: List[float] = []
+    tasks = []
+    for client_id, stream in enumerate(streams):
+        host, port = targets[client_id % len(targets)]
+        driver = ClientDriver(
+            host, port, timeout=config.timeout, keep_alive=config.keep_alive
+        )
+        drivers.append(driver)
+        tasks.append(_run_client(driver, stream, latencies))
+    start = perf_counter()
+    await asyncio.gather(*tasks)
+    elapsed = perf_counter() - start
+
+    requests = sum(d.report.requests for d in drivers)
+    errors = sum(d.report.errors for d in drivers)
+    sources: Dict[str, int] = {}
+    for driver in drivers:
+        for source, count in driver.report.cache_sources.items():
+            sources[source] = sources.get(source, 0) + count
+    latencies.sort()
+    phase_p50 = aggregate_phase_quantiles(proxies, 0.50)
+    phase_p99 = aggregate_phase_quantiles(proxies, 0.99)
+    return LoadGenResult(
+        label=label or ("keepalive" if config.keep_alive else "per-request"),
+        clients=config.clients,
+        requests=requests,
+        errors=errors,
+        elapsed_seconds=elapsed,
+        requests_per_second=requests / elapsed if elapsed > 0 else 0.0,
+        latency_p50_ms=_quantile(latencies, 0.50) * 1e3,
+        latency_p99_ms=_quantile(latencies, 0.99) * 1e3,
+        latency_mean_ms=(
+            sum(latencies) / len(latencies) * 1e3 if latencies else 0.0
+        ),
+        bytes_received=sum(d.report.bytes_received for d in drivers),
+        connections_opened=sum(d.connections_opened for d in drivers),
+        cache_sources=sources,
+        proxy_phase_p50_ms=None if phase_p50 is None else phase_p50 * 1e3,
+        proxy_phase_p99_ms=None if phase_p99 is None else phase_p99 * 1e3,
+    )
+
+
+def render_comparison(
+    results: Sequence[LoadGenResult],
+) -> str:
+    """Human-readable summary of one or more runs, speedup included."""
+    lines = []
+    for result in results:
+        lines.append(
+            f"{result.label}: {result.requests} requests "
+            f"({result.errors} errors) in {result.elapsed_seconds:.2f}s "
+            f"= {result.requests_per_second:,.0f} req/s; "
+            f"p50 {result.latency_p50_ms:.2f} ms, "
+            f"p99 {result.latency_p99_ms:.2f} ms; "
+            f"{result.connections_opened} connections"
+        )
+    if len(results) == 2 and results[0].requests_per_second > 0:
+        speedup = (
+            results[1].requests_per_second / results[0].requests_per_second
+        )
+        lines.append(
+            f"speedup ({results[1].label} vs {results[0].label}): "
+            f"{speedup:.2f}x requests/sec"
+        )
+    return "\n".join(lines)
+
+
+def results_to_json(
+    results: Sequence[LoadGenResult], **extra: Any
+) -> str:
+    """Serialize runs (plus caller-provided context) as a JSON record."""
+    payload: Dict[str, Any] = dict(extra)
+    payload["runs"] = [result.to_dict() for result in results]
+    if len(results) == 2 and results[0].requests_per_second > 0:
+        payload["speedup_requests_per_second"] = round(
+            results[1].requests_per_second / results[0].requests_per_second,
+            2,
+        )
+    return json.dumps(payload, indent=2, sort_keys=False)

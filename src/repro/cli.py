@@ -20,6 +20,12 @@ representation and update policy::
 
     summary-cache serve --proxies 3 --summary-repr exact \\
         --update-policy threshold:0.05 --duration 60
+
+and the proxy data plane can be load-tested with concurrent
+keep-alive clients replaying the Wisconsin workload::
+
+    summary-cache loadgen --proxies 2 --clients 16 --requests 200 \\
+        --json benchmarks/BENCH_proxy.json
 """
 
 from __future__ import annotations
@@ -242,6 +248,81 @@ def build_parser() -> argparse.ArgumentParser:
         help="seconds to serve before exiting (default: until Ctrl-C)",
     )
 
+    p = sub.add_parser(
+        "loadgen",
+        help=(
+            "drive a live proxy cluster with concurrent Wisconsin-"
+            "workload clients and report req/s + latency percentiles"
+        ),
+    )
+    p.add_argument(
+        "--proxies", type=int, default=2, help="cluster size (default: 2)"
+    )
+    p.add_argument(
+        "--mode",
+        default="sc-icp",
+        choices=("no-icp", "icp", "sc-icp"),
+        help="cooperation mode (default: sc-icp)",
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=16,
+        help="concurrent keep-alive clients (default: 16)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=200,
+        help="requests per client (default: 200)",
+    )
+    p.add_argument(
+        "--hit-ratio",
+        type=float,
+        default=0.25,
+        help="inherent hit ratio of each client stream (default: 0.25)",
+    )
+    p.add_argument(
+        "--mean-size",
+        type=int,
+        default=8 * 1024,
+        help="mean Pareto body size in bytes (default: 8192)",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=16.0,
+        help="per-proxy cache size in MiB (default: 16)",
+    )
+    p.add_argument(
+        "--origin-delay",
+        type=float,
+        default=0.0,
+        help="simulated origin latency in seconds (default: 0)",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--phases",
+        default="both",
+        choices=("both", "baseline", "keepalive"),
+        help=(
+            "baseline = one connection per GET + unpooled proxies; "
+            "keepalive = persistent clients + pooled proxies "
+            "(default: both, printing the speedup)"
+        ),
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the runs as a BENCH_proxy-style JSON record",
+    )
+    p.add_argument(
+        "--uvloop",
+        action="store_true",
+        help="install uvloop before running, when available",
+    )
+
     p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
     _add_workload_args(p)
     p.add_argument("--out", required=True, help="output JSONL path")
@@ -309,6 +390,118 @@ async def _serve(args: argparse.Namespace) -> int:
                     await asyncio.sleep(3600)
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
+    return 0
+
+
+async def _loadgen(args: argparse.Namespace) -> int:
+    """Measure req/s + latency of a live cluster under concurrent load.
+
+    Runs up to two phases on *fresh* clusters so no phase warms the
+    caches for the next:
+
+    - ``baseline_per_connection``: one TCP connection per GET and
+      ``pool_size=0`` proxies (the pre-keep-alive data plane);
+    - ``keepalive_pooled``: persistent client connections and pooled
+      origin/peer fetches.
+
+    Cache behaviour is identical in both (same per-client URL streams),
+    so the speedup line isolates connection handling.
+    """
+    from dataclasses import replace
+
+    from repro.benchmarkkit.loadgen import (
+        LoadGenConfig,
+        LoadGenResult,
+        render_comparison,
+        results_to_json,
+        run_loadgen,
+    )
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyConfig, ProxyMode
+
+    config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        target_hit_ratio=args.hit_ratio,
+        mean_size=args.mean_size,
+        seed=args.seed,
+        keep_alive=True,
+    )
+    phases = []
+    if args.phases in ("both", "baseline"):
+        phases.append(
+            (
+                "baseline_per_connection",
+                replace(config, keep_alive=False),
+                replace(ProxyConfig(), pool_size=0),
+            )
+        )
+    if args.phases in ("both", "keepalive"):
+        phases.append(("keepalive_pooled", config, ProxyConfig()))
+
+    results: List[LoadGenResult] = []
+    for label, phase_config, base_config in phases:
+        async with ProxyCluster(
+            num_proxies=args.proxies,
+            mode=ProxyMode(args.mode),
+            cache_capacity=int(args.cache_mb * 1024 * 1024),
+            origin_delay=args.origin_delay,
+            base_config=base_config,
+        ) as cluster:
+            targets = [
+                (proxy.config.host, proxy.http_port)
+                for proxy in cluster.proxies
+            ]
+            result = await run_loadgen(
+                targets, phase_config, label=label, proxies=cluster.proxies
+            )
+        results.append(result)
+        print(render_comparison([result]), flush=True)
+    if len(results) == 2:
+        print(render_comparison(results).splitlines()[-1])
+    if args.json:
+        import os
+
+        record = results_to_json(
+            results,
+            benchmark="proxy_loadgen",
+            description=(
+                "Proxy data-plane throughput for the keep-alive rework: "
+                "the Wisconsin workload replayed by concurrent no-think-"
+                "time clients against a live cluster, one-connection-per-"
+                "GET + unpooled proxies (baseline_per_connection) vs "
+                "persistent client connections + pooled origin/peer "
+                "fetches (keepalive_pooled). Identical cache_sources "
+                "across runs demonstrate cache behaviour is unchanged; "
+                "only connection handling differs."
+            ),
+            host_cpu_count=os.cpu_count(),
+            method=(
+                "summary-cache loadgen --proxies "
+                f"{args.proxies} --mode {args.mode} --clients "
+                f"{args.clients} --requests {args.requests} --seed "
+                f"{args.seed}; each phase runs on a fresh in-process "
+                "cluster (OS-assigned ports, synthetic origin) so no "
+                "phase warms caches for the next. Latency percentiles "
+                "are exact client-side samples; proxy_phase_* are "
+                "bucket-interpolated from the proxies' "
+                "proxy_request_phase_seconds histograms. Single run; "
+                "wall-clock swings +/-10-20% between runs on a small "
+                "container, the speedup ratio is stable."
+            ),
+            proxies=args.proxies,
+            mode=args.mode,
+            clients=args.clients,
+            requests_per_client=args.requests,
+            target_hit_ratio=args.hit_ratio,
+            seed=args.seed,
+        )
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(record + "\n")
+        print(f"wrote {args.json}")
     return 0
 
 
@@ -483,6 +676,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "serve":
         try:
             return asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            return 0
+    elif args.command == "loadgen":
+        if args.uvloop:
+            from repro.proxy.eventloop import install_uvloop
+
+            if not install_uvloop():
+                print("uvloop not available; using the default event loop")
+        try:
+            return asyncio.run(_loadgen(args))
         except KeyboardInterrupt:
             return 0
     elif args.command == "lint":

@@ -1,9 +1,16 @@
-"""SC001: no blocking calls inside ``async def`` in the proxy.
+"""SC001: no blocking or unbounded-read calls inside ``async def`` in
+the proxy.
 
 Table II's latency claim ("the overhead of summary cache is negligible")
 holds only while the asyncio event loop never stalls: one synchronous
 ``time.sleep`` or socket call inside a coroutine serializes every
 concurrent HTTP request and ICP round behind it.
+
+The rule also flags unbounded stream reads — ``reader.read()`` with no
+byte count (reads to EOF into one buffer) and ``readexactly(n)`` with a
+non-constant length (a peer-controlled ``n`` becomes a peer-controlled
+allocation).  The proxy's framing layer reads bodies in bounded chunks
+(``repro.proxy.http.read_body``); new code must do the same.
 """
 
 from __future__ import annotations
@@ -36,12 +43,66 @@ BLOCKING_PREFIXES: Dict[str, str] = {
 }
 
 
+#: Stream-read method names checked for a missing/unbounded size.
+UNBOUNDED_READ_METHODS = ("read", "readexactly")
+
+
+def _unbounded_read_message(call: ast.Call) -> str:
+    """The SC001 message when *call* is an unbounded stream read, else
+    the empty string."""
+    if not isinstance(call.func, ast.Attribute):
+        return ""
+    method = call.func.attr
+    if method not in UNBOUNDED_READ_METHODS or call.keywords:
+        return ""
+    if method == "read":
+        if not call.args:
+            return (
+                "unbounded .read() inside async def reads to EOF into "
+                "one buffer; pass an explicit chunk size "
+                "(e.g. reader.read(chunk_bytes))"
+            )
+        if len(call.args) == 1:
+            arg: ast.expr = call.args[0]
+            # ``-1`` parses as USub(Constant(1)); normalise it.
+            value: object = None
+            if isinstance(arg, ast.UnaryOp) and isinstance(
+                arg.op, ast.USub
+            ):
+                arg = arg.operand
+                if isinstance(arg, ast.Constant) and isinstance(
+                    arg.value, int
+                ):
+                    value = -arg.value
+            elif isinstance(arg, ast.Constant):
+                value = arg.value
+            if value is None and not isinstance(arg, ast.Constant):
+                return ""
+            if value is None or (isinstance(value, int) and value < 0):
+                return (
+                    f".read({value!r}) inside async def is an "
+                    "unbounded read-to-EOF; pass a positive chunk size"
+                )
+        return ""
+    # readexactly: a literal length is a static bound; anything
+    # computed can be peer-controlled (e.g. a Content-Length header)
+    # and allocates that many bytes in one go.
+    if len(call.args) == 1 and isinstance(call.args[0], ast.Constant):
+        return ""
+    return (
+        ".readexactly() with a non-constant length inside async def "
+        "turns a peer-supplied size into an allocation; read in "
+        "bounded chunks instead (see repro.proxy.http.read_body)"
+    )
+
+
 @register
 class NoBlockingCallsInAsync(Rule):
-    """Flag event-loop-blocking calls inside ``async def`` bodies."""
+    """Flag event-loop-blocking and unbounded-read calls inside
+    ``async def`` bodies."""
 
     id = "SC001"
-    title = "no blocking calls inside async def"
+    title = "no blocking or unbounded-read calls inside async def"
     rationale = (
         "The asyncio proxy must never block its event loop: the Table II "
         "latency results assume ICP rounds and HTTP serving interleave "
@@ -82,6 +143,10 @@ class NoBlockingCallsInAsync(Rule):
         imports: Dict[str, str],
         out: List[Finding],
     ) -> None:
+        unbounded = _unbounded_read_message(call)
+        if unbounded:
+            out.append(ctx.finding(self.id, call, unbounded))
+            return
         name = resolve_call_name(call.func, imports)
         if name is None:
             return

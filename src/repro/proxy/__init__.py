@@ -8,31 +8,43 @@ The prototype runs real sockets on localhost:
 - :mod:`repro.proxy.server` -- the proxy itself: a TCP HTTP front end, a
   UDP ICP endpoint, a local cache with a counting Bloom filter summary,
   and three cooperation modes (``no-icp``, ``icp``, ``sc-icp``);
-- :mod:`repro.proxy.client` -- a trace-replaying client driver;
+- :mod:`repro.proxy.client` -- a trace-replaying client driver with a
+  persistent keep-alive connection per driver;
+- :mod:`repro.proxy.pool` -- health-checked connection pooling for
+  origin and peer fetches;
 - :mod:`repro.proxy.cluster` -- one-call construction of an
   origin + N proxies + clients experiment, used by the prototype
   benchmarks (Tables II, IV, V analogues) and the examples.
 
-The HTTP spoken is a deliberately small HTTP/1.0 subset (GET only, one
-request per connection) -- enough to exercise the protocol paths the
-paper measures without reimplementing an RFC 7230 stack.
+The HTTP spoken is a keep-alive streaming subset of HTTP/1.1 (GET
+only, ``Content-Length``-framed, pipelined requests answered in
+order, memoryview body streaming with write backpressure) -- enough to
+push the data plane to benchmark scale without reimplementing an RFC
+7230 stack.  See :mod:`repro.proxy.http` and
+``docs/wire-protocol.md``.
 """
 
 from repro.proxy.client import ClientDriver, ReplayReport
 from repro.proxy.cluster import ClusterResult, ProxyCluster
 from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
+from repro.proxy.eventloop import install_uvloop
 from repro.proxy.origin import OriginServer
+from repro.proxy.pool import ConnectionPool, PooledConnection, PoolStats
 from repro.proxy.server import ProxyStats, SummaryCacheProxy
 
 __all__ = [
     "ClientDriver",
     "ClusterResult",
+    "ConnectionPool",
     "OriginServer",
     "PeerAddress",
+    "PooledConnection",
+    "PoolStats",
     "ProxyCluster",
     "ProxyConfig",
     "ProxyMode",
     "ProxyStats",
     "ReplayReport",
     "SummaryCacheProxy",
+    "install_uvloop",
 ]

@@ -64,17 +64,36 @@ class ClientDriver:
         exceeding it raises :class:`~repro.errors.ProxyError` after a
         warning carrying the proxy address and the request's trace id,
         so slow rounds can be correlated with the proxy-side trace ring.
+    keep_alive:
+        When true (the default), the driver holds one persistent
+        connection to the proxy and rides it across requests,
+        reconnecting transparently (at most once per request) if the
+        proxy closed it between exchanges.  When false, every request
+        opens and closes its own connection -- the pre-keep-alive
+        behaviour the load generator uses as its baseline.  Cache
+        behaviour is identical either way; only connection churn
+        differs.
     """
 
     _trace_ids = itertools.count(1)
 
     def __init__(
-        self, host: str, port: int, timeout: Optional[float] = None
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        keep_alive: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.keep_alive = keep_alive
         self.report = ReplayReport()
+        #: Connections opened over the driver's lifetime (1 for an
+        #: undisturbed keep-alive session; one per request without).
+        self.connections_opened = 0
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
 
     @property
     def peer(self) -> str:
@@ -93,6 +112,7 @@ class ClientDriver:
                 self._request(url, size), timeout=self.timeout
             )
         except asyncio.TimeoutError:
+            await self.close()  # the connection is mid-exchange; drop it
             self.report.requests += 1
             self.report.errors += 1
             self.report.total_latency += time.perf_counter() - start
@@ -130,24 +150,69 @@ class ClientDriver:
         return response.body
 
     async def _request(self, url: str, size: int) -> HttpResponse:
-        """One connection / request / response round trip."""
-        reader, writer = await asyncio.open_connection(self.host, self.port)
-        try:
-            headers = {"X-Size": str(size)} if size else {}
-            write_request(writer, url, headers)
-            await writer.drain()
-            return await read_response(reader)
-        finally:
-            writer.close()
+        """One request/response round trip (persistent or one-shot)."""
+        headers = {"X-Size": str(size)} if size else {}
+        if not self.keep_alive:
+            reader, writer = await asyncio.open_connection(
+                self.host, self.port
+            )
+            self.connections_opened += 1
             try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
+                write_request(writer, url, headers, keep_alive=False)
+                await writer.drain()
+                return await read_response(reader)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, asyncio.CancelledError):
+                    pass
+        # Keep-alive: ride the persistent connection; a proxy may close
+        # it between requests (idle timeout, per-connection request
+        # cap), so one transparent reconnect per request is allowed.
+        for attempt in (0, 1):
+            reused = self._writer is not None
+            if self._writer is None or self._writer.is_closing():
+                self._reader, self._writer = await asyncio.open_connection(
+                    self.host, self.port
+                )
+                self.connections_opened += 1
+                reused = False
+            assert self._reader is not None
+            try:
+                write_request(self._writer, url, headers, keep_alive=True)
+                await self._writer.drain()
+                response = await read_response(self._reader)
+            except (ConnectionError, ProtocolError, OSError):
+                await self.close()
+                if reused and attempt == 0:
+                    continue
+                raise
+            if not response.keep_alive:
+                await self.close()
+            return response
+        raise ProxyError(
+            f"proxy {self.peer} closed the connection twice for {url!r}"
+        )  # pragma: no cover - loop returns or raises above
+
+    async def close(self) -> None:
+        """Drop the persistent connection (next request reconnects)."""
+        writer, self._reader, self._writer = self._writer, None, None
+        if writer is None:
+            return
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionError, asyncio.CancelledError, OSError):
+            pass
 
     async def replay(self, requests: Sequence[Request]) -> ReplayReport:
         """Replay *requests* back-to-back; returns the accumulated report."""
-        for req in requests:
-            await self.fetch(req.url, size=req.size)
+        try:
+            for req in requests:
+                await self.fetch(req.url, size=req.size)
+        finally:
+            await self.close()
         return self.report
 
 

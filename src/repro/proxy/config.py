@@ -82,6 +82,24 @@ class ProxyConfig:
     #: raise it depending on their memory and network traffic
     #: concerns").  0 disables auto-resizing.
     resize_threshold: float = 2.0
+    #: Seconds a keep-alive client connection may sit idle between
+    #: requests before the proxy closes it.  0 disables the timeout.
+    idle_timeout: float = 30.0
+    #: Requests served on one client connection before the proxy forces
+    #: ``Connection: close`` (bounded pipelining).  0 means unlimited.
+    max_requests_per_connection: int = 0
+    #: In-flight write-buffer ceiling per connection: the streaming
+    #: body path awaits ``drain()`` once the transport buffers more
+    #: than this many unsent bytes.
+    max_inflight_bytes: int = 256 * 1024
+    #: Chunk size for streamed body reads/writes.
+    stream_chunk_bytes: int = 64 * 1024
+    #: Idle pooled connections kept per (host, port) for origin and
+    #: peer fetches.  0 disables pooling (a fresh connection per fetch,
+    #: the pre-keep-alive behaviour).
+    pool_size: int = 8
+    #: Seconds an idle pooled connection stays eligible for reuse.
+    pool_idle_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -99,6 +117,20 @@ class ProxyConfig:
                 f"update_encoding must be 'delta' or 'digest', "
                 f"got {self.update_encoding!r}"
             )
+        if self.idle_timeout < 0:
+            raise ConfigurationError("idle_timeout must be >= 0")
+        if self.max_requests_per_connection < 0:
+            raise ConfigurationError(
+                "max_requests_per_connection must be >= 0"
+            )
+        if self.max_inflight_bytes < 1:
+            raise ConfigurationError("max_inflight_bytes must be >= 1")
+        if self.stream_chunk_bytes < 1:
+            raise ConfigurationError("stream_chunk_bytes must be >= 1")
+        if self.pool_size < 0:
+            raise ConfigurationError("pool_size must be >= 0")
+        if self.pool_idle_timeout < 0:
+            raise ConfigurationError("pool_idle_timeout must be >= 0")
         if self.update_encoding == "digest" and self.summary.kind != "bloom":
             raise ConfigurationError(
                 "update_encoding='digest' ships whole bit arrays "

@@ -1,0 +1,30 @@
+"""Optional event-loop acceleration for the live data plane.
+
+``uvloop`` roughly doubles asyncio's socket throughput when available,
+but the reproduction must run on a bare CPython toolchain, so it is a
+soft dependency: :func:`install_uvloop` activates it when importable
+and quietly reports ``False`` otherwise.  Results are identical either
+way -- the data plane uses only the portable asyncio API surface.
+"""
+
+from __future__ import annotations
+
+import logging
+
+logger = logging.getLogger(__name__)
+
+
+def install_uvloop() -> bool:
+    """Install the uvloop event-loop policy if the package is present.
+
+    Returns ``True`` when uvloop is now the active policy.  Call before
+    ``asyncio.run``; a no-op (with a debug log) when uvloop is missing.
+    """
+    try:
+        import uvloop  # noqa: PLC0415 - soft dependency probe
+    except ImportError:
+        logger.debug("uvloop not installed; using the default event loop")
+        return False
+    uvloop.install()
+    logger.info("uvloop event-loop policy installed")
+    return True

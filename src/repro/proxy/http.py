@@ -1,7 +1,29 @@
-"""The minimal HTTP/1.0 subset the prototype speaks.
+"""The HTTP/1.1-subset data plane the prototype speaks.
 
-One GET per connection, ``Content-Length``-framed bodies, a handful of
-extension headers:
+The proxies, the origin server, and the client drivers share this
+module.  It implements the keep-alive streaming subset the benchmark
+data plane needs (GETs only, ``Content-Length``-framed bodies):
+
+- **Persistent connections.**  Requests and responses carry explicit
+  ``Connection`` headers; a connection serves a request loop until one
+  side sends ``Connection: close``, the idle timeout fires, or the
+  stream ends.  Pipelined requests are answered strictly in order --
+  the reader consumes one head at a time, so a client may write several
+  requests back to back and the kernel/stream buffers bound the
+  read-ahead.
+- **Streamed, bounded body I/O.**  Bodies are written as
+  :class:`memoryview` slices over the cached ``bytes`` object
+  (:func:`stream_body`), draining only when the transport's write
+  buffer exceeds the caller's in-flight ceiling; bodies are read in
+  bounded chunks into a preallocated buffer (:func:`read_body`), never
+  through an unbounded ``reader.read()``/``readexactly()`` (lint rule
+  SC001 enforces this for the whole proxy package).
+- **Strict framing validation.**  Negative, non-numeric, or oversized
+  ``Content-Length`` values and oversized heads raise
+  :class:`~repro.errors.ProtocolError`, which the servers answer with
+  a clean ``400`` -- never a traceback.
+
+Extension headers (unchanged from the HTTP/1.0 prototype):
 
 - ``X-Size`` on requests -- the trace-replay drivers carry the desired
   body size in the request (the paper's replay experiments do exactly
@@ -26,6 +48,18 @@ from repro.errors import ProtocolError
 #: Upper bound on a request/response head, to bound memory per connection.
 MAX_HEAD_BYTES = 16 * 1024
 
+#: Upper bound on a ``Content-Length`` a proxy will accept from a peer
+#: or origin (well above ``max_object_size``; a hard sanity ceiling so a
+#: corrupt header cannot make ``read_body`` allocate gigabytes).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Default chunk for streamed body reads and writes.
+DEFAULT_CHUNK_BYTES = 64 * 1024
+
+#: Default in-flight write ceiling before ``stream_body`` awaits
+#: ``drain()`` (mirrors ``ProxyConfig.max_inflight_bytes``).
+DEFAULT_MAX_INFLIGHT = 256 * 1024
+
 _REASONS = {
     200: "OK",
     400: "Bad Request",
@@ -36,16 +70,31 @@ _REASONS = {
 }
 
 
+def _wants_keep_alive(version: str, headers: Dict[str, str]) -> bool:
+    """HTTP/1.1 keep-alive semantics: persistent unless ``close``;
+    HTTP/1.0 only with an explicit ``Connection: keep-alive``."""
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.1":
+        return connection != "close"
+    return connection == "keep-alive"
+
+
 @dataclass
 class HttpRequest:
     """A parsed GET request."""
 
     url: str
     headers: Dict[str, str] = field(default_factory=dict)
+    version: str = "HTTP/1.1"
 
     def header(self, name: str, default: str = "") -> str:
         """Case-insensitive header lookup."""
         return self.headers.get(name.lower(), default)
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the client asked for a persistent connection."""
+        return _wants_keep_alive(self.version, self.headers)
 
 
 @dataclass
@@ -55,14 +104,23 @@ class HttpResponse:
     status: int
     headers: Dict[str, str] = field(default_factory=dict)
     body: bytes = b""
+    version: str = "HTTP/1.1"
 
     def header(self, name: str, default: str = "") -> str:
         """Case-insensitive header lookup."""
         return self.headers.get(name.lower(), default)
 
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the server will keep the connection open."""
+        return _wants_keep_alive(self.version, self.headers)
+
 
 async def _read_head(reader: asyncio.StreamReader) -> bytes:
-    head = await reader.readuntil(b"\r\n\r\n")
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError("HTTP head exceeds stream limit") from exc
     if len(head) > MAX_HEAD_BYTES:
         raise ProtocolError("HTTP head exceeds size limit")
     return head
@@ -80,19 +138,78 @@ def _parse_headers(lines: Iterable[str]) -> Dict[str, str]:
     return headers
 
 
-async def read_request(reader: asyncio.StreamReader) -> HttpRequest:
-    """Read and parse one GET request."""
+def parse_content_length(
+    headers: Dict[str, str], limit: int = MAX_BODY_BYTES
+) -> int:
+    """Validated body length from *headers* (0 when absent).
+
+    Rejects non-numeric, negative, and absurdly large values with a
+    :class:`ProtocolError` so servers answer ``400`` instead of letting
+    ``int()``/``readexactly`` raise through the connection handler.
+    """
+    text = headers.get("content-length", "0")
+    try:
+        length = int(text)
+    except ValueError as exc:
+        raise ProtocolError(f"malformed Content-Length {text!r}") from exc
+    if length < 0:
+        raise ProtocolError(f"negative Content-Length {text!r}")
+    if length > limit:
+        raise ProtocolError(
+            f"Content-Length {length} exceeds limit {limit}"
+        )
+    return length
+
+
+async def read_body(
+    reader: asyncio.StreamReader,
+    length: int,
+    chunk_size: int = DEFAULT_CHUNK_BYTES,
+) -> bytes:
+    """Read exactly *length* body bytes in bounded chunks.
+
+    Fills a preallocated buffer through a memoryview so no chunk is
+    copied twice, and never asks the reader for more than *chunk_size*
+    bytes at a time.
+    """
+    if length <= 0:
+        return b""
+    buf = bytearray(length)
+    view = memoryview(buf)
+    offset = 0
+    while offset < length:
+        chunk = await reader.read(min(chunk_size, length - offset))
+        if not chunk:
+            raise ProtocolError(
+                f"connection closed mid-body ({offset}/{length} bytes)"
+            )
+        view[offset : offset + len(chunk)] = chunk
+        offset += len(chunk)
+    return bytes(buf)
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Read and parse one GET request.
+
+    Returns ``None`` on a clean end of stream before any request bytes
+    (the peer finished its keep-alive conversation); raises
+    :class:`ProtocolError` on truncation mid-request or malformed data.
+    """
     try:
         head = await _read_head(reader)
     except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
         raise ProtocolError("connection closed mid-request") from exc
-    except asyncio.LimitOverrunError as exc:
-        raise ProtocolError("HTTP head exceeds stream limit") from exc
     lines = head.decode("latin-1").split("\r\n")
     parts = lines[0].split(" ")
     if len(parts) != 3 or parts[0] != "GET":
         raise ProtocolError(f"unsupported request line {lines[0]!r}")
-    return HttpRequest(url=parts[1], headers=_parse_headers(lines[1:]))
+    return HttpRequest(
+        url=parts[1], headers=_parse_headers(lines[1:]), version=parts[2]
+    )
 
 
 async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
@@ -110,28 +227,51 @@ async def read_response(reader: asyncio.StreamReader) -> HttpResponse:
     except ValueError as exc:
         raise ProtocolError(f"malformed status code {parts[1]!r}") from exc
     headers = _parse_headers(lines[1:])
-    length_text = headers.get("content-length", "0")
-    try:
-        length = int(length_text)
-    except ValueError as exc:
-        raise ProtocolError(
-            f"malformed Content-Length {length_text!r}"
-        ) from exc
-    body = await reader.readexactly(length) if length else b""
-    return HttpResponse(status=status, headers=headers, body=body)
+    length = parse_content_length(headers)
+    body = await read_body(reader, length)
+    return HttpResponse(
+        status=status, headers=headers, body=body, version=parts[0]
+    )
 
 
 def write_request(
     writer: asyncio.StreamWriter,
     url: str,
     headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> None:
-    """Serialize one GET request onto *writer* (caller drains)."""
-    head = [f"GET {url} HTTP/1.0"]
+    """Serialize one GET request onto *writer* (caller drains).
+
+    Always emits an explicit ``Connection`` header so HTTP/1.0-era
+    readers and the connection pool agree on the connection's fate.
+    """
+    head = [
+        f"GET {url} HTTP/1.1",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
     for name, value in (headers or {}).items():
         head.append(f"{name}: {value}")
     head.append("\r\n")
     writer.write("\r\n".join(head).encode("latin-1"))
+
+
+def response_head(
+    status: int,
+    body_length: int,
+    headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
+) -> bytes:
+    """Serialized head for a *status* response framing *body_length*."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Length: {body_length}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        head.append(f"{name}: {value}")
+    head.append("\r\n")
+    return "\r\n".join(head).encode("latin-1")
 
 
 def write_response(
@@ -139,14 +279,40 @@ def write_response(
     status: int,
     body: bytes = b"",
     headers: Optional[Dict[str, str]] = None,
+    keep_alive: bool = False,
 ) -> None:
-    """Serialize one response onto *writer* (caller drains)."""
-    reason = _REASONS.get(status, "Unknown")
-    head = [f"HTTP/1.0 {status} {reason}", f"Content-Length: {len(body)}"]
-    for name, value in (headers or {}).items():
-        head.append(f"{name}: {value}")
-    head.append("\r\n")
-    writer.write("\r\n".join(head).encode("latin-1") + body)
+    """Serialize one whole response onto *writer* (caller drains).
+
+    For large bodies prefer :func:`stream_body` after writing
+    :func:`response_head`, which bounds the write buffer.
+    """
+    writer.write(response_head(status, len(body), headers, keep_alive) + body)
+
+
+async def stream_body(
+    writer: asyncio.StreamWriter,
+    body: bytes,
+    chunk_size: int = DEFAULT_CHUNK_BYTES,
+    max_inflight: int = DEFAULT_MAX_INFLIGHT,
+) -> int:
+    """Stream *body* as zero-copy memoryview slices with backpressure.
+
+    Writes *chunk_size* slices of the cached ``bytes`` object (no
+    copies on the Python side) and awaits ``drain()`` whenever the
+    transport reports more than *max_inflight* unsent bytes, so one
+    slow client cannot balloon the proxy's write buffers.  Returns the
+    number of backpressure waits taken (the
+    ``proxy_backpressure_waits_total`` increment).
+    """
+    waits = 0
+    view = memoryview(body)
+    transport = writer.transport
+    for offset in range(0, len(view), chunk_size):
+        writer.write(view[offset : offset + chunk_size])
+        if transport.get_write_buffer_size() > max_inflight:
+            waits += 1
+            await writer.drain()
+    return waits
 
 
 def synth_body(url: str, size: int) -> bytes:

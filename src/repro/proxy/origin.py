@@ -15,7 +15,13 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ProtocolError
-from repro.proxy.http import read_request, synth_body, write_response
+from repro.proxy.http import (
+    read_request,
+    response_head,
+    stream_body,
+    synth_body,
+    write_response,
+)
 
 
 @dataclass
@@ -97,27 +103,39 @@ class OriginServer:
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve a keep-alive request loop on one connection.
+
+        Proxies pool their origin connections, so the origin honors
+        keep-alive and streams bodies with backpressure just like the
+        proxies' client-facing loop.
+        """
         try:
-            try:
-                request = await read_request(reader)
-            except ProtocolError:
-                self.stats.errors += 1
-                write_response(writer, 400)
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError:
+                    self.stats.errors += 1
+                    write_response(writer, 400, keep_alive=False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # client done with the connection
+                if self.delay > 0:
+                    await asyncio.sleep(self.delay)
+                size = self._body_size(request.url, request.header("x-size"))
+                body = synth_body(request.url, size)
+                self.stats.requests += 1
+                self.stats.bytes_served += len(body)
+                keep_alive = request.keep_alive
+                writer.write(
+                    response_head(
+                        200, len(body), {"X-Origin": "1"}, keep_alive
+                    )
+                )
+                await stream_body(writer, body)
                 await writer.drain()
-                return
-            if self.delay > 0:
-                await asyncio.sleep(self.delay)
-            size = self._body_size(request.url, request.header("x-size"))
-            body = synth_body(request.url, size)
-            self.stats.requests += 1
-            self.stats.bytes_served += len(body)
-            write_response(
-                writer,
-                200,
-                body,
-                headers={"X-Origin": "1"},
-            )
-            await writer.drain()
+                if not keep_alive:
+                    break
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:

@@ -66,12 +66,16 @@ from repro.summaries import LocalSummary, RemoteSummary, SummaryNode
 from repro.summaries import codec
 from repro.summaries.bloom import BloomRemote
 from repro.proxy.http import (
+    HttpRequest,
     HttpResponse,
     read_request,
     read_response,
+    response_head,
+    stream_body,
     write_request,
     write_response,
 )
+from repro.proxy.pool import ConnectionPool, PooledConnection
 
 logger = logging.getLogger(__name__)
 
@@ -99,7 +103,8 @@ class _ProxyMetrics:
         "icp_replies_sent", "icp_replies_received", "icp_timeouts",
         "dirupdates_sent", "dirupdates_received", "dirupdate_rejects",
         "summary_resizes", "udp_sent", "udp_received", "peer_served",
-        "phase_seconds",
+        "phase_seconds", "connections_open", "connections_reused",
+        "backpressure_waits",
     )
 
     def __init__(self, registry: MetricsRegistry, representation: str) -> None:
@@ -171,6 +176,19 @@ class _ProxyMetrics:
         )
         self.peer_served = c(
             "proxy_peer_served_total", "proxy-to-proxy fetches served"
+        )
+        # Connection-lifecycle family (keep-alive data plane).
+        self.connections_open = registry.gauge(
+            "proxy_connections_open", "client connections currently open"
+        )
+        self.connections_reused = c(
+            "proxy_connections_reused_total",
+            "origin/peer fetches served over a pooled connection",
+        )
+        self.backpressure_waits = c(
+            "proxy_backpressure_waits_total",
+            "drain() waits taken because a client write buffer exceeded "
+            "the in-flight ceiling",
         )
         self.phase_seconds = {
             phase: registry.histogram(
@@ -316,6 +334,14 @@ class SummaryCacheProxy:
             # stored at insert time spare a full directory re-hash then.
             store_digests=True,
         )
+        #: Keep-alive connections to origins and peers, reused across
+        #: sequential misses (created/reused counts feed the
+        #: connection-lifecycle metric family).
+        self._pool = ConnectionPool(
+            max_idle_per_host=config.pool_size,
+            idle_timeout=config.pool_idle_timeout,
+            on_reuse=self._m.connections_reused.inc,
+        )
         self._peers: Dict[Tuple[str, int], _PeerState] = {}
         self._pending: Dict[int, _PendingQuery] = {}
         self._request_counter = 0
@@ -351,6 +377,9 @@ class SummaryCacheProxy:
         )
         g("proxy_pending_queries", "outstanding ICP query rounds").set_function(
             lambda: len(self._pending)
+        )
+        g("proxy_pool_idle_connections", "idle pooled upstream connections").set_function(
+            lambda: self._pool.total_idle
         )
         g("proxy_trace_events_dropped", "trace-ring events dropped").set_function(
             lambda: self.trace.dropped
@@ -388,6 +417,7 @@ class SummaryCacheProxy:
         if self._icp is not None and self._icp.transport is not None:
             self._icp.transport.close()
             self._icp = None
+        await self._pool.close()
         for pending in self._pending.values():
             if not pending.future.done():
                 pending.future.cancel()
@@ -674,31 +704,69 @@ class SummaryCacheProxy:
     async def _handle_http(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
+        """Serve one client connection's request loop (keep-alive).
+
+        Requests are read and answered strictly in order, so a
+        pipelining client gets its responses in request order; the
+        read-ahead is bounded by the stream buffers, and
+        ``max_requests_per_connection`` (when set) forces a
+        ``Connection: close`` after that many responses.  The loop ends
+        on ``Connection: close``, clean client EOF, the idle timeout,
+        or a framing error (answered with a final 400).
+        """
+        self._m.connections_open.inc()
+        writer.transport.set_write_buffer_limits(
+            high=self.config.max_inflight_bytes
+        )
+        served = 0
         try:
-            try:
-                request = await read_request(reader)
-            except ProtocolError:
-                write_response(writer, 400)
-                await writer.drain()
-                return
-            if request.url == "/__stats__":
-                await self._serve_stats(writer)
-            elif request.url.partition("?")[0] == "/metrics":
-                await self._serve_metrics(request, writer)
-            elif request.header("x-only-if-cached"):
-                await self._serve_peer(request, writer)
-            else:
-                await self._serve_client(request, writer)
+            while True:
+                try:
+                    if self.config.idle_timeout > 0:
+                        request = await asyncio.wait_for(
+                            read_request(reader),
+                            timeout=self.config.idle_timeout,
+                        )
+                    else:
+                        request = await read_request(reader)
+                except asyncio.TimeoutError:
+                    break  # idle (or glacially slow) connection reaped
+                except ProtocolError:
+                    write_response(writer, 400, keep_alive=False)
+                    await writer.drain()
+                    break
+                if request is None:
+                    break  # client finished its keep-alive conversation
+                served += 1
+                keep_alive = request.keep_alive
+                if (
+                    self.config.max_requests_per_connection > 0
+                    and served >= self.config.max_requests_per_connection
+                ):
+                    keep_alive = False
+                if request.url == "/__stats__":
+                    await self._serve_stats(writer, keep_alive)
+                elif request.url.partition("?")[0] == "/metrics":
+                    await self._serve_metrics(request, writer, keep_alive)
+                elif request.header("x-only-if-cached"):
+                    await self._serve_peer(request, writer, keep_alive)
+                else:
+                    await self._serve_client(request, writer, keep_alive)
+                if not keep_alive:
+                    break
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self._m.connections_open.dec()
             writer.close()
             try:
                 await writer.wait_closed()
             except (ConnectionError, asyncio.CancelledError):
                 pass
 
-    async def _serve_stats(self, writer: asyncio.StreamWriter) -> None:
+    async def _serve_stats(
+        self, writer: asyncio.StreamWriter, keep_alive: bool = False
+    ) -> None:
         """Serve the admin endpoint: counters and cache state as JSON."""
         payload = dict(asdict(self.stats))
         payload.update(
@@ -719,11 +787,15 @@ class SummaryCacheProxy:
             200,
             body,
             headers={"Content-Type": "application/json"},
+            keep_alive=keep_alive,
         )
         await writer.drain()
 
     async def _serve_metrics(
-        self, request: HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool = False,
     ) -> None:
         """Serve the registry: Prometheus text, or JSON on request.
 
@@ -750,27 +822,40 @@ class SummaryCacheProxy:
             body = render_prometheus(self.registry).encode("utf-8")
             content_type = PROMETHEUS_CONTENT_TYPE
         write_response(
-            writer, 200, body, headers={"Content-Type": content_type}
+            writer,
+            200,
+            body,
+            headers={"Content-Type": content_type},
+            keep_alive=keep_alive,
         )
         await writer.drain()
 
     async def _serve_peer(
-        self, request: HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool = False,
     ) -> None:
         """Serve a proxy-to-proxy fetch: cache or 504, never recurse."""
         body = self._lookup_local(request.url)
         if body is None:
-            write_response(writer, 504, headers={"X-Cache": "MISS"})
+            write_response(
+                writer, 504, headers={"X-Cache": "MISS"},
+                keep_alive=keep_alive,
+            )
         else:
             self.stats.peer_served_requests += 1
             self._m.peer_served.inc()
-            write_response(
-                writer, 200, body, headers={"X-Cache": "HIT"}
+            await self._stream_response(
+                writer, body, {"X-Cache": "HIT"}, keep_alive
             )
         await writer.drain()
 
     async def _serve_client(
-        self, request: HttpRequest, writer: asyncio.StreamWriter
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool = False,
     ) -> None:
         self.stats.http_requests += 1
         self._m.http_requests.inc()
@@ -794,8 +879,34 @@ class SummaryCacheProxy:
         self.trace.record(
             trace_id, "http.served", source=source, bytes=len(body)
         )
-        write_response(writer, 200, body, headers={"X-Cache": source})
+        await self._stream_response(
+            writer, body, {"X-Cache": source}, keep_alive
+        )
         await writer.drain()
+
+    async def _stream_response(
+        self,
+        writer: asyncio.StreamWriter,
+        body: bytes,
+        headers: Dict[str, str],
+        keep_alive: bool,
+    ) -> None:
+        """Write a 200 head, then stream *body* with backpressure.
+
+        The body bytes travel as memoryview slices over the cached
+        object -- no per-response copy -- and ``drain()`` is awaited
+        whenever more than ``max_inflight_bytes`` sit unsent, so a slow
+        client bounds its own buffer instead of the proxy's heap.
+        """
+        writer.write(response_head(200, len(body), headers, keep_alive))
+        waits = await stream_body(
+            writer,
+            body,
+            chunk_size=self.config.stream_chunk_bytes,
+            max_inflight=self.config.max_inflight_bytes,
+        )
+        if waits:
+            self._m.backpressure_waits.inc(waits)
 
     def _lookup_local(self, url: str) -> Optional[bytes]:
         entry = self._cache.get(url)
@@ -948,17 +1059,45 @@ class SummaryCacheProxy:
     async def _fetch(
         self, host: str, port: int, url: str, headers: Dict[str, str]
     ) -> HttpResponse:
-        reader, writer = await asyncio.open_connection(host, port)
-        try:
-            write_request(writer, url, headers)
-            await writer.drain()
-            return await read_response(reader)
-        finally:
-            writer.close()
+        """One upstream GET over a pooled keep-alive connection.
+
+        A pooled connection may have been closed by the upstream while
+        idle, so an exchange that fails on a *reused* connection is
+        retried on the next one; each stale connection is consumed from
+        the idle list, so the loop terminates with a fresh socket whose
+        failure is genuine and propagates.
+        """
+        if self.config.pool_size <= 0:
+            reader, writer = await asyncio.open_connection(host, port)
             try:
-                await writer.wait_closed()
-            except (ConnectionError, asyncio.CancelledError):
-                pass
+                write_request(writer, url, headers, keep_alive=False)
+                await writer.drain()
+                return await read_response(reader)
+            finally:
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, asyncio.CancelledError):
+                    pass
+        while True:
+            conn = await self._pool.acquire(host, port)
+            try:
+                response = await self._exchange(conn, url, headers)
+            except (ConnectionError, ProtocolError, OSError):
+                self._pool.release(conn, reusable=False)
+                if not conn.was_reused:
+                    raise
+                continue  # stale pooled connection; try the next one
+            self._pool.release(conn, reusable=response.keep_alive)
+            return response
+
+    async def _exchange(
+        self, conn: PooledConnection, url: str, headers: Dict[str, str]
+    ) -> HttpResponse:
+        """One request/response round trip on an open connection."""
+        write_request(conn.writer, url, headers, keep_alive=True)
+        await conn.writer.drain()
+        return await read_response(conn.reader)
 
     # ------------------------------------------------------------------
     # Introspection used by tests and benchmarks

@@ -1,0 +1,137 @@
+"""Tests for the proxy load generator."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import replace
+
+import pytest
+
+from repro.benchmarkkit.loadgen import (
+    LoadGenConfig,
+    histogram_quantile,
+    render_comparison,
+    results_to_json,
+    run_loadgen,
+)
+from repro.core.summary import SummaryConfig
+from repro.errors import ConfigurationError
+from repro.obs.registry import MetricsRegistry
+from repro.proxy import ProxyCluster, ProxyConfig, ProxyMode
+
+
+BASE_CONFIG = ProxyConfig(
+    summary=SummaryConfig(kind="bloom", load_factor=8),
+    expected_doc_size=1024,
+    update_threshold=0.01,
+)
+
+SMALL = LoadGenConfig(
+    clients=3,
+    requests_per_client=10,
+    target_hit_ratio=0.3,
+    mean_size=1024,
+    max_size=8 * 1024,
+    seed=7,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def _run_phase(config: LoadGenConfig, base: ProxyConfig):
+    async with ProxyCluster(
+        num_proxies=1,
+        mode=ProxyMode.NO_ICP,
+        cache_capacity=4 * 1024 * 1024,
+        base_config=base,
+    ) as cluster:
+        targets = [
+            (p.config.host, p.http_port) for p in cluster.proxies
+        ]
+        return await run_loadgen(
+            targets, config, proxies=cluster.proxies
+        )
+
+
+class TestRunLoadgen:
+    def test_counts_and_latency_populated(self):
+        result = run(_run_phase(SMALL, BASE_CONFIG))
+        assert result.requests == 30
+        assert result.errors == 0
+        assert result.requests_per_second > 0
+        assert 0 < result.latency_p50_ms <= result.latency_p99_ms
+        assert result.bytes_received > 0
+        assert result.connections_opened == 3  # one per keep-alive client
+        assert result.proxy_phase_p50_ms is not None
+        # Every request is accounted to a cache source.
+        assert sum(result.cache_sources.values()) == 30
+
+    def test_disciplines_have_identical_cache_behaviour(self):
+        keep = run(_run_phase(SMALL, BASE_CONFIG))
+        per_request = run(
+            _run_phase(
+                replace(SMALL, keep_alive=False),
+                replace(BASE_CONFIG, pool_size=0),
+            )
+        )
+        assert per_request.cache_sources == keep.cache_sources
+        assert per_request.bytes_received == keep.bytes_received
+        # Connection churn is the one thing that differs.
+        assert per_request.connections_opened == 30
+        assert keep.connections_opened == 3
+
+    def test_requires_targets(self):
+        with pytest.raises(ConfigurationError):
+            run(run_loadgen([], SMALL))
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            LoadGenConfig(clients=0)
+        with pytest.raises(ConfigurationError):
+            LoadGenConfig(requests_per_client=0)
+
+
+class TestReporting:
+    def _two_results(self):
+        keep = run(_run_phase(SMALL, BASE_CONFIG))
+        base = run(
+            _run_phase(
+                replace(SMALL, keep_alive=False),
+                replace(BASE_CONFIG, pool_size=0),
+            )
+        )
+        return base, keep
+
+    def test_render_and_json_roundtrip(self):
+        base, keep = self._two_results()
+        text = render_comparison([base, keep])
+        assert "speedup" in text
+        payload = json.loads(
+            results_to_json([base, keep], benchmark="proxy_loadgen")
+        )
+        assert payload["benchmark"] == "proxy_loadgen"
+        assert len(payload["runs"]) == 2
+        assert payload["speedup_requests_per_second"] > 0
+        for entry in payload["runs"]:
+            assert {"requests_per_second", "latency_p50_ms",
+                    "latency_p99_ms"} <= set(entry)
+
+
+class TestHistogramQuantile:
+    def test_interpolates_within_bucket(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram(
+            "t_seconds", buckets=(0.1, 0.2, 0.4)
+        )
+        for _ in range(100):
+            hist.observe(0.15)
+        q50 = histogram_quantile(hist, 0.5)
+        assert 0.1 <= q50 <= 0.2
+
+    def test_empty_histogram_is_none(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("e_seconds", buckets=(0.1,))
+        assert histogram_quantile(hist, 0.5) is None

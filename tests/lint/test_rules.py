@@ -52,6 +52,7 @@ class TestSC001Blocking:
         assert project.rule_counts(select="SC001") == {"SC001": 1}
 
     def test_bare_open_in_async(self, project: LintProject) -> None:
+        # Two findings: blocking open() plus the unbounded fh.read().
         project.write(
             "src/repro/proxy/mod.py",
             """\
@@ -60,7 +61,83 @@ class TestSC001Blocking:
                     return fh.read()
             """,
         )
-        assert project.rule_counts(select="SC001") == {"SC001": 1}
+        assert project.rule_counts(select="SC001") == {"SC001": 2}
+
+    def test_unbounded_reader_read_flagged(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(reader):
+                return await reader.read()
+            """,
+        )
+        findings = project.lint(select="SC001")
+        assert len(findings) == 1
+        assert "unbounded .read()" in findings[0].message
+
+    def test_read_to_eof_sentinel_flagged(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(reader):
+                return await reader.read(-1)
+            """,
+        )
+        findings = project.lint(select="SC001")
+        assert len(findings) == 1
+        assert "read-to-EOF" in findings[0].message
+
+    def test_bounded_read_is_fine(self, project: LintProject) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(reader, remaining):
+                return await reader.read(min(65536, remaining))
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+    def test_readexactly_nonconstant_flagged(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(reader, length):
+                return await reader.readexactly(length)
+            """,
+        )
+        findings = project.lint(select="SC001")
+        assert len(findings) == 1
+        assert "readexactly" in findings[0].message
+
+    def test_readexactly_literal_is_fine(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            async def handler(reader):
+                return await reader.readexactly(16)
+            """,
+        )
+        assert project.lint(select="SC001") == []
+
+    def test_unbounded_read_in_sync_def_not_checked(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            def drain(reader):
+                return reader.read()
+            """,
+        )
+        assert project.lint(select="SC001") == []
 
     def test_sync_def_is_fine(self, project: LintProject) -> None:
         project.write(

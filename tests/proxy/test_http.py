@@ -8,8 +8,13 @@ import pytest
 
 from repro.errors import ProtocolError
 from repro.proxy.http import (
+    MAX_BODY_BYTES,
+    MAX_HEAD_BYTES,
+    parse_content_length,
+    read_body,
     read_request,
     read_response,
+    stream_body,
     synth_body,
     write_request,
     write_response,
@@ -22,8 +27,8 @@ class _Writer:
     def __init__(self) -> None:
         self.data = b""
 
-    def write(self, data: bytes) -> None:
-        self.data += data
+    def write(self, data) -> None:
+        self.data += bytes(data)  # accepts bytes and memoryview slices
 
 
 async def _parse(parser, data: bytes):
@@ -107,6 +112,136 @@ class TestResponses:
     def test_rejects_non_numeric_status(self):
         with pytest.raises(ProtocolError):
             parse_response(b"HTTP/1.0 abc OK\r\n\r\n")
+
+
+class TestFramingValidation:
+    """Satellite of the keep-alive rework: strict body framing."""
+
+    def test_negative_content_length_rejected(self):
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_content_length({"content-length": "-5"})
+
+    def test_non_numeric_content_length_rejected(self):
+        for bad in ("x", "1e3", "0x10", " ", "+-1"):
+            with pytest.raises(ProtocolError, match="Content-Length"):
+                parse_content_length({"content-length": bad})
+
+    def test_oversized_content_length_rejected(self):
+        with pytest.raises(ProtocolError, match="exceeds limit"):
+            parse_content_length(
+                {"content-length": str(MAX_BODY_BYTES + 1)}
+            )
+
+    def test_absent_content_length_is_zero(self):
+        assert parse_content_length({}) == 0
+
+    def test_response_with_negative_length_rejected(self):
+        data = b"HTTP/1.1 200 OK\r\nContent-Length: -1\r\n\r\n"
+        with pytest.raises(ProtocolError, match="negative"):
+            parse_response(data)
+
+    def test_oversized_head_rejected(self):
+        # Above MAX_HEAD_BYTES but below the 64 KiB stream limit, so
+        # the explicit head cap (not the stream limit) fires.
+        padding = b"a" * (MAX_HEAD_BYTES + 1024)
+        data = b"GET /x HTTP/1.1\r\nX-Pad: " + padding + b"\r\n\r\n"
+        with pytest.raises(ProtocolError, match="size limit"):
+            parse_request(data)
+
+    def test_body_truncation_rejected(self):
+        data = b"HTTP/1.1 200 OK\r\nContent-Length: 100\r\n\r\nshort"
+        with pytest.raises(ProtocolError, match="mid-body"):
+            parse_response(data)
+
+    def test_read_body_chunked_reassembly(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            payload = synth_body("u", 10_000)
+            reader.feed_data(payload)
+            reader.feed_eof()
+            body = await read_body(reader, len(payload), chunk_size=512)
+            return payload, body
+
+        payload, body = asyncio.run(scenario())
+        assert body == payload
+
+
+class TestKeepAliveSemantics:
+    def test_http11_defaults_to_keep_alive(self):
+        request = parse_request(b"GET /x HTTP/1.1\r\n\r\n")
+        assert request.keep_alive
+
+    def test_http11_close_honoured(self):
+        request = parse_request(
+            b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n"
+        )
+        assert not request.keep_alive
+
+    def test_http10_defaults_to_close(self):
+        request = parse_request(b"GET /x HTTP/1.0\r\n\r\n")
+        assert not request.keep_alive
+
+    def test_http10_explicit_keep_alive(self):
+        request = parse_request(
+            b"GET /x HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n"
+        )
+        assert request.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        # An empty stream is a finished keep-alive conversation, not an
+        # error.
+        assert parse_request(b"") is None
+
+    def test_write_request_emits_connection_header(self):
+        writer = _Writer()
+        write_request(writer, "/x", keep_alive=True)
+        assert b"Connection: keep-alive\r\n" in writer.data
+        writer = _Writer()
+        write_request(writer, "/x", keep_alive=False)
+        assert b"Connection: close\r\n" in writer.data
+
+
+class _FakeTransport:
+    """Reports a configurable write-buffer size."""
+
+    def __init__(self, sizes):
+        self._sizes = list(sizes)
+
+    def get_write_buffer_size(self):
+        return self._sizes.pop(0) if self._sizes else 0
+
+
+class _StreamWriterStub(_Writer):
+    def __init__(self, buffer_sizes=()):
+        super().__init__()
+        self.transport = _FakeTransport(buffer_sizes)
+        self.drains = 0
+
+    async def drain(self):
+        self.drains += 1
+
+
+class TestStreamBody:
+    def test_streams_all_bytes_without_backpressure(self):
+        writer = _StreamWriterStub()
+        body = synth_body("s", 200_000)
+        waits = asyncio.run(stream_body(writer, body, chunk_size=4096))
+        assert writer.data == body
+        assert waits == 0
+        assert writer.drains == 0
+
+    def test_drains_when_buffer_exceeds_ceiling(self):
+        # Buffer reports over-ceiling on the first two chunks.
+        writer = _StreamWriterStub(buffer_sizes=[300_000, 300_000, 0])
+        body = synth_body("s", 3 * 4096)
+        waits = asyncio.run(
+            stream_body(
+                writer, body, chunk_size=4096, max_inflight=256 * 1024
+            )
+        )
+        assert writer.data == body
+        assert waits == 2
+        assert writer.drains == 2
 
 
 class TestSynthBody:

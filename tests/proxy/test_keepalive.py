@@ -1,0 +1,417 @@
+"""Keep-alive semantics of the proxy data plane.
+
+Covers the request loop in ``SummaryCacheProxy._handle_http``: multiple
+requests on one connection, pipelining order, ``Connection: close``
+fallback, idle-timeout reaping, mid-stream client disconnects,
+per-connection request caps, upstream connection pooling, and --
+the acceptance bar for the keep-alive rework -- bit-identical cache
+behaviour versus the one-connection-per-GET discipline.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+from repro.core.summary import SummaryConfig
+from repro.proxy import ProxyCluster, ProxyConfig, ProxyMode
+from repro.proxy.client import ClientDriver
+from repro.proxy.http import read_response, synth_body, write_request
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+BASE_CONFIG = ProxyConfig(
+    summary=SummaryConfig(kind="bloom", load_factor=8),
+    expected_doc_size=1024,
+    update_threshold=0.01,
+)
+
+
+async def _connect(cluster, proxy_index=0):
+    proxy = cluster.proxies[proxy_index]
+    return await asyncio.open_connection(proxy.config.host, proxy.http_port)
+
+
+class TestKeepAliveLoop:
+    def test_multiple_requests_one_connection(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                responses = []
+                for i in range(3):
+                    write_request(
+                        writer,
+                        f"http://ka.com/d{i}",
+                        {"X-Size": "128"},
+                        keep_alive=True,
+                    )
+                    await writer.drain()
+                    responses.append(await read_response(reader))
+                writer.close()
+                return responses, cluster.proxies[0].stats
+
+        responses, stats = run(scenario())
+        assert [r.status for r in responses] == [200, 200, 200]
+        assert all(r.keep_alive for r in responses)
+        assert stats.http_requests == 3
+
+    def test_pipelined_requests_answered_in_order(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                urls = [f"http://pipe.com/d{i}" for i in range(5)]
+                # Write every request before reading any response.
+                for i, url in enumerate(urls):
+                    write_request(
+                        writer,
+                        url,
+                        {"X-Size": str(200 + i)},
+                        keep_alive=True,
+                    )
+                await writer.drain()
+                bodies = [
+                    (await read_response(reader)).body for _ in urls
+                ]
+                writer.close()
+                return urls, bodies
+
+        urls, bodies = run(scenario())
+        # Responses must arrive in request order, each with the right
+        # (size-distinguishable, URL-deterministic) body.
+        assert bodies == [
+            synth_body(url, 200 + i) for i, url in enumerate(urls)
+        ]
+
+    def test_connection_close_fallback(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                write_request(
+                    writer, "http://cl.com/x", {"X-Size": "64"},
+                    keep_alive=False,
+                )
+                await writer.drain()
+                response = await read_response(reader)
+                # The proxy must close its side after a close response.
+                trailing = await reader.read(1)
+                writer.close()
+                return response, trailing
+
+        response, trailing = run(scenario())
+        assert response.status == 200
+        assert not response.keep_alive
+        assert trailing == b""
+
+    def test_http10_defaults_to_close(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                writer.write(
+                    b"GET http://old.com/x HTTP/1.0\r\nX-Size: 64\r\n\r\n"
+                )
+                await writer.drain()
+                response = await read_response(reader)
+                trailing = await reader.read(1)
+                writer.close()
+                return response, trailing
+
+        response, trailing = run(scenario())
+        assert response.status == 200
+        assert not response.keep_alive
+        assert trailing == b""
+
+    def test_idle_timeout_closes_connection(self):
+        async def scenario():
+            config = replace(BASE_CONFIG, idle_timeout=0.1)
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=config
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                write_request(
+                    writer, "http://idle.com/x", {"X-Size": "64"},
+                    keep_alive=True,
+                )
+                await writer.drain()
+                response = await read_response(reader)
+                # Sit idle past the timeout; the proxy reaps us.
+                trailing = await asyncio.wait_for(reader.read(1), timeout=2.0)
+                writer.close()
+                return response, trailing
+
+        response, trailing = run(scenario())
+        assert response.keep_alive
+        assert trailing == b""
+
+    def test_max_requests_per_connection_forces_close(self):
+        async def scenario():
+            config = replace(BASE_CONFIG, max_requests_per_connection=2)
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=config
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                responses = []
+                for i in range(2):
+                    write_request(
+                        writer,
+                        f"http://cap.com/d{i}",
+                        {"X-Size": "64"},
+                        keep_alive=True,
+                    )
+                    await writer.drain()
+                    responses.append(await read_response(reader))
+                writer.close()
+                return responses
+
+        responses = run(scenario())
+        assert responses[0].keep_alive
+        assert not responses[1].keep_alive
+
+    def test_mid_stream_client_disconnect_is_survived(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                # Ask for a large body, then vanish without reading it.
+                reader, writer = await _connect(cluster)
+                write_request(
+                    writer,
+                    "http://gone.com/big",
+                    {"X-Size": str(4 * 1024 * 1024)},
+                    keep_alive=True,
+                )
+                await writer.drain()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+                # The proxy must still serve subsequent clients.
+                driver = cluster.driver_for(0)
+                body = await driver.fetch("http://gone.com/after", size=256)
+                await driver.close()
+                # Handler teardown is asynchronous; wait for the gauge
+                # to confirm both connections were reaped.
+                registry = cluster.proxies[0].registry
+                open_conns = registry.value("proxy_connections_open")
+                for _ in range(100):
+                    if open_conns == 0:
+                        break
+                    await asyncio.sleep(0.02)
+                    open_conns = registry.value("proxy_connections_open")
+                return body, open_conns
+
+        body, open_conns = run(scenario())
+        assert body == synth_body("http://gone.com/after", 256)
+        assert open_conns == 0
+
+    def test_malformed_request_gets_400_and_close(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                writer.write(b"BLARGH\r\n\r\n")
+                await writer.drain()
+                response = await read_response(reader)
+                trailing = await reader.read(1)
+                writer.close()
+                return response, trailing
+
+        response, trailing = run(scenario())
+        assert response.status == 400
+        assert not response.keep_alive
+        assert trailing == b""
+
+    def test_oversized_head_gets_400_not_traceback(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                reader, writer = await _connect(cluster)
+                # 20 KiB of padding blows the 16 KiB head cap but stays
+                # under the 64 KiB stream limit.
+                writer.write(
+                    b"GET http://big.com/x HTTP/1.1\r\n"
+                    + b"X-Padding: " + b"a" * (20 * 1024) + b"\r\n\r\n"
+                )
+                await writer.drain()
+                response = await read_response(reader)
+                writer.close()
+                return response
+
+        assert run(scenario()).status == 400
+
+
+class TestClientDriverKeepAlive:
+    def test_driver_reuses_one_connection(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                driver = cluster.driver_for(0)
+                for i in range(5):
+                    await driver.fetch(f"http://dr.com/d{i}", size=128)
+                await driver.close()
+                return driver
+
+        driver = run(scenario())
+        assert driver.report.requests == 5
+        assert driver.connections_opened == 1
+
+    def test_non_keepalive_driver_opens_one_per_request(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                proxy = cluster.proxies[0]
+                driver = ClientDriver(
+                    proxy.config.host, proxy.http_port, keep_alive=False
+                )
+                for i in range(4):
+                    await driver.fetch(f"http://nk.com/d{i}", size=128)
+                return driver
+
+        driver = run(scenario())
+        assert driver.connections_opened == 4
+
+    def test_driver_reconnects_after_server_cap(self):
+        async def scenario():
+            config = replace(BASE_CONFIG, max_requests_per_connection=2)
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=config
+            ) as cluster:
+                driver = cluster.driver_for(0)
+                for i in range(6):
+                    await driver.fetch(f"http://rc.com/d{i}", size=128)
+                await driver.close()
+                return driver
+
+        driver = run(scenario())
+        assert driver.report.errors == 0
+        # 6 requests at 2 per connection = 3 connections.
+        assert driver.connections_opened == 3
+
+
+class TestUpstreamPooling:
+    def test_pool_reuse_across_sequential_misses(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=BASE_CONFIG
+            ) as cluster:
+                driver = cluster.driver_for(0)
+                for i in range(6):  # distinct URLs: all origin fetches
+                    await driver.fetch(f"http://pool.com/d{i}", size=128)
+                await driver.close()
+                return cluster.proxies[0]._pool.stats
+
+        stats = run(scenario())
+        # First miss opens the origin connection; the rest ride it.
+        assert stats.created == 1
+        assert stats.reused == 5
+
+    def test_pool_disabled_opens_per_fetch(self):
+        async def scenario():
+            config = replace(BASE_CONFIG, pool_size=0)
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=config
+            ) as cluster:
+                driver = cluster.driver_for(0)
+                for i in range(4):
+                    await driver.fetch(f"http://np.com/d{i}", size=128)
+                await driver.close()
+                proxy = cluster.proxies[0]
+                return proxy._pool.stats, proxy.stats
+
+        pool_stats, stats = run(scenario())
+        assert pool_stats.created == 0  # pool bypassed entirely
+        assert stats.origin_fetches == 4
+
+    def test_stale_pooled_connection_is_retried(self):
+        async def scenario():
+            config = replace(BASE_CONFIG, pool_idle_timeout=30.0)
+            async with ProxyCluster(
+                num_proxies=1, mode=ProxyMode.NO_ICP, base_config=config
+            ) as cluster:
+                driver = cluster.driver_for(0)
+                await driver.fetch("http://st.com/d0", size=128)
+                # Kill the pooled origin connection behind the pool's
+                # back: the next fetch must fall back to a fresh socket.
+                proxy = cluster.proxies[0]
+                for conns in proxy._pool._idle.values():
+                    for conn in conns:
+                        conn.writer.transport.abort()
+                await asyncio.sleep(0.05)
+                body = await driver.fetch("http://st.com/d1", size=128)
+                await driver.close()
+                return body
+
+        body = run(scenario())
+        assert body == synth_body("http://st.com/d1", 128)
+
+
+class TestCacheBehaviourEquivalence:
+    def test_keepalive_matches_per_connection_cache_behaviour(self):
+        """The keep-alive data plane must be bit-identical in cache
+        terms: same hits, same remote hits, same ICP message counts as
+        the one-connection-per-GET discipline (the acceptance bar for
+        the rework)."""
+
+        urls = [f"http://eq.com/d{i}" for i in range(30)]
+
+        async def scenario(keep_alive: bool):
+            base = BASE_CONFIG if keep_alive else replace(
+                BASE_CONFIG, pool_size=0
+            )
+            async with ProxyCluster(
+                num_proxies=3,
+                mode=ProxyMode.SC_ICP,
+                cache_capacity=512 * 1024,
+                base_config=base,
+            ) as cluster:
+                p0 = cluster.proxies[0]
+                d0 = ClientDriver(
+                    p0.config.host, p0.http_port, keep_alive=keep_alive
+                )
+                # Phase 1: populate proxy 0.
+                for url in urls:
+                    await d0.fetch(url, size=512)
+                await d0.close()
+                await asyncio.sleep(0.2)  # let DIRUPDATEs land
+                # Phase 2: the same URLs via proxy 1 -> remote hits.
+                p1 = cluster.proxies[1]
+                d1 = ClientDriver(
+                    p1.config.host, p1.http_port, keep_alive=keep_alive
+                )
+                sources = []
+                for url in urls:
+                    await d1.fetch(url, size=512)
+                await d1.close()
+                sources.append(dict(d1.report.cache_sources))
+                return (
+                    [
+                        (
+                            s.http_requests,
+                            s.local_hits,
+                            s.remote_hits,
+                            s.icp_queries_sent,
+                            s.icp_replies_sent,
+                        )
+                        for s in (p.stats for p in cluster.proxies)
+                    ],
+                    sources,
+                )
+
+        per_request = run(scenario(keep_alive=False))
+        keepalive = run(scenario(keep_alive=True))
+        assert keepalive == per_request

@@ -74,6 +74,62 @@ class TestCommands:
         assert "sc-icp" in out
         assert "overhead" in out
 
+    def test_loadgen_small(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "bench.json"
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--proxies",
+                    "1",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "8",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "baseline_per_connection" in out
+        assert "keepalive_pooled" in out
+        assert "speedup" in out
+        record = json.loads(out_path.read_text())
+        assert record["benchmark"] == "proxy_loadgen"
+        assert len(record["runs"]) == 2
+        assert record["runs"][0]["errors"] == 0
+        assert record["runs"][1]["errors"] == 0
+        # Same workload, same cache behaviour, different connections.
+        assert (
+            record["runs"][0]["cache_sources"]
+            == record["runs"][1]["cache_sources"]
+        )
+
+    def test_loadgen_single_phase(self, capsys):
+        assert (
+            main(
+                [
+                    "loadgen",
+                    "--proxies",
+                    "1",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "5",
+                    "--phases",
+                    "keepalive",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "keepalive_pooled" in out
+        assert "baseline" not in out
+
     def test_gen_trace(self, tmp_path, capsys):
         out_path = tmp_path / "trace.jsonl"
         assert (
