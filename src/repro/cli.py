@@ -26,6 +26,14 @@ keep-alive clients replaying the Wisconsin workload::
 
     summary-cache loadgen --proxies 2 --clients 16 --requests 200 \\
         --json benchmarks/BENCH_proxy.json
+
+and a cluster's observability (live or freshly booted) can be fused
+into one snapshot, traces reassembled across proxies, and the tracing
+overhead A/B-measured::
+
+    summary-cache obs cluster --json snapshot.json
+    summary-cache obs trace 1f2e3d4c --targets 127.0.0.1:8081 127.0.0.1:8082
+    summary-cache obs overhead --json benchmarks/BENCH_obs.json
 """
 
 from __future__ import annotations
@@ -247,6 +255,107 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         help="seconds to serve before exiting (default: until Ctrl-C)",
     )
+    p.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=2048,
+        metavar="N",
+        help="spans retained per proxy trace ring (default: 2048)",
+    )
+    p.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable request-scoped tracing (null span ring)",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help=(
+            "cluster-wide observability: fused /metrics + /trace "
+            "snapshots, cross-proxy traces, tracing overhead"
+        ),
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+
+    pc = obs_sub.add_parser(
+        "cluster",
+        help=(
+            "scrape every proxy's /metrics + /trace and print the fused "
+            "snapshot with false-hit attribution"
+        ),
+    )
+    pc.add_argument(
+        "--targets",
+        nargs="+",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "proxy HTTP endpoints to scrape; omit to boot an in-process "
+            "cluster, drive load through it, and scrape that"
+        ),
+    )
+    pc.add_argument(
+        "--boot",
+        type=int,
+        default=3,
+        metavar="N",
+        help="cluster size when booting in-process (default: 3)",
+    )
+    pc.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="loadgen clients for the booted cluster (default: 8)",
+    )
+    pc.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="requests per client for the booted cluster (default: 100)",
+    )
+    pc.add_argument("--hit-ratio", type=float, default=0.25)
+    pc.add_argument("--seed", type=int, default=1)
+    pc.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="also write the fused snapshot as JSON",
+    )
+
+    pt = obs_sub.add_parser(
+        "trace",
+        help="print one reassembled cross-proxy trace as a span tree",
+    )
+    pt.add_argument("trace_id", help="8-hex-digit trace id")
+    pt.add_argument(
+        "--targets",
+        nargs="+",
+        required=True,
+        metavar="HOST:PORT",
+        help="proxy HTTP endpoints whose rings to search",
+    )
+
+    po = obs_sub.add_parser(
+        "overhead",
+        help=(
+            "A/B-measure tracing overhead: identical loadgen runs on "
+            "fresh clusters with tracing enabled vs disabled"
+        ),
+    )
+    po.add_argument("--proxies", type=int, default=3)
+    po.add_argument("--clients", type=int, default=8)
+    po.add_argument("--requests", type=int, default=150)
+    po.add_argument("--hit-ratio", type=float, default=0.25)
+    po.add_argument("--seed", type=int, default=1)
+    po.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "merge a tracing_overhead section into this BENCH_obs-style "
+            "JSON file (existing keys are preserved)"
+        ),
+    )
 
     p = sub.add_parser(
         "loadgen",
@@ -351,7 +460,7 @@ def _summary_overrides(args: argparse.Namespace) -> Dict[str, Any]:
 async def _serve(args: argparse.Namespace) -> int:
     """Run a live cluster, print its endpoints, wait for the deadline."""
     from repro.proxy.cluster import ProxyCluster
-    from repro.proxy.config import ProxyMode
+    from repro.proxy.config import ProxyConfig, ProxyMode
 
     summary = experiments.summary_config_for_repr(
         args.summary_repr or "bloom"
@@ -366,6 +475,10 @@ async def _serve(args: argparse.Namespace) -> int:
         mode=ProxyMode(args.mode),
         cache_capacity=int(args.cache_mb * 1024 * 1024),
         origin_delay=args.origin_delay,
+        base_config=ProxyConfig(
+            trace_capacity=args.trace_capacity,
+            trace_enabled=not args.no_trace,
+        ),
         summary=summary,
         update_policy=policy,
     ) as cluster:
@@ -379,7 +492,7 @@ async def _serve(args: argparse.Namespace) -> int:
                 f"summary={proxy.config.summary.kind} "
                 f"http=http://{proxy.config.host}:{proxy.http_port} "
                 f"icp=udp://{proxy.config.host}:{proxy.icp_port} "
-                f"(metrics at /metrics, stats at /__stats__)"
+                f"(metrics at /metrics, spans at /trace)"
             )
         try:
             if args.duration > 0:
@@ -390,6 +503,194 @@ async def _serve(args: argparse.Namespace) -> int:
                     await asyncio.sleep(3600)
         except (KeyboardInterrupt, asyncio.CancelledError):
             pass
+    return 0
+
+
+def _parse_targets(specs: List[str]) -> List[tuple]:
+    """``HOST:PORT`` strings to ``(host, port)`` scrape targets."""
+    from repro.errors import ConfigurationError
+
+    targets = []
+    for spec in specs:
+        host, sep, port = spec.rpartition(":")
+        if not sep or not port.isdigit():
+            raise ConfigurationError(
+                f"scrape target {spec!r} is not HOST:PORT"
+            )
+        targets.append((host or "127.0.0.1", int(port)))
+    return targets
+
+
+async def _obs_cluster(args: argparse.Namespace) -> int:
+    """Scrape a cluster (live or freshly booted) and print the fusion.
+
+    The booted path drives two workloads: concurrent Wisconsin loadgen
+    (per-client working sets, exercising the keep-alive data plane) and
+    a shared-document synthetic replay (cross-client sharing, so the
+    SC-ICP paths -- DIRUPDATEs, query rounds, remote hits, false hits
+    -- actually appear in the fused snapshot).
+    """
+    import json as json_module
+
+    from repro.benchmarkkit.loadgen import LoadGenConfig, run_loadgen
+    from repro.obs.cluster import render_cluster, scrape_cluster
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyConfig, ProxyMode
+    from repro.summaries import SummaryConfig
+    from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+
+    if args.targets:
+        snapshot = await scrape_cluster(_parse_targets(args.targets))
+    else:
+        config = LoadGenConfig(
+            clients=args.clients,
+            requests_per_client=args.requests,
+            target_hit_ratio=args.hit_ratio,
+            seed=args.seed,
+        )
+        shared = generate_trace(
+            SyntheticTraceConfig(
+                name="obs-smoke",
+                num_requests=args.clients * args.requests,
+                num_clients=args.clients,
+                num_documents=max(50, args.requests),
+                mean_size=1024,
+                max_size=32 * 1024,
+                mod_probability=0.0,
+                seed=args.seed,
+            )
+        )
+        async with ProxyCluster(
+            num_proxies=args.boot,
+            mode=ProxyMode.SC_ICP,
+            cache_capacity=4 * 1024 * 1024,
+            base_config=ProxyConfig(
+                summary=SummaryConfig(kind="bloom", load_factor=8),
+                expected_doc_size=1024,
+                update_threshold=0.01,
+            ),
+        ) as cluster:
+            await run_loadgen(
+                cluster.targets(),
+                config,
+                label="obs-smoke",
+                proxies=cluster.proxies,
+            )
+            await cluster.replay(shared, assignment="round-robin")
+            snapshot = await cluster.snapshot()
+    print(render_cluster(snapshot))
+    if args.json:
+        import os
+
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_module.dump(snapshot.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+async def _obs_trace(args: argparse.Namespace) -> int:
+    """Reassemble and print one trace from the targets' span rings."""
+    from repro.obs.cluster import render_trace, scrape_cluster
+
+    snapshot = await scrape_cluster(_parse_targets(args.targets))
+    spans = snapshot.trace(args.trace_id)
+    print(render_trace(spans))
+    return 0 if spans else 1
+
+
+async def _obs_overhead(args: argparse.Namespace) -> int:
+    """A/B the data plane with tracing enabled vs disabled.
+
+    Both phases replay the identical Wisconsin workload on a *fresh*
+    cluster; only ``trace_enabled`` differs, so the req/s delta is the
+    cost of span bookkeeping and context propagation on the full
+    request path.  (The bloom probe/insert microbenchmark bounds the
+    disabled-path cost separately -- see ``benchmarks/BENCH_obs.json``.)
+    """
+    import json as json_module
+    import os
+
+    from repro.benchmarkkit.loadgen import (
+        LoadGenConfig,
+        render_comparison,
+        run_loadgen,
+    )
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyConfig, ProxyMode
+
+    config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        target_hit_ratio=args.hit_ratio,
+        seed=args.seed,
+    )
+    results = []
+    for label, enabled in (
+        ("tracing_disabled", False),
+        ("tracing_enabled", True),
+    ):
+        async with ProxyCluster(
+            num_proxies=args.proxies,
+            mode=ProxyMode.SC_ICP,
+            base_config=ProxyConfig(trace_enabled=enabled),
+        ) as cluster:
+            results.append(
+                await run_loadgen(
+                    cluster.targets(),
+                    config,
+                    label=label,
+                    proxies=cluster.proxies,
+                )
+            )
+        print(render_comparison(results[-1:]), flush=True)
+    disabled, enabled_run = results
+    overhead = 0.0
+    if disabled.requests_per_second > 0:
+        overhead = (
+            1
+            - enabled_run.requests_per_second
+            / disabled.requests_per_second
+        ) * 100
+    print(
+        f"tracing overhead: {overhead:.1f}% requests/sec "
+        f"({enabled_run.requests_per_second:,.0f} enabled vs "
+        f"{disabled.requests_per_second:,.0f} disabled)"
+    )
+    if args.json:
+        record = {}
+        if os.path.exists(args.json):
+            with open(args.json, "r", encoding="utf-8") as fh:
+                record = json_module.load(fh)
+        record["tracing_overhead"] = {
+            "method": (
+                "summary-cache obs overhead: identical Wisconsin "
+                "loadgen runs on fresh clusters, trace_enabled=False "
+                "then True; overhead is the relative req/s drop. "
+                f"proxies={args.proxies} clients={args.clients} "
+                f"requests={args.requests} seed={args.seed}."
+            ),
+            "enabled_requests_per_second": round(
+                enabled_run.requests_per_second, 1
+            ),
+            "disabled_requests_per_second": round(
+                disabled.requests_per_second, 1
+            ),
+            "overhead_percent": round(overhead, 2),
+            "cache_sources_identical": (
+                disabled.cache_sources == enabled_run.cache_sources
+            ),
+        }
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_module.dump(record, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"updated {args.json}")
     return 0
 
 
@@ -676,6 +977,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     elif args.command == "serve":
         try:
             return asyncio.run(_serve(args))
+        except KeyboardInterrupt:
+            return 0
+    elif args.command == "obs":
+        handler = {
+            "cluster": _obs_cluster,
+            "trace": _obs_trace,
+            "overhead": _obs_overhead,
+        }[args.obs_command]
+        try:
+            return asyncio.run(handler(args))
         except KeyboardInterrupt:
             return 0
     elif args.command == "loadgen":

@@ -5,15 +5,24 @@ The measurement layer the rest of the reproduction reports through:
 - :mod:`repro.obs.registry` -- counters, gauges, fixed-bucket
   histograms, ``timed``/``time_block`` phase timing, and the
   zero-cost-when-disabled default-registry switch;
-- :mod:`repro.obs.trace` -- a bounded ring buffer of per-request
-  message-lifecycle events (ICP query rounds, DIRUPDATE drains/applies);
+- :mod:`repro.obs.trace` -- a bounded ring buffer of per-process
+  message-lifecycle events (kept for harness-local logging);
+- :mod:`repro.obs.spans` -- request-scoped distributed tracing: spans,
+  the per-proxy span ring behind ``GET /trace``, and the
+  ``X-SC-Trace``/ICP-Options context propagation model;
+- :mod:`repro.obs.cluster` -- the cluster aggregator fusing every
+  proxy's ``/metrics`` + ``/trace`` into one snapshot and reassembling
+  cross-proxy traces (``summary-cache obs``);
 - :mod:`repro.obs.export` -- Prometheus text / JSON rendering (what the
   proxy's ``GET /metrics`` endpoint and ``summary-cache metrics``
   serve);
 - :mod:`repro.obs.logconfig` -- the shared structured-logging setup
   behind the CLI's ``--verbose`` flag.
 
-See ``docs/observability.md`` for the metric and trace-event schemas.
+(:mod:`repro.obs.cluster` is not imported here: it drives the proxy
+client, and the proxy package imports this one.)
+
+See ``docs/observability.md`` for the metric and span schemas.
 """
 
 from repro.obs.export import (
@@ -36,6 +45,15 @@ from repro.obs.registry import (
     get_registry,
     set_registry,
 )
+from repro.obs.spans import (
+    NULL_SPAN_RING,
+    TRACE_HEADER,
+    NullSpanRing,
+    Span,
+    SpanRing,
+    TraceContext,
+    format_id,
+)
 from repro.obs.trace import TraceEvent, TraceRing
 
 __all__ = [
@@ -45,10 +63,17 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "NULL_REGISTRY",
+    "NULL_SPAN_RING",
     "NullRegistry",
+    "NullSpanRing",
     "PROMETHEUS_CONTENT_TYPE",
+    "Span",
+    "SpanRing",
+    "TRACE_HEADER",
+    "TraceContext",
     "TraceEvent",
     "TraceRing",
+    "format_id",
     "configure_logging",
     "disable",
     "enable",

@@ -14,8 +14,11 @@ Two formats:
 from __future__ import annotations
 
 import json
-from typing import Dict, List
+import math
+import re
+from typing import Dict, List, Optional
 
+from repro.errors import ProtocolError
 from repro.obs.registry import Counter, Gauge, Histogram, MetricsRegistry
 
 #: Content type of the text exposition format.
@@ -28,8 +31,10 @@ def _escape_label_value(value: str) -> str:
     )
 
 
-def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
-    merged = {**labels, **extra}
+def _format_labels(
+    labels: Dict[str, str], extra: Optional[Dict[str, str]] = None
+) -> str:
+    merged = {**labels, **(extra or {})}
     if not merged:
         return ""
     inner = ",".join(
@@ -40,8 +45,14 @@ def _format_labels(labels: Dict[str, str], extra: Dict[str, str] = {}) -> str:
 
 
 def _format_value(value: float) -> str:
+    # The exposition format spells non-finite values '+Inf'/'-Inf'/'NaN';
+    # Python's repr() forms ('inf', '-inf', 'nan') are not valid samples.
+    if math.isnan(value):
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
     return repr(value)
@@ -94,21 +105,44 @@ def render_json(registry: MetricsRegistry, **extra: object) -> str:
     )
 
 
+#: One sample line: ``name{labels} value [timestamp]``.  The label body
+#: is matched greedily up to the *last* closing brace before the value,
+#: so label values containing spaces, escaped quotes, or ``}`` (all
+#: legal once escaped per the exposition format) cannot mis-split the
+#: line the way a naive ``rpartition(" ")`` does.
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$"
+)
+
+
 def parse_prometheus(text: str) -> Dict[str, Dict[str, float]]:
     """Parse exposition text back into ``{name: {labelstr: value}}``.
 
     A deliberately small inverse of :func:`render_prometheus`, used by
-    the tests (and handy for scraping a live proxy from scripts); it
-    understands exactly the subset this module emits.
+    the tests and the cluster aggregator's text-scrape path; it
+    understands the subset this module emits plus optional trailing
+    integer timestamps.  The label string is kept verbatim (escapes
+    included) so round-tripping a rendered registry is exact.  A sample
+    line that does not parse raises
+    :class:`~repro.errors.ProtocolError`.
     """
     out: Dict[str, Dict[str, float]] = {}
     for line in text.splitlines():
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        name_part, _, value_part = line.rpartition(" ")
-        name, _, labels = name_part.partition("{")
-        labels = labels.rstrip("}") if labels else ""
-        value = float(value_part)
-        out.setdefault(name, {})[labels] = value
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ProtocolError(f"malformed exposition sample {line!r}")
+        try:
+            value = float(match.group("value"))
+        except ValueError as exc:
+            raise ProtocolError(
+                f"malformed sample value in {line!r}"
+            ) from exc
+        labels = match.group("labels") or ""
+        out.setdefault(match.group("name"), {})[labels] = value
     return out

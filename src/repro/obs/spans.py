@@ -1,0 +1,343 @@
+"""Request-scoped distributed tracing: spans and context propagation.
+
+Where :mod:`repro.obs.trace` keeps a flat ring of per-process events,
+this module models a request as a **trace**: a tree of :class:`Span`
+records sharing one 32-bit trace id, with parent/child links, wall-time
+extents, and typed attributes.  The point is the *cross-proxy* view the
+paper's accounting needs (false hits, remote hits, and inter-proxy
+message overhead are all relations between events on different
+machines): a client request on proxy A, the SC-ICP query round it
+triggers, the ``ICP_OP_QUERY`` handled on peer B, and the peer fetch
+that follows all carry the same trace id, so the cluster aggregator
+(:mod:`repro.obs.cluster`) can reassemble the full causal chain from
+each proxy's span ring.
+
+Context travels two ways:
+
+- **HTTP hops** carry an ``X-SC-Trace: <trace:08x>-<span:08x>`` request
+  header (:data:`TRACE_HEADER`, :class:`TraceContext`) -- client to
+  proxy, proxy to peer, proxy to origin -- and proxies echo the header
+  on responses so callers learn the trace id they joined;
+- **SC-ICP datagrams** carry the trace id in the ICP header's Options
+  field and the parent span id in Option Data on ``ICP_OP_QUERY`` (see
+  ``docs/wire-protocol.md`` section 1), so a query round on a remote
+  peer joins the originating request's trace without touching payload
+  formats.
+
+Everything is dependency-free and single-threaded, like the registry.
+Ids are 32-bit and non-zero; id 0 means "no context" on every carrier.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro.errors import ConfigurationError
+
+#: The HTTP header carrying trace context across hops.
+TRACE_HEADER = "X-SC-Trace"
+
+_ID_MASK = 0xFFFFFFFF
+
+
+def format_id(value: int) -> str:
+    """A 32-bit id as the 8-hex-digit form used on the wire and in JSON."""
+    return f"{value & _ID_MASK:08x}"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagated slice of a trace: ``(trace_id, span_id)``.
+
+    ``span_id`` is the id of the *sending* span -- the parent of
+    whatever span the receiver starts.
+    """
+
+    trace_id: int
+    span_id: int
+
+    def header_value(self) -> str:
+        """Serialized ``X-SC-Trace`` value: ``tttttttt-ssssssss``."""
+        return f"{format_id(self.trace_id)}-{format_id(self.span_id)}"
+
+    @classmethod
+    def parse(cls, value: str) -> Optional["TraceContext"]:
+        """Parse a header value; ``None`` for absent/malformed context.
+
+        Malformed context is never an error: tracing is best-effort and
+        a proxy must serve requests from clients that do not speak it.
+        """
+        head, sep, tail = value.strip().partition("-")
+        if not sep or len(head) != 8 or len(tail) != 8:
+            return None
+        try:
+            trace_id = int(head, 16)
+            span_id = int(tail, 16)
+        except ValueError:
+            return None
+        if trace_id == 0:
+            return None
+        return cls(trace_id=trace_id, span_id=span_id)
+
+
+class _IdGenerator:
+    """Non-zero 32-bit ids: an ``os.urandom``-seeded counter.
+
+    Seeding from the OS (not the global ``random`` module, which tests
+    reseed) makes ids from concurrently running proxies collide with
+    probability ~``n**2 / 2**32`` instead of always, so fused cluster
+    snapshots keep traces from different processes apart.
+    """
+
+    __slots__ = ("_next",)
+
+    def __init__(self) -> None:
+        self._next = int.from_bytes(os.urandom(4), "big")
+
+    def next_id(self) -> int:
+        self._next = (self._next + 1) & _ID_MASK
+        if self._next == 0:  # 0 means "no context" everywhere
+            self._next = 1
+        return self._next
+
+
+class Span:
+    """One named, timed operation within a trace.
+
+    A span is *live* between :class:`SpanRing.start_span` and
+    :meth:`end`; ``duration`` is ``None`` while live.  ``attributes``
+    carry the decision record (e.g. which summary representation and
+    geometry produced a lookup verdict); ``events`` are timestamped
+    point-in-time marks within the span (the old trace-ring kinds).
+    """
+
+    __slots__ = (
+        "trace_id", "span_id", "parent_id", "name", "start",
+        "duration", "status", "attributes", "events",
+    )
+
+    def __init__(
+        self,
+        trace_id: int,
+        span_id: int,
+        parent_id: int,
+        name: str,
+        start: float,
+        attributes: Dict[str, object],
+    ) -> None:
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.name = name
+        self.start = start
+        self.duration: Optional[float] = None
+        self.status = "unset"
+        self.attributes = attributes
+        self.events: List[Dict[str, object]] = []
+
+    def context(self) -> TraceContext:
+        """The context to propagate to children of this span."""
+        return TraceContext(trace_id=self.trace_id, span_id=self.span_id)
+
+    def set(self, **attributes: object) -> "Span":
+        """Merge *attributes* into the span's attribute record."""
+        self.attributes.update(attributes)
+        return self
+
+    def add_event(self, kind: str, **fields: object) -> "Span":
+        """Append a timestamped point event within the span."""
+        self.events.append(
+            {"kind": kind, "timestamp": time.time(), **fields}
+        )
+        return self
+
+    def end(self, status: str = "ok") -> "Span":
+        """Close the span, fixing its duration and final status."""
+        if self.duration is None:
+            self.duration = time.time() - self.start
+            self.status = status
+        return self
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; ids in the 8-hex-digit wire format."""
+        return {
+            "trace_id": format_id(self.trace_id),
+            "span_id": format_id(self.span_id),
+            "parent_id": (
+                format_id(self.parent_id) if self.parent_id else None
+            ),
+            "name": self.name,
+            "start": self.start,
+            "duration": self.duration,
+            "status": self.status,
+            "attributes": dict(self.attributes),
+            "events": [dict(event) for event in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name} trace={format_id(self.trace_id)} "
+            f"span={format_id(self.span_id)} status={self.status})"
+        )
+
+
+class SpanRing:
+    """A bounded buffer of the most recent spans, oldest first.
+
+    Spans enter the ring when *started*, so live spans are visible to a
+    scrape; a full ring drops its oldest span and reports the drop via
+    the optional ``on_drop`` hook (the proxy wires this to its
+    ``trace_ring_dropped_total`` counter) as well as the :attr:`dropped`
+    tally.
+    """
+
+    #: Mirrors ``MetricsRegistry.enabled``: callers skip propagation
+    #: work entirely when the ring is the null one.
+    enabled = True
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        on_drop: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(
+                f"capacity must be >= 1, got {capacity}"
+            )
+        self._capacity = capacity
+        self._spans: Deque[Span] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._on_drop = on_drop
+        self._ids = _IdGenerator()
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained spans."""
+        return self._capacity
+
+    def new_trace_id(self) -> int:
+        """A fresh non-zero 32-bit trace id."""
+        return self._ids.next_id()
+
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[int] = None,
+        parent_id: int = 0,
+        **attributes: object,
+    ) -> Span:
+        """Open a span; a fresh trace id is allocated when none given."""
+        if len(self._spans) == self._capacity:
+            self.dropped += 1
+            if self._on_drop is not None:
+                self._on_drop()
+        span = Span(
+            trace_id=(
+                trace_id if trace_id else self.new_trace_id()
+            ),
+            span_id=self._ids.next_id(),
+            parent_id=parent_id,
+            name=name,
+            start=time.time(),
+            attributes=dict(attributes),
+        )
+        self._spans.append(span)
+        return span
+
+    def spans(
+        self,
+        trace_id: Optional[int] = None,
+        name: Optional[str] = None,
+    ) -> List[Span]:
+        """Retained spans, oldest first, optionally filtered."""
+        out = []
+        for span in self._spans:
+            if trace_id is not None and span.trace_id != trace_id:
+                continue
+            if name is not None and span.name != name:
+                continue
+            out.append(span)
+        return out
+
+    def trace(self, trace_id: int) -> List[Span]:
+        """Every retained span of one trace, oldest first."""
+        return self.spans(trace_id=trace_id)
+
+    def clear(self) -> None:
+        """Discard all spans and reset the drop tally."""
+        self._spans.clear()
+        self.dropped = 0
+
+    def as_dicts(self) -> List[Dict[str, Any]]:
+        """JSON-ready list of all retained spans."""
+        return [span.as_dict() for span in self._spans]
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __repr__(self) -> str:
+        return (
+            f"SpanRing(spans={len(self._spans)}/{self._capacity}, "
+            f"dropped={self.dropped})"
+        )
+
+
+class _NullSpan(Span):
+    """The shared do-nothing span the null ring hands out.
+
+    Its ids are all zero, which every propagation site already treats
+    as "no context": nothing goes on the wire, nothing is retained.
+    """
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__(0, 0, 0, "", 0.0, {})
+
+    def set(self, **attributes: object) -> "Span":
+        return self
+
+    def add_event(self, kind: str, **fields: object) -> "Span":
+        return self
+
+    def end(self, status: str = "ok") -> "Span":
+        return self
+
+
+#: The span every :class:`NullSpanRing` start returns.
+NULL_SPAN = _NullSpan()
+
+
+class NullSpanRing(SpanRing):
+    """The disabled ring: retains nothing, allocates nothing.
+
+    ``new_trace_id`` still returns 0 so disabled proxies put no trace
+    context on any wire; the data-plane cost of ``trace_enabled=False``
+    is one attribute test per site (benchmarked in
+    ``benchmarks/BENCH_obs.json``).
+    """
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def new_trace_id(self) -> int:
+        return 0
+
+    def start_span(
+        self,
+        name: str,
+        trace_id: Optional[int] = None,
+        parent_id: int = 0,
+        **attributes: object,
+    ) -> Span:
+        return NULL_SPAN
+
+
+#: The process-shared disabled ring.
+NULL_SPAN_RING = NullSpanRing()

@@ -32,6 +32,12 @@ paper compares: id 0 (:data:`REPR_BLOOM`) is the bit-flip payload above
 delay threshold is large, then it is more economical to send the entire
 bit array; this approach is adopted in the Cache Digest prototype in
 Squid"), chunked to fit a UDP MTU.
+
+On ``ICP_OP_QUERY`` the Options / Option Data pair instead carries
+**distributed-trace context** (trace id / parent span id, 0 = none), so
+a query handled on a remote peer can join the originating client
+request's trace; see :mod:`repro.obs.spans` and the header table in
+``docs/wire-protocol.md``.
 """
 
 from __future__ import annotations
@@ -107,6 +113,7 @@ def _encode(
     sender: int,
     payload: bytes,
     options: int = 0,
+    option_data: int = 0,
 ) -> bytes:
     length = ICP_HEADER_SIZE + len(payload)
     if length > 0xFFFF:
@@ -118,8 +125,8 @@ def _encode(
         ICP_VERSION,
         length,
         request_number & 0xFFFFFFFF,
-        options,
-        0,
+        options & 0xFFFFFFFF,
+        option_data & 0xFFFFFFFF,
         sender,
     )
     return header + payload
@@ -141,17 +148,35 @@ def _parse_url(payload: bytes, what: str) -> str:
 
 @dataclass(frozen=True)
 class IcpQuery:
-    """An ``ICP_OP_QUERY``: "is this URL a fresh hit in your cache?"."""
+    """An ``ICP_OP_QUERY``: "is this URL a fresh hit in your cache?".
+
+    A query may carry **trace context** in the otherwise-unused header
+    fields: ``trace_id`` travels in Options and ``parent_span`` in
+    Option Data, so the peer handling the query can join the
+    originating client request's distributed trace (see
+    ``repro.obs.spans``).  Both default to 0 -- "no context" -- which
+    keeps the encoding byte-identical to the pre-tracing format for
+    untraced senders.
+    """
 
     url: str
     request_number: int = 0
     requester: int = 0
     sender: int = 0
+    trace_id: int = 0
+    parent_span: int = 0
 
     def encode(self) -> bytes:
         """Serialize to a wire datagram."""
         payload = struct.pack("!I", self.requester) + _url_payload(self.url)
-        return _encode(Opcode.QUERY, self.request_number, self.sender, payload)
+        return _encode(
+            Opcode.QUERY,
+            self.request_number,
+            self.sender,
+            payload,
+            options=self.trace_id,
+            option_data=self.parent_span,
+        )
 
 
 @dataclass(frozen=True)
@@ -478,6 +503,8 @@ def decode_message(data: bytes) -> IcpMessage:
             request_number=request_number,
             requester=requester,
             sender=sender,
+            trace_id=_opts,
+            parent_span=_optdata,
         )
     if opcode == Opcode.HIT:
         return IcpHit(

@@ -10,17 +10,23 @@ cluster harness implements both assignments on top of this driver.
 from __future__ import annotations
 
 import asyncio
-import itertools
 import logging
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ProtocolError, ProxyError
+from repro.obs.spans import TRACE_HEADER, TraceContext, format_id
 from repro.proxy.http import HttpResponse, read_response, write_request
 from repro.traces.model import Request
 
 logger = logging.getLogger(__name__)
+
+
+def _fresh_id() -> int:
+    """A non-zero 32-bit id for client-originated trace context."""
+    return int.from_bytes(os.urandom(4), "big") or 1
 
 
 @dataclass
@@ -73,9 +79,13 @@ class ClientDriver:
         behaviour the load generator uses as its baseline.  Cache
         behaviour is identical either way; only connection churn
         differs.
+    send_trace:
+        When true (the default), every request carries a fresh
+        ``X-SC-Trace`` context, so the proxy's root span -- and
+        everything the request causes on other proxies -- shares a
+        trace id this driver knows (:attr:`last_trace`).  Turn off for
+        the tracing-overhead baseline.
     """
-
-    _trace_ids = itertools.count(1)
 
     def __init__(
         self,
@@ -83,12 +93,19 @@ class ClientDriver:
         port: int,
         timeout: Optional[float] = None,
         keep_alive: bool = True,
+        send_trace: bool = True,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
         self.keep_alive = keep_alive
+        self.send_trace = send_trace
         self.report = ReplayReport()
+        #: Trace id (8-hex-digit form) of the most recent completed
+        #: request: the proxy's echoed ``X-SC-Trace`` when present,
+        #: else the context this driver sent.  Empty until a request
+        #: carrying context completes.
+        self.last_trace = ""
         #: Connections opened over the driver's lifetime (1 for an
         #: undisturbed keep-alive session; one per request without).
         self.connections_opened = 0
@@ -102,14 +119,19 @@ class ClientDriver:
 
     async def fetch(self, url: str, size: int = 0) -> bytes:
         """Fetch one URL through the proxy; returns the body."""
-        trace_id = next(self._trace_ids)
+        ctx = (
+            TraceContext(trace_id=_fresh_id(), span_id=_fresh_id())
+            if self.send_trace
+            else None
+        )
+        trace = format_id(ctx.trace_id) if ctx is not None else "-"
         start = time.perf_counter()
         logger.debug(
-            "fetch start peer=%s url=%s trace_id=%d", self.peer, url, trace_id
+            "fetch start peer=%s url=%s trace=%s", self.peer, url, trace
         )
         try:
             response = await asyncio.wait_for(
-                self._request(url, size), timeout=self.timeout
+                self._request(url, size, ctx), timeout=self.timeout
             )
         except asyncio.TimeoutError:
             await self.close()  # the connection is mid-exchange; drop it
@@ -117,15 +139,15 @@ class ClientDriver:
             self.report.errors += 1
             self.report.total_latency += time.perf_counter() - start
             logger.warning(
-                "fetch timeout peer=%s url=%s trace_id=%d timeout=%.3fs",
+                "fetch timeout peer=%s url=%s trace=%s timeout=%.3fs",
                 self.peer,
                 url,
-                trace_id,
+                trace,
                 self.timeout,
             )
             raise ProxyError(
                 f"proxy {self.peer} timed out after {self.timeout}s "
-                f"for {url!r} (trace_id={trace_id})"
+                f"for {url!r} (trace={trace})"
             ) from None
         elapsed = time.perf_counter() - start
         self.report.requests += 1
@@ -133,15 +155,20 @@ class ClientDriver:
         if response.status != 200:
             self.report.errors += 1
             logger.warning(
-                "fetch error peer=%s url=%s trace_id=%d status=%d",
+                "fetch error peer=%s url=%s trace=%s status=%d",
                 self.peer,
                 url,
-                trace_id,
+                trace,
                 response.status,
             )
             raise ProtocolError(
                 f"proxy returned {response.status} for {url!r}"
             )
+        echoed = TraceContext.parse(response.header(TRACE_HEADER, ""))
+        if echoed is not None:
+            self.last_trace = format_id(echoed.trace_id)
+        elif ctx is not None:
+            self.last_trace = format_id(ctx.trace_id)
         self.report.bytes_received += len(response.body)
         source = response.header("x-cache", "UNKNOWN")
         self.report.cache_sources[source] = (
@@ -149,9 +176,13 @@ class ClientDriver:
         )
         return response.body
 
-    async def _request(self, url: str, size: int) -> HttpResponse:
+    async def _request(
+        self, url: str, size: int, ctx: Optional[TraceContext] = None
+    ) -> HttpResponse:
         """One request/response round trip (persistent or one-shot)."""
         headers = {"X-Size": str(size)} if size else {}
+        if ctx is not None:
+            headers[TRACE_HEADER] = ctx.header_value()
         if not self.keep_alive:
             reader, writer = await asyncio.open_connection(
                 self.host, self.port

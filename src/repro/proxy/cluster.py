@@ -9,7 +9,10 @@ This is the harness behind the prototype benchmarks and the
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional, Tuple
+
+if TYPE_CHECKING:  # circular at runtime: obs.cluster drives the client
+    from repro.obs.cluster import ClusterSnapshot
 
 from repro.errors import ConfigurationError
 from repro.proxy.client import ClientDriver, ReplayReport, replay_concurrently
@@ -120,6 +123,19 @@ class ProxyCluster:
         """A client driver bound to proxy *proxy_index*."""
         proxy = self.proxies[proxy_index]
         return ClientDriver(proxy.config.host, proxy.http_port)
+
+    def targets(self) -> List[Tuple[str, int]]:
+        """``(host, http_port)`` scrape targets for the aggregator."""
+        return [
+            (proxy.config.host, proxy.http_port) for proxy in self.proxies
+        ]
+
+    async def snapshot(self) -> "ClusterSnapshot":
+        """Scrape every proxy and fuse the result
+        (:func:`repro.obs.cluster.scrape_cluster`)."""
+        from repro.obs.cluster import scrape_cluster
+
+        return await scrape_cluster(self.targets())
 
     async def replay(
         self,

@@ -100,6 +100,14 @@ class ProxyConfig:
     pool_size: int = 8
     #: Seconds an idle pooled connection stays eligible for reuse.
     pool_idle_timeout: float = 10.0
+    #: Spans retained in the per-proxy trace ring served at ``/trace``
+    #: (oldest spans drop first; drops are counted by the
+    #: ``trace_ring_dropped_total`` metric).
+    trace_capacity: int = 2048
+    #: Whether request-scoped tracing is on.  When off the proxy uses
+    #: the shared null span ring: no spans are retained and no trace
+    #: context is put on any wire (HTTP header or ICP Options field).
+    trace_enabled: bool = True
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 1:
@@ -131,6 +139,8 @@ class ProxyConfig:
             raise ConfigurationError("pool_size must be >= 0")
         if self.pool_idle_timeout < 0:
             raise ConfigurationError("pool_idle_timeout must be >= 0")
+        if self.trace_capacity < 1:
+            raise ConfigurationError("trace_capacity must be >= 1")
         if self.update_encoding == "digest" and self.summary.kind != "bloom":
             raise ConfigurationError(
                 "update_encoding='digest' ships whole bit arrays "

@@ -34,7 +34,11 @@ Extension headers (unchanged from the HTTP/1.0 prototype):
   must answer from cache or return 504, never recurse into its own
   cooperation logic;
 - ``X-Cache`` on responses -- ``HIT``, ``REMOTE-HIT`` or ``MISS``, for
-  the drivers' accounting.
+  the drivers' accounting;
+- ``X-SC-Trace`` on requests and responses -- the distributed-tracing
+  context (``<trace:08x>-<span:08x>``, see :mod:`repro.obs.spans`)
+  propagated client -> proxy -> peer/origin; proxies echo it on
+  responses so callers learn the trace their request joined.
 """
 
 from __future__ import annotations

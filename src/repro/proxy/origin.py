@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Optional, Tuple
 
 from repro.errors import ProtocolError
+from repro.obs.spans import TRACE_HEADER
 from repro.proxy.http import (
     read_request,
     response_head,
@@ -127,10 +128,14 @@ class OriginServer:
                 self.stats.requests += 1
                 self.stats.bytes_served += len(body)
                 keep_alive = request.keep_alive
+                headers = {"X-Origin": "1"}
+                trace = request.header(TRACE_HEADER)
+                if trace:
+                    # Echo the proxy's trace context so the fetch span
+                    # can be matched to this served request.
+                    headers[TRACE_HEADER] = trace
                 writer.write(
-                    response_head(
-                        200, len(body), {"X-Origin": "1"}, keep_alive
-                    )
+                    response_head(200, len(body), headers, keep_alive)
                 )
                 await stream_body(writer, body)
                 await writer.drain()

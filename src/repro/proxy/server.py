@@ -43,13 +43,22 @@ from time import perf_counter
 from typing import Dict, List, Optional, Set, Tuple, Union, cast
 
 from repro.cache import WebCache
+from repro.core.bfmath import false_positive_probability_exact
 from repro.obs.export import (
     PROMETHEUS_CONTENT_TYPE,
     render_json,
     render_prometheus,
 )
 from repro.obs.registry import MetricsRegistry
-from repro.obs.trace import TraceRing
+from repro.obs.spans import (
+    NULL_SPAN,
+    NULL_SPAN_RING,
+    TRACE_HEADER,
+    Span,
+    SpanRing,
+    TraceContext,
+    format_id,
+)
 from repro.errors import ProtocolError, ProxyError, SummaryMismatchError
 from repro.protocol.update import DigestAssembler
 from repro.protocol.wire import (
@@ -64,7 +73,7 @@ from repro.protocol.wire import (
 from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
 from repro.summaries import LocalSummary, RemoteSummary, SummaryNode
 from repro.summaries import codec
-from repro.summaries.bloom import BloomRemote
+from repro.summaries.bloom import BloomRemote, BloomSummary
 from repro.proxy.http import (
     HttpRequest,
     HttpResponse,
@@ -273,17 +282,17 @@ class _IcpProtocol(asyncio.DatagramProtocol):
 class _PendingQuery:
     """Bookkeeping for one outstanding ICP query round."""
 
-    __slots__ = ("future", "outstanding", "trace_id")
+    __slots__ = ("future", "outstanding", "span")
 
     def __init__(
-        self, outstanding: Set[Tuple[str, int]], trace_id: int = 0
+        self, outstanding: Set[Tuple[str, int]], span: Span
     ) -> None:
         self.future: "asyncio.Future[Optional[Tuple[str, int]]]" = (
             asyncio.get_event_loop().create_future()
         )
         self.outstanding = outstanding
-        #: Correlates the round's trace events with the HTTP request.
-        self.trace_id = trace_id
+        #: The round's ``icp.round`` span; replies land as its events.
+        self.span = span
 
 
 class SummaryCacheProxy:
@@ -304,16 +313,29 @@ class SummaryCacheProxy:
         config: ProxyConfig,
         origin_address: Tuple[str, int],
         registry: Optional[MetricsRegistry] = None,
-        trace_ring: Optional[TraceRing] = None,
+        span_ring: Optional[SpanRing] = None,
     ) -> None:
         self.config = config
         self.origin_address = origin_address
         self.stats = ProxyStats()
         #: Per-proxy metrics registry backing ``GET /metrics``.
         self.registry = registry if registry is not None else MetricsRegistry()
-        #: Ring buffer of ICP/DIRUPDATE message-lifecycle events.
-        self.trace = trace_ring if trace_ring is not None else TraceRing()
         self._m = _ProxyMetrics(self.registry, config.summary.kind)
+        #: Span ring backing ``GET /trace`` and the cluster aggregator;
+        #: the shared null ring when tracing is disabled (no spans
+        #: retained, no trace context on any wire).
+        if span_ring is not None:
+            self.spans = span_ring
+        elif config.trace_enabled:
+            dropped = self.registry.counter(
+                "trace_ring_dropped_total",
+                "spans dropped from a full trace ring",
+            )
+            self.spans = SpanRing(
+                capacity=config.trace_capacity, on_drop=dropped.inc
+            )
+        else:
+            self.spans = NULL_SPAN_RING
         self._bodies: Dict[str, bytes] = {}
         #: The local summary plus its update bookkeeping.  The proxy
         #: never tracks a shipped copy (peers hold the remote copies),
@@ -381,9 +403,11 @@ class SummaryCacheProxy:
         g("proxy_pool_idle_connections", "idle pooled upstream connections").set_function(
             lambda: self._pool.total_idle
         )
-        g("proxy_trace_events_dropped", "trace-ring events dropped").set_function(
-            lambda: self.trace.dropped
-        )
+        g(
+            "proxy_summary_predicted_fp_rate",
+            "Fig. 4 predicted false-positive rate of the local summary "
+            "at its current occupancy",
+        ).set_function(self._predicted_fp_rate)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -456,6 +480,46 @@ class SummaryCacheProxy:
         state = self._peers.get(icp_addr)
         if state is not None:
             state.summary = None
+
+    # ------------------------------------------------------------------
+    # Summary attribution
+    # ------------------------------------------------------------------
+
+    def _predicted_fp_rate(self) -> float:
+        """Fig. 4's predicted false-positive rate for the local summary.
+
+        For a Bloom summary this is the exact ``(1-(1-1/m)^(kn))^k``
+        at the summary's live geometry and the cache's current document
+        count -- the number the measured false-hit ratio is compared
+        against in the cluster aggregator's attribution report.  Exact
+        and server-name directories have no false positives by
+        construction (server-name summaries trade them for *aliasing*,
+        which the measured ratio still captures), so they report 0.
+        """
+        local = self._node.local
+        if not isinstance(local, BloomSummary):
+            return 0.0
+        return false_positive_probability_exact(
+            local.num_bits, len(self._cache), local.config.num_hashes
+        )
+
+    def _summary_attributes(self) -> Dict[str, object]:
+        """The summary representation/geometry a lookup decision used.
+
+        Recorded on every completed ``summary.lookup`` span so a false
+        hit in a fused cluster trace is attributable to the exact
+        filter configuration that produced it.
+        """
+        attrs: Dict[str, object] = {
+            "representation": self.config.summary.kind,
+            "predicted_fp_rate": self._predicted_fp_rate(),
+        }
+        local = self._node.local
+        if isinstance(local, BloomSummary):
+            attrs["num_bits"] = local.num_bits
+            attrs["num_hashes"] = local.config.num_hashes
+            attrs["load_factor"] = self.config.summary.load_factor
+        return attrs
 
     # ------------------------------------------------------------------
     # Cache bookkeeping
@@ -535,10 +599,9 @@ class SummaryCacheProxy:
         delta = self._node.publish(now)
         if delta.is_empty() or not self._peers or self._icp is None:
             return
-        trace_id = self.trace.next_trace_id()
-        self.trace.record(
-            trace_id,
+        drain_span = self.spans.start_span(
             "dirupdate.drain",
+            proxy=self.config.name,
             records=delta.change_count,
             representation=self.config.summary.kind,
             encoding=self.config.update_encoding,
@@ -563,6 +626,7 @@ class SummaryCacheProxy:
                 self.stats.udp_sent += 1
                 self._m.dirupdates_sent.inc()
                 self._m.udp_sent.inc()
+        drain_span.set(messages=len(messages)).end()
         logger.debug(
             "proxy=%s dirupdate drained records=%d messages=%d",
             self.config.name,
@@ -597,7 +661,22 @@ class SummaryCacheProxy:
         self._m.icp_queries_received.inc()
         if self._icp is None or self._icp.transport is None:
             return
-        if query.url in self._cache:
+        hit = query.url in self._cache
+        if query.trace_id:
+            # The datagram carried trace context (Options/Option Data),
+            # so this peer's verdict joins the originating request's
+            # trace -- the cross-process link the cluster aggregator
+            # reassembles.
+            self.spans.start_span(
+                "icp.query",
+                trace_id=query.trace_id,
+                parent_id=query.parent_span,
+                proxy=self.config.name,
+                url=query.url,
+                hit=hit,
+            ).end()
+        reply: Union[IcpHit, IcpMiss]
+        if hit:
             reply = IcpHit(
                 url=query.url, request_number=query.request_number
             )
@@ -619,8 +698,7 @@ class SummaryCacheProxy:
         pending = self._pending.get(reply.request_number)
         if pending is None or pending.future.done():
             return
-        self.trace.record(
-            pending.trace_id,
+        pending.span.add_event(
             "icp.reply",
             peer=f"{addr[0]}:{addr[1]}",
             hit=isinstance(reply, IcpHit),
@@ -657,12 +735,12 @@ class SummaryCacheProxy:
         except SummaryMismatchError as exc:
             self.stats.dirupdate_rejects += 1
             self._m.dirupdate_rejects.inc()
-            self.trace.record(
-                self.trace.next_trace_id(),
+            self.spans.start_span(
                 "dirupdate.reject",
+                proxy=self.config.name,
                 peer=state.address.name,
                 reason=str(exc),
-            )
+            ).end(status="error")
             logger.debug(
                 "proxy=%s rejected dirupdate from peer=%s: %s",
                 self.config.name,
@@ -670,13 +748,13 @@ class SummaryCacheProxy:
                 exc,
             )
             return
-        self.trace.record(
-            self.trace.next_trace_id(),
+        self.spans.start_span(
             "dirupdate.apply",
+            proxy=self.config.name,
             peer=state.address.name,
             records=update.change_count,
             changed=changed,
-        )
+        ).end()
 
     def _handle_digest_chunk(
         self, chunk: DigestChunk, addr: Tuple[str, int]
@@ -690,12 +768,12 @@ class SummaryCacheProxy:
         completed = state.assembler.add(chunk)
         if completed is not None:
             state.summary = BloomRemote(completed)
-            self.trace.record(
-                self.trace.next_trace_id(),
+            self.spans.start_span(
                 "digest.apply",
+                proxy=self.config.name,
                 peer=state.address.name,
                 bits=completed.num_bits,
-            )
+            ).end()
 
     # ------------------------------------------------------------------
     # HTTP path
@@ -748,6 +826,8 @@ class SummaryCacheProxy:
                     await self._serve_stats(writer, keep_alive)
                 elif request.url.partition("?")[0] == "/metrics":
                     await self._serve_metrics(request, writer, keep_alive)
+                elif request.url.partition("?")[0] == "/trace":
+                    await self._serve_trace(request, writer, keep_alive)
                 elif request.header("x-only-if-cached"):
                     await self._serve_peer(request, writer, keep_alive)
                 else:
@@ -814,8 +894,8 @@ class SummaryCacheProxy:
                 self.registry,
                 name=self.config.name,
                 mode=self.config.mode.value,
-                trace_events=self.trace.as_dicts()[-64:],
-                trace_events_dropped=self.trace.dropped,
+                spans=self.spans.as_dicts()[-64:],
+                trace_ring_dropped=self.spans.dropped,
             ).encode("utf-8")
             content_type = "application/json"
         else:
@@ -830,6 +910,41 @@ class SummaryCacheProxy:
         )
         await writer.drain()
 
+    async def _serve_trace(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool = False,
+    ) -> None:
+        """Serve the span ring as JSON (the cluster aggregator's feed).
+
+        ``GET /trace`` returns every retained span, oldest first;
+        ``GET /trace?trace=<8-hex-id>`` filters to one trace.
+        """
+        query = request.url.partition("?")[2]
+        spans = self.spans.as_dicts()
+        for part in query.split("&"):
+            key, sep, value = part.partition("=")
+            if key == "trace" and sep:
+                wanted = value.lower()
+                spans = [s for s in spans if s["trace_id"] == wanted]
+        payload = {
+            "name": self.config.name,
+            "enabled": self.spans.enabled,
+            "capacity": self.spans.capacity,
+            "dropped": self.spans.dropped,
+            "spans": spans,
+        }
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        write_response(
+            writer,
+            200,
+            body,
+            headers={"Content-Type": "application/json"},
+            keep_alive=keep_alive,
+        )
+        await writer.drain()
+
     async def _serve_peer(
         self,
         request: HttpRequest,
@@ -838,6 +953,18 @@ class SummaryCacheProxy:
     ) -> None:
         """Serve a proxy-to-proxy fetch: cache or 504, never recurse."""
         body = self._lookup_local(request.url)
+        ctx = TraceContext.parse(request.header(TRACE_HEADER))
+        if ctx is not None:
+            # The fetching proxy put its peer.fetch context on the
+            # request, so this side's verdict joins the same trace.
+            self.spans.start_span(
+                "peer.serve",
+                trace_id=ctx.trace_id,
+                parent_id=ctx.span_id,
+                proxy=self.config.name,
+                url=request.url,
+                hit=body is not None,
+            ).end()
         if body is None:
             write_response(
                 writer, 504, headers={"X-Cache": "MISS"},
@@ -861,14 +988,25 @@ class SummaryCacheProxy:
         self._m.http_requests.inc()
         url = request.url
         size_hint = request.header("x-size")
-        trace_id = self.trace.next_trace_id()
-        self.trace.record(trace_id, "http.request", url=url)
+        # The root span of this request's trace: continue the client's
+        # context when the request carried an X-SC-Trace header, start a
+        # fresh trace otherwise.  (With tracing disabled this is the
+        # null span, whose zero trace id suppresses every propagation
+        # site below.)
+        ctx = TraceContext.parse(request.header(TRACE_HEADER))
+        root = self.spans.start_span(
+            "http.request",
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_id=ctx.span_id if ctx is not None else 0,
+            proxy=self.config.name,
+            url=url,
+        )
         start = perf_counter()
 
         body = self._lookup_local(url)
         source = "HIT"
         if body is None:
-            body, source = await self._miss_path(url, size_hint, trace_id)
+            body, source = await self._miss_path(url, size_hint, root)
         else:
             self.stats.local_hits += 1
             self._m.local_hits.inc()
@@ -876,12 +1014,14 @@ class SummaryCacheProxy:
         self.stats.bytes_served += len(body)
         self._m.bytes_served.inc(len(body))
         self._m.phase_seconds["total"].observe(perf_counter() - start)
-        self.trace.record(
-            trace_id, "http.served", source=source, bytes=len(body)
-        )
-        await self._stream_response(
-            writer, body, {"X-Cache": source}, keep_alive
-        )
+        root.add_event("http.served", source=source, bytes=len(body))
+        root.set(source=source, bytes=len(body)).end()
+        headers = {"X-Cache": source}
+        if root.trace_id:
+            # Echo the trace context so the client learns which trace
+            # its request joined (the load driver records it).
+            headers[TRACE_HEADER] = root.context().header_value()
+        await self._stream_response(writer, body, headers, keep_alive)
         await writer.drain()
 
     async def _stream_response(
@@ -919,44 +1059,59 @@ class SummaryCacheProxy:
         return body
 
     async def _miss_path(
-        self, url: str, size_hint: str, trace_id: int = 0
+        self, url: str, size_hint: str, parent: Span = NULL_SPAN
     ) -> Tuple[bytes, str]:
-        """Resolve a local miss via peers (per mode) then the origin."""
+        """Resolve a local miss via peers (per mode) then the origin.
+
+        The ``summary.lookup`` span records the attribution trail: which
+        summary representation and geometry produced the peer-candidate
+        decision, and how the round resolved (``remote_hit``,
+        ``false_hit``, ``fetch_failed``, or ``no_candidates``).
+        """
         candidates = self._candidate_peers(url)
+        attrs = self._summary_attributes() if self.spans.enabled else {}
+        lookup = self.spans.start_span(
+            "summary.lookup",
+            trace_id=parent.trace_id or None,
+            parent_id=parent.span_id,
+            proxy=self.config.name,
+            url=url,
+            candidates=len(candidates),
+            **attrs,
+        )
+        outcome = "no_candidates"
         if candidates:
-            holder = await self._query_peers(url, candidates, trace_id)
+            holder = await self._query_peers(url, candidates, lookup)
             if holder is not None:
                 fetch_start = perf_counter()
-                body = await self._fetch_from_peer(holder, url, size_hint)
+                body = await self._fetch_from_peer(
+                    holder, url, size_hint, lookup
+                )
                 self._m.phase_seconds["peer_fetch"].observe(
                     perf_counter() - fetch_start
                 )
                 if body is not None:
                     self.stats.remote_hits += 1
                     self._m.remote_hits.inc()
-                    self.trace.record(
-                        trace_id,
-                        "icp.remote_hit",
-                        peer=holder.address.name,
-                    )
+                    lookup.set(
+                        outcome="remote_hit", peer=holder.address.name
+                    ).end()
                     self._store(url, body)
                     return body, "REMOTE-HIT"
                 self.stats.remote_fetch_failures += 1
                 self._m.remote_fetch_failures.inc()
-                self.trace.record(
-                    trace_id, "icp.fetch_failed", peer=holder.address.name
-                )
+                outcome = "fetch_failed"
+                lookup.set(peer=holder.address.name)
             else:
                 # False-hit resolution: the summaries (or the query
                 # round) promised a copy nobody actually held.
                 self.stats.false_query_rounds += 1
                 self._m.false_hits.inc()
-                self.trace.record(
-                    trace_id, "icp.false_hit", peers=len(candidates)
-                )
+                outcome = "false_hit"
+        lookup.set(outcome=outcome).end()
 
         fetch_start = perf_counter()
-        body = await self._fetch_from_origin(url, size_hint)
+        body = await self._fetch_from_origin(url, size_hint, parent)
         self._m.phase_seconds["origin_fetch"].observe(
             perf_counter() - fetch_start
         )
@@ -977,22 +1132,42 @@ class SummaryCacheProxy:
         ]
 
     async def _query_peers(
-        self, url: str, candidates: List[_PeerState], trace_id: int = 0
+        self,
+        url: str,
+        candidates: List[_PeerState],
+        parent: Span = NULL_SPAN,
     ) -> Optional[_PeerState]:
-        """Send ICP queries; return the first peer replying HIT."""
+        """Send ICP queries; return the first peer replying HIT.
+
+        The round's ``icp.round`` span is what the queried peers join:
+        its ids travel in the query datagram's Options/Option Data
+        fields, and each reply lands as an ``icp.reply`` event on it.
+        """
         if self._icp is None or self._icp.transport is None:
             return None
         self._request_counter += 1
         reqnum = self._request_counter & 0xFFFFFFFF
         outstanding = {s.address.icp_addr for s in candidates}
-        pending = _PendingQuery(outstanding, trace_id)
+        round_span = self.spans.start_span(
+            "icp.round",
+            trace_id=parent.trace_id or None,
+            parent_id=parent.span_id,
+            proxy=self.config.name,
+            url=url,
+            peers=len(candidates),
+            reqnum=reqnum,
+        )
+        pending = _PendingQuery(outstanding, round_span)
         self._pending[reqnum] = pending
         transport = self._icp.transport
-        query = IcpQuery(url=url, request_number=reqnum)
-        encoded = query.encode()
-        self.trace.record(
-            trace_id, "icp.query.sent", peers=len(candidates), reqnum=reqnum
+        query = IcpQuery(
+            url=url,
+            request_number=reqnum,
+            trace_id=round_span.trace_id,
+            parent_span=round_span.span_id,
         )
+        encoded = query.encode()
+        round_span.add_event("icp.query.sent", peers=len(candidates))
         for state in candidates:
             transport.sendto(encoded, state.address.icp_addr)
             self.stats.icp_queries_sent += 1
@@ -1007,15 +1182,15 @@ class SummaryCacheProxy:
         except asyncio.TimeoutError:
             winner_addr = None
             self._m.icp_timeouts.inc()
-            self.trace.record(
-                trace_id, "icp.timeout", waited=self.config.icp_timeout
+            round_span.add_event(
+                "icp.timeout", waited=self.config.icp_timeout
             )
             logger.warning(
-                "proxy=%s icp query timeout url=%s peers=%d trace_id=%d",
+                "proxy=%s icp query timeout url=%s peers=%d trace=%s",
                 self.config.name,
                 url,
                 len(candidates),
-                trace_id,
+                format_id(round_span.trace_id),
             )
         finally:
             self._pending.pop(reqnum, None)
@@ -1023,41 +1198,84 @@ class SummaryCacheProxy:
                 perf_counter() - round_start
             )
         if winner_addr is None:
+            round_span.set(hit=False).end()
             return None
+        round_span.set(hit=True).end()
         return self._peers.get(winner_addr)
 
     async def _fetch_from_peer(
-        self, peer: _PeerState, url: str, size_hint: str
+        self,
+        peer: _PeerState,
+        url: str,
+        size_hint: str,
+        parent: Span = NULL_SPAN,
     ) -> Optional[bytes]:
         """HTTP-fetch a remote hit; ``None`` if the peer no longer has it."""
         headers = {"X-Only-If-Cached": "1"}
         if size_hint:
             headers["X-Size"] = size_hint
+        span = self.spans.start_span(
+            "peer.fetch",
+            trace_id=parent.trace_id or None,
+            parent_id=parent.span_id,
+            proxy=self.config.name,
+            peer=peer.address.name,
+            url=url,
+        )
+        if span.trace_id:
+            headers[TRACE_HEADER] = span.context().header_value()
         try:
             response = await self._fetch(
-                peer.address.host, peer.address.http_port, url, headers
+                peer.address.host, peer.address.http_port, url, headers,
+                span,
             )
         except (ConnectionError, ProtocolError, OSError):
+            span.end(status="error")
             return None
         if response.status != 200:
+            span.set(status_code=response.status).end(status="error")
             return None
+        span.set(bytes=len(response.body)).end()
         return response.body
 
-    async def _fetch_from_origin(self, url: str, size_hint: str) -> bytes:
+    async def _fetch_from_origin(
+        self, url: str, size_hint: str, parent: Span = NULL_SPAN
+    ) -> bytes:
         headers = {"X-Size": size_hint} if size_hint else {}
         self.stats.origin_fetches += 1
         self._m.origin_fetches.inc()
-        response = await self._fetch(
-            self.origin_address[0], self.origin_address[1], url, headers
+        span = self.spans.start_span(
+            "origin.fetch",
+            trace_id=parent.trace_id or None,
+            parent_id=parent.span_id,
+            proxy=self.config.name,
+            url=url,
         )
+        if span.trace_id:
+            headers[TRACE_HEADER] = span.context().header_value()
+        try:
+            response = await self._fetch(
+                self.origin_address[0], self.origin_address[1], url,
+                headers, span,
+            )
+        except (ConnectionError, ProtocolError, OSError):
+            span.end(status="error")
+            raise
         if response.status != 200:
+            span.set(status_code=response.status).end(status="error")
             raise ProxyError(
                 f"origin returned {response.status} for {url!r}"
             )
+        span.set(bytes=len(response.body)).end()
         return response.body
 
     async def _fetch(
-        self, host: str, port: int, url: str, headers: Dict[str, str]
+        self,
+        host: str,
+        port: int,
+        url: str,
+        headers: Dict[str, str],
+        span: Span = NULL_SPAN,
     ) -> HttpResponse:
         """One upstream GET over a pooled keep-alive connection.
 
@@ -1081,6 +1299,11 @@ class SummaryCacheProxy:
                     pass
         while True:
             conn = await self._pool.acquire(host, port)
+            span.add_event(
+                "pool.acquire",
+                upstream=f"{host}:{port}",
+                reused=conn.was_reused,
+            )
             try:
                 response = await self._exchange(conn, url, headers)
             except (ConnectionError, ProtocolError, OSError):

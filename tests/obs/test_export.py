@@ -1,0 +1,114 @@
+"""Exposition-format edge cases: escaping, non-finite values, parsing.
+
+The render half lives behind the proxy's ``GET /metrics``; the parse
+half is what the cluster aggregator trusts when it scrapes peers.  The
+property test pins the contract between them: anything the renderer can
+emit, the parser reads back exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ProtocolError
+from repro.obs.export import (
+    _format_labels,
+    _format_value,
+    parse_prometheus,
+    render_prometheus,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+class TestFormatValue:
+    @pytest.mark.parametrize(
+        ("value", "expected"),
+        [
+            (float("inf"), "+Inf"),
+            (float("-inf"), "-Inf"),
+            (float("nan"), "NaN"),
+            (3.0, "3"),
+            (0.25, "0.25"),
+        ],
+    )
+    def test_exposition_spellings(self, value, expected):
+        assert _format_value(value) == expected
+
+
+class TestFormatLabels:
+    def test_extra_does_not_leak_between_calls(self):
+        # Regression: `extra` used to be a mutable default argument, so
+        # one histogram's `le` could bleed into the next metric's labels.
+        assert _format_labels({}, {"le": "1"}) == '{le="1"}'
+        assert _format_labels({}) == ""
+        assert _format_labels({"a": "1"}) == '{a="1"}'
+
+    def test_merges_and_sorts(self):
+        assert (
+            _format_labels({"b": "2"}, {"a": "1"}) == '{a="1",b="2"}'
+        )
+
+
+class TestParsePrometheus:
+    def test_label_value_with_spaces(self):
+        parsed = parse_prometheus('m{url="a b c"} 1\n')
+        assert parsed["m"]['url="a b c"'] == 1
+
+    def test_label_value_with_escaped_quote_and_brace(self):
+        parsed = parse_prometheus('m{url="a\\"b} c"} 2\n')
+        assert parsed["m"]['url="a\\"b} c"'] == 2
+
+    def test_trailing_timestamp_is_tolerated(self):
+        parsed = parse_prometheus("m 4 1700000000\n")
+        assert parsed["m"][""] == 4
+
+    def test_non_finite_values(self):
+        parsed = parse_prometheus("a +Inf\nb -Inf\nc NaN\n")
+        assert parsed["a"][""] == float("inf")
+        assert parsed["b"][""] == float("-inf")
+        assert math.isnan(parsed["c"][""])
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "just_a_name",  # no value
+            'm{url="x"}1',  # no space before value
+            "m not_a_number",
+            "{nameless} 1",
+        ],
+    )
+    def test_malformed_sample_raises(self, line):
+        with pytest.raises(ProtocolError):
+            parse_prometheus(line + "\n")
+
+
+_LABEL_VALUES = st.text(
+    alphabet=st.sampled_from(
+        list("abz09 \t\"\\{}=,\n") + ["é"]
+    ),
+    max_size=12,
+)
+_VALUES = st.one_of(
+    st.floats(allow_nan=True, allow_infinity=True),
+    st.integers(min_value=-(2**53), max_value=2**53).map(float),
+)
+
+
+class TestRoundTripProperty:
+    @given(url=_LABEL_VALUES, peer=_LABEL_VALUES, value=_VALUES)
+    def test_render_parse_is_exact(self, url, peer, value):
+        registry = MetricsRegistry()
+        registry.gauge(
+            "g", "gauge", labels={"url": url, "peer": peer}
+        ).set(value)
+        parsed = parse_prometheus(render_prometheus(registry))
+        labels = _format_labels({"url": url, "peer": peer})[1:-1]
+        got = parsed["g"][labels]
+        if math.isnan(value):
+            assert math.isnan(got)
+        else:
+            assert got == value

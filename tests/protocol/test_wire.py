@@ -218,3 +218,41 @@ class TestWireSize:
         )
         assert update.wire_size() == len(update.encode())
         assert update.wire_size() == 20 + 12 + 8
+
+
+class TestQueryTraceContext:
+    """Trace context rides the QUERY header's Options / Option Data."""
+
+    def test_round_trips_through_encode_decode(self):
+        query = IcpQuery(
+            url="http://example.com/doc",
+            request_number=5,
+            trace_id=0xDEADBEEF,
+            parent_span=0x00C0FFEE,
+        )
+        decoded = decode_message(query.encode())
+        assert decoded == query
+        assert decoded.trace_id == 0xDEADBEEF
+        assert decoded.parent_span == 0x00C0FFEE
+
+    def test_travels_in_options_words(self):
+        data = IcpQuery(
+            url="u",
+            request_number=1,
+            trace_id=0xDEADBEEF,
+            parent_span=0x00C0FFEE,
+        ).encode()
+        fields = struct.unpack_from("!BBHIIII", data)
+        assert fields[4] == 0xDEADBEEF  # Options
+        assert fields[5] == 0x00C0FFEE  # Option Data
+
+    def test_zero_context_is_byte_identical_to_legacy(self):
+        legacy = IcpQuery(url="http://e/x", request_number=3).encode()
+        explicit = IcpQuery(
+            url="http://e/x", request_number=3, trace_id=0, parent_span=0
+        ).encode()
+        assert legacy == explicit
+        fields = struct.unpack_from("!BBHIIII", legacy)
+        assert fields[4] == 0
+        assert fields[5] == 0
+        assert decode_message(legacy).trace_id == 0

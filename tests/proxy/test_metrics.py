@@ -113,26 +113,27 @@ class TestMetricsEndpoint:
         assert saw_queries > 0
         assert saw_updates > 0
 
-    def test_json_variant_carries_identity_and_trace(self):
+    def test_json_variant_carries_identity_and_spans(self):
         scrapes = run(_replay_and_scrape())
         for proxy, _parsed, doc in scrapes:
             assert doc["name"] == proxy.config.name
             assert doc["mode"] == "sc-icp"
             names = {record["name"] for record in doc["metrics"]}
             assert "proxy_http_requests_total" in names
-            assert isinstance(doc["trace_events"], list)
-            assert doc["trace_events"], "replay should leave trace events"
-            kinds = {event["kind"] for event in doc["trace_events"]}
-            assert kinds & {
+            assert isinstance(doc["spans"], list)
+            assert doc["spans"], "replay should leave spans in the ring"
+            assert doc["trace_ring_dropped"] == proxy.spans.dropped
+            span_names = {span["name"] for span in doc["spans"]}
+            assert span_names & {
                 "http.request",
-                "http.served",
-                "icp.query.sent",
-                "icp.reply",
+                "summary.lookup",
+                "icp.round",
+                "icp.query",
                 "dirupdate.drain",
                 "dirupdate.apply",
             }
 
-    def test_trace_ring_correlates_one_lifecycle(self):
+    def test_span_ring_correlates_one_lifecycle(self):
         async def scenario():
             async with ProxyCluster(
                 num_proxies=2,
@@ -142,11 +143,32 @@ class TestMetricsEndpoint:
             ) as cluster:
                 await cluster.replay(mini_trace(n=120))
                 proxy = cluster.proxies[0]
-                served = proxy.trace.events(kind="http.served")
-                assert served
-                lifecycle = proxy.trace.trace(served[-1].trace_id)
-                kinds = [e.kind for e in lifecycle]
-                assert kinds[0] == "http.request"
-                assert kinds[-1] == "http.served"
+                roots = proxy.spans.spans(name="http.request")
+                assert roots
+                # Pick a root whose request went down the miss path so
+                # the trace has more than one span.
+                root = next(
+                    r for r in roots if r.attributes["source"] != "HIT"
+                )
+                lifecycle = proxy.spans.trace(root.trace_id)
+                names = [s.name for s in lifecycle]
+                assert names[0] == "http.request"
+                assert "summary.lookup" in names
+                # Every span of the trace closed with a duration, and
+                # the children all point back at retained parents.
+                by_id = {s.span_id: s for s in lifecycle}
+                for span in lifecycle:
+                    assert span.duration is not None
+                    # Non-root spans point back at retained parents;
+                    # the root's parent is the client driver's context,
+                    # which lives outside the proxy's ring.
+                    if span.parent_id and span.name != "http.request":
+                        assert span.parent_id in by_id
+                kinds = {
+                    event["kind"]
+                    for span in lifecycle
+                    for event in span.events
+                }
+                assert "http.served" in kinds
 
         run(scenario())

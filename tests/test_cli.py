@@ -182,3 +182,87 @@ class TestScaledTableCommands:
         assert main(["table3", "--scale", "0.1"]) == 0
         out = capsys.readouterr().out
         assert "bloom-16" in out
+
+
+class TestObsCommands:
+    def test_obs_cluster_booted(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "snapshot.json"
+        assert (
+            main(
+                [
+                    "obs",
+                    "cluster",
+                    "--boot",
+                    "2",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "10",
+                    "--json",
+                    str(out_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "proxy0" in out
+        assert "traces:" in out
+        doc = json.loads(out_path.read_text())
+        assert set(doc["proxies"]) == {"proxy0", "proxy1"}
+        assert doc["totals"]["proxy_http_requests_total"] > 0
+        assert doc["false_hit_attribution"][0]["representation"] == "bloom"
+
+    def test_obs_trace_requires_targets(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["obs", "trace", "deadbeef"])
+
+    def test_obs_bad_target_spec(self):
+        from repro.cli import _parse_targets
+        from repro.errors import ConfigurationError
+
+        assert _parse_targets(["127.0.0.1:8081", ":9000"]) == [
+            ("127.0.0.1", 8081),
+            ("127.0.0.1", 9000),
+        ]
+        with pytest.raises(ConfigurationError):
+            _parse_targets(["no-port-here"])
+
+    def test_obs_overhead_merges_bench_json(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"existing_key": 1}))
+        assert (
+            main(
+                [
+                    "obs",
+                    "overhead",
+                    "--proxies",
+                    "2",
+                    "--clients",
+                    "2",
+                    "--requests",
+                    "10",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "tracing overhead:" in out
+        doc = json.loads(path.read_text())
+        assert doc["existing_key"] == 1
+        section = doc["tracing_overhead"]
+        assert section["enabled_requests_per_second"] > 0
+        assert section["disabled_requests_per_second"] > 0
+        assert section["cache_sources_identical"] is True
+
+    def test_serve_trace_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--trace-capacity", "64", "--no-trace"]
+        )
+        assert args.trace_capacity == 64
+        assert args.no_trace is True
