@@ -41,6 +41,7 @@ from repro.benchmarkkit.wisconsin import (
 from repro.errors import ConfigurationError, ProxyError, ReproError
 from repro.obs.registry import Histogram
 from repro.proxy.client import ClientDriver
+from repro.proxy.origin import OriginServer
 from repro.proxy.server import SummaryCacheProxy
 from repro.traces.model import Request
 
@@ -64,6 +65,12 @@ class LoadGenConfig:
     seed: int = 1
     #: Per-request wall-clock budget; ``None`` disables.
     timeout: Optional[float] = 30.0
+    #: Fraction of requests drawn from the cross-client shared pool
+    #: (see :class:`~repro.benchmarkkit.wisconsin.WisconsinConfig`);
+    #: 0.0 keeps the classic non-overlapping streams.
+    shared_fraction: float = 0.0
+    #: Distinct documents in the shared pool.
+    shared_docs: int = 64
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -80,6 +87,8 @@ class LoadGenConfig:
             mean_size=self.mean_size,
             max_size=self.max_size,
             seed=self.seed,
+            shared_fraction=self.shared_fraction,
+            shared_docs=self.shared_docs,
         )
 
 
@@ -104,6 +113,15 @@ class LoadGenResult:
     #: the server-side cross-check of the client-side numbers.
     proxy_phase_p50_ms: Optional[float] = None
     proxy_phase_p99_ms: Optional[float] = None
+    #: Origin-side accounting over this run (deltas, so phases sharing
+    #: one origin do not bleed into each other); ``None`` when the
+    #: caller did not pass the origin server.
+    origin_requests: Optional[int] = None
+    bytes_from_origin: Optional[int] = None
+    #: Proxy-to-proxy fetches served during this run (discovery-based
+    #: remote hits plus placement-routed forwards); ``None`` without
+    #: in-process proxies.
+    peer_fetches: Optional[int] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """JSON-ready representation (the `BENCH_proxy.json` shape)."""
@@ -125,6 +143,12 @@ class LoadGenResult:
             out["proxy_phase_p50_ms"] = round(self.proxy_phase_p50_ms, 3)
         if self.proxy_phase_p99_ms is not None:
             out["proxy_phase_p99_ms"] = round(self.proxy_phase_p99_ms, 3)
+        if self.origin_requests is not None:
+            out["origin_requests"] = self.origin_requests
+        if self.bytes_from_origin is not None:
+            out["bytes_from_origin"] = self.bytes_from_origin
+        if self.peer_fetches is not None:
+            out["peer_fetches"] = self.peer_fetches
         return out
 
 
@@ -225,6 +249,8 @@ async def run_loadgen(
     config: LoadGenConfig,
     label: str = "",
     proxies: Sequence[SummaryCacheProxy] = (),
+    origin: Optional[OriginServer] = None,
+    drivers: Optional[List[ClientDriver]] = None,
 ) -> LoadGenResult:
     """Replay the Wisconsin workload over concurrent clients.
 
@@ -240,21 +266,52 @@ async def run_loadgen(
     proxies:
         When the caller runs the cluster in-process, passing the proxy
         objects lets the result carry the server-side histogram
-        quantiles next to the client-side ones.
+        quantiles and peer-fetch counts next to the client-side ones.
+    origin:
+        The cluster's origin server; when given, the result reports the
+        requests and body bytes the origin served *during this run*
+        (deltas against its counters at entry).
+    drivers:
+        Reuse these drivers (one per concurrent client, e.g. from an
+        earlier phase) instead of constructing fresh ones; each is
+        rebound to its target, which resets its per-phase report.
+        Must match ``config.clients``.
     """
     if not targets:
         raise ConfigurationError("loadgen needs at least one target proxy")
     streams = generate_client_streams(config.workload())
-    drivers: List[ClientDriver] = []
+    if drivers is None:
+        drivers = [
+            ClientDriver(
+                *targets[client_id % len(targets)],
+                timeout=config.timeout,
+                keep_alive=config.keep_alive,
+            )
+            for client_id in range(len(streams))
+        ]
+    else:
+        if len(drivers) != len(streams):
+            raise ConfigurationError(
+                f"got {len(drivers)} drivers for {len(streams)} clients"
+            )
+        for client_id, driver in enumerate(drivers):
+            host, port = targets[client_id % len(targets)]
+            await driver.rebind(
+                host,
+                port,
+                timeout=config.timeout,
+                keep_alive=config.keep_alive,
+            )
+    origin_requests_before = origin.stats.requests if origin else 0
+    origin_bytes_before = origin.stats.bytes_served if origin else 0
+    peer_fetches_before = sum(
+        p.stats.peer_served_requests for p in proxies
+    )
     latencies: List[float] = []
-    tasks = []
-    for client_id, stream in enumerate(streams):
-        host, port = targets[client_id % len(targets)]
-        driver = ClientDriver(
-            host, port, timeout=config.timeout, keep_alive=config.keep_alive
-        )
-        drivers.append(driver)
-        tasks.append(_run_client(driver, stream, latencies))
+    tasks = [
+        _run_client(driver, stream, latencies)
+        for driver, stream in zip(drivers, streams)
+    ]
     start = perf_counter()
     await asyncio.gather(*tasks)
     elapsed = perf_counter() - start
@@ -285,6 +342,22 @@ async def run_loadgen(
         cache_sources=sources,
         proxy_phase_p50_ms=None if phase_p50 is None else phase_p50 * 1e3,
         proxy_phase_p99_ms=None if phase_p99 is None else phase_p99 * 1e3,
+        origin_requests=(
+            origin.stats.requests - origin_requests_before
+            if origin
+            else None
+        ),
+        bytes_from_origin=(
+            origin.stats.bytes_served - origin_bytes_before
+            if origin
+            else None
+        ),
+        peer_fetches=(
+            sum(p.stats.peer_served_requests for p in proxies)
+            - peer_fetches_before
+            if proxies
+            else None
+        ),
     )
 
 

@@ -27,6 +27,12 @@ keep-alive clients replaying the Wisconsin workload::
     summary-cache loadgen --proxies 2 --clients 16 --requests 200 \\
         --json benchmarks/BENCH_proxy.json
 
+and cooperation policies (summary / carp owner-routing / single-copy)
+swept against each other at fixed total cache size::
+
+    summary-cache placement-bench --proxies 2 4 8 \\
+        --json benchmarks/BENCH_placement.json
+
 and a cluster's observability (live or freshly booted) can be fused
 into one snapshot, traces reassembled across proxies, and the tracing
 overhead A/B-measured::
@@ -49,6 +55,7 @@ from repro.lint.cli import add_lint_arguments
 from repro.lint.cli import run as run_lint_command
 from repro.obs.export import render_json, render_prometheus
 from repro.obs.logconfig import configure_logging
+from repro.placement import CooperationPolicy
 from repro.summaries import parse_update_policy
 from repro.traces.readers import write_jsonl
 from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
@@ -100,6 +107,32 @@ def _add_summary_args(parser: argparse.ArgumentParser) -> None:
         help=(
             "update policy spec: threshold:0.01, interval:300, or "
             "packet-fill[:records] (default: threshold)"
+        ),
+    )
+
+
+def _add_cooperation_args(parser: argparse.ArgumentParser) -> None:
+    """Flags selecting the live cluster's cooperation policy."""
+    parser.add_argument(
+        "--cooperation",
+        default="summary",
+        choices=CooperationPolicy.choices(),
+        help=(
+            "cache cooperation policy: summary = discover remote hits "
+            "via summaries and cache them locally too; carp = hash-"
+            "route every miss to the object's owner proxy (one copy "
+            "cluster-wide); single-copy = discover remote hits but "
+            "never duplicate them (default: summary)"
+        ),
+    )
+    parser.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help=(
+            "copies per object under owner routing -- the owner plus "
+            "R-1 fallback replicas on the hash ring (default: 1)"
         ),
     )
 
@@ -237,6 +270,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("no-icp", "icp", "sc-icp"),
         help="cooperation mode (default: sc-icp)",
     )
+    _add_cooperation_args(p)
     p.add_argument(
         "--cache-mb",
         type=float,
@@ -373,6 +407,7 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("no-icp", "icp", "sc-icp"),
         help="cooperation mode (default: sc-icp)",
     )
+    _add_cooperation_args(p)
     p.add_argument(
         "--clients",
         type=int,
@@ -421,6 +456,21 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p.add_argument(
+        "--shared-fraction",
+        type=float,
+        default=0.0,
+        help=(
+            "fraction of requests drawn from a cross-client shared "
+            "document pool (default: 0, classic disjoint streams)"
+        ),
+    )
+    p.add_argument(
+        "--shared-docs",
+        type=int,
+        default=64,
+        help="distinct documents in the shared pool (default: 64)",
+    )
+    p.add_argument(
         "--json",
         default=None,
         metavar="PATH",
@@ -430,6 +480,86 @@ def build_parser() -> argparse.ArgumentParser:
         "--uvloop",
         action="store_true",
         help="install uvloop before running, when available",
+    )
+
+    p = sub.add_parser(
+        "placement-bench",
+        help=(
+            "sweep cluster size x cooperation policy over real sockets "
+            "and rank aggregate hit ratio + bytes from origin"
+        ),
+    )
+    p.add_argument(
+        "--proxies",
+        type=int,
+        nargs="+",
+        default=[2, 3, 4, 5, 6, 7, 8],
+        metavar="N",
+        help="cluster sizes to sweep (default: 2 3 4 5 6 7 8)",
+    )
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=12,
+        help="concurrent clients per cell (default: 12)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=150,
+        help="requests per client (default: 150)",
+    )
+    p.add_argument(
+        "--hit-ratio",
+        type=float,
+        default=0.05,
+        help="inherent hit ratio of each private stream (default: 0.05)",
+    )
+    p.add_argument(
+        "--shared-fraction",
+        type=float,
+        default=0.55,
+        help=(
+            "fraction of requests drawn from the cross-client shared "
+            "pool (default: 0.55, so the pool's bytes rival the total "
+            "cache and duplication has a visible cost)"
+        ),
+    )
+    p.add_argument(
+        "--shared-docs",
+        type=int,
+        default=192,
+        help="distinct documents in the shared pool (default: 192)",
+    )
+    p.add_argument(
+        "--mean-size",
+        type=int,
+        default=8 * 1024,
+        help="mean Pareto body size in bytes (default: 8192)",
+    )
+    p.add_argument(
+        "--total-cache-mb",
+        type=float,
+        default=2.0,
+        help=(
+            "total cache across the cluster, split evenly over N "
+            "proxies so every cell spends the same aggregate capacity "
+            "(default: 2)"
+        ),
+    )
+    p.add_argument(
+        "--replication",
+        type=int,
+        default=1,
+        metavar="R",
+        help="copies per object under owner routing (default: 1)",
+    )
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help="write the sweep as a BENCH_placement-style JSON record",
     )
 
     p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
@@ -481,6 +611,8 @@ async def _serve(args: argparse.Namespace) -> int:
         ),
         summary=summary,
         update_policy=policy,
+        cooperation=args.cooperation,
+        replication=args.replication,
     ) as cluster:
         print(
             f"origin http://{cluster.origin.address[0]}:"
@@ -489,6 +621,7 @@ async def _serve(args: argparse.Namespace) -> int:
         for proxy in cluster.proxies:
             print(
                 f"{proxy.config.name} mode={proxy.config.mode.value} "
+                f"cooperation={proxy.config.cooperation.value} "
                 f"summary={proxy.config.summary.kind} "
                 f"http=http://{proxy.config.host}:{proxy.http_port} "
                 f"icp=udp://{proxy.config.host}:{proxy.icp_port} "
@@ -717,6 +850,7 @@ async def _loadgen(args: argparse.Namespace) -> int:
         results_to_json,
         run_loadgen,
     )
+    from repro.proxy.client import ClientDriver
     from repro.proxy.cluster import ProxyCluster
     from repro.proxy.config import ProxyConfig, ProxyMode
 
@@ -727,6 +861,8 @@ async def _loadgen(args: argparse.Namespace) -> int:
         mean_size=args.mean_size,
         seed=args.seed,
         keep_alive=True,
+        shared_fraction=args.shared_fraction,
+        shared_docs=args.shared_docs,
     )
     phases = []
     if args.phases in ("both", "baseline"):
@@ -740,6 +876,10 @@ async def _loadgen(args: argparse.Namespace) -> int:
     if args.phases in ("both", "keepalive"):
         phases.append(("keepalive_pooled", config, ProxyConfig()))
 
+    # One driver per concurrent client for the whole run; each phase
+    # rebinds them to its fresh cluster's ports (which resets their
+    # per-phase reports) instead of rebuilding the fleet.
+    drivers = [ClientDriver("127.0.0.1", 0) for _ in range(config.clients)]
     results: List[LoadGenResult] = []
     for label, phase_config, base_config in phases:
         async with ProxyCluster(
@@ -748,13 +888,20 @@ async def _loadgen(args: argparse.Namespace) -> int:
             cache_capacity=int(args.cache_mb * 1024 * 1024),
             origin_delay=args.origin_delay,
             base_config=base_config,
+            cooperation=args.cooperation,
+            replication=args.replication,
         ) as cluster:
             targets = [
                 (proxy.config.host, proxy.http_port)
                 for proxy in cluster.proxies
             ]
             result = await run_loadgen(
-                targets, phase_config, label=label, proxies=cluster.proxies
+                targets,
+                phase_config,
+                label=label,
+                proxies=cluster.proxies,
+                origin=cluster.origin,
+                drivers=drivers,
             )
         results.append(result)
         print(render_comparison([result]), flush=True)
@@ -792,9 +939,12 @@ async def _loadgen(args: argparse.Namespace) -> int:
             ),
             proxies=args.proxies,
             mode=args.mode,
+            cooperation=args.cooperation,
+            replication=args.replication,
             clients=args.clients,
             requests_per_client=args.requests,
             target_hit_ratio=args.hit_ratio,
+            shared_fraction=args.shared_fraction,
             seed=args.seed,
         )
         parent = os.path.dirname(args.json)
@@ -802,6 +952,190 @@ async def _loadgen(args: argparse.Namespace) -> int:
             os.makedirs(parent, exist_ok=True)
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(record + "\n")
+        print(f"wrote {args.json}")
+    return 0
+
+
+async def _placement_bench(args: argparse.Namespace) -> int:
+    """Sweep cluster size x cooperation policy over real sockets.
+
+    Every cell replays the same shared-pool Wisconsin workload against
+    a fresh cluster whose *total* cache size is fixed (each of the N
+    proxies holds 1/N of it), so the sweep isolates how each
+    cooperation policy spends the same aggregate capacity: summary
+    duplicates every remote hit into the requesting proxy, carp routes
+    misses to the hash owner and keeps one copy cluster-wide,
+    single-copy discovers remote hits without copying them.
+    """
+    import json as json_module
+    import os
+
+    from repro.benchmarkkit.loadgen import LoadGenConfig, run_loadgen
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyMode
+
+    config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        target_hit_ratio=args.hit_ratio,
+        mean_size=args.mean_size,
+        seed=args.seed,
+        shared_fraction=args.shared_fraction,
+        shared_docs=args.shared_docs,
+    )
+    policies = (
+        CooperationPolicy.SUMMARY,
+        CooperationPolicy.CARP,
+        CooperationPolicy.SINGLE_COPY,
+    )
+    runs: List[Dict[str, Any]] = []
+    rows: List[tuple] = []
+    for num_proxies in args.proxies:
+        cache_per_proxy = int(
+            args.total_cache_mb * 1024 * 1024 / num_proxies
+        )
+        for policy in policies:
+            # Owner routing replaces discovery outright, so carp runs
+            # without summaries; the discovery policies need them.
+            mode = (
+                ProxyMode.NO_ICP
+                if policy.routes_by_owner
+                else ProxyMode.SC_ICP
+            )
+            async with ProxyCluster(
+                num_proxies=num_proxies,
+                mode=mode,
+                cache_capacity=cache_per_proxy,
+                cooperation=policy,
+                replication=args.replication,
+            ) as cluster:
+                result = await run_loadgen(
+                    cluster.targets(),
+                    config,
+                    label=f"{policy.value}_n{num_proxies}",
+                    proxies=cluster.proxies,
+                    origin=cluster.origin,
+                )
+                stats = [proxy.stats for proxy in cluster.proxies]
+            http_requests = sum(s.http_requests for s in stats)
+            hits = sum(s.local_hits + s.remote_hits for s in stats)
+            hit_ratio = hits / http_requests if http_requests else 0.0
+            record = result.to_dict()
+            record.update(
+                proxies=num_proxies,
+                cooperation=policy.value,
+                mode=mode.value,
+                cache_per_proxy_bytes=cache_per_proxy,
+                aggregate_hit_ratio=round(hit_ratio, 4),
+            )
+            runs.append(record)
+            rows.append(
+                (
+                    str(num_proxies),
+                    policy.value,
+                    f"{hit_ratio:.3f}",
+                    f"{result.bytes_from_origin:,}",
+                    str(result.origin_requests),
+                    str(result.peer_fetches),
+                    f"{result.errors}",
+                )
+            )
+            print(
+                f"n={num_proxies} {policy.value}: "
+                f"hit-ratio {hit_ratio:.3f}, "
+                f"bytes-from-origin {result.bytes_from_origin:,}",
+                flush=True,
+            )
+    headers = (
+        "N",
+        "cooperation",
+        "hit-ratio",
+        "origin-bytes",
+        "origin-req",
+        "peer-fetch",
+        "errors",
+    )
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Placement sweep (total cache {args.total_cache_mb:g} "
+                f"MiB, shared fraction {args.shared_fraction:g})"
+            ),
+        )
+    )
+    by_cell = {(r["proxies"], r["cooperation"]): r for r in runs}
+    comparison: Dict[str, Any] = {}
+    for num_proxies in args.proxies:
+        carp = by_cell.get((num_proxies, "carp"))
+        summary = by_cell.get((num_proxies, "summary"))
+        if carp is None or summary is None:
+            continue
+        comparison[str(num_proxies)] = {
+            "carp_bytes_from_origin": carp["bytes_from_origin"],
+            "summary_bytes_from_origin": summary["bytes_from_origin"],
+            "carp_saves_origin_bytes": (
+                carp["bytes_from_origin"] < summary["bytes_from_origin"]
+            ),
+        }
+        verdict = (
+            "beats"
+            if carp["bytes_from_origin"] < summary["bytes_from_origin"]
+            else "does NOT beat"
+        )
+        print(
+            f"carp {verdict} summary at N={num_proxies}: "
+            f"{carp['bytes_from_origin']:,} vs "
+            f"{summary['bytes_from_origin']:,} bytes from origin"
+        )
+    if args.json:
+        payload = {
+            "benchmark": "placement",
+            "description": (
+                "Aggregate hit ratio and bytes-from-origin for "
+                "cooperation policies on a live cluster: the shared-"
+                "pool Wisconsin workload replayed by concurrent "
+                "clients over real sockets, total cache size held "
+                "constant while N and the policy vary.  summary "
+                "caches remote hits locally (duplicates), carp hash-"
+                "routes misses to one owner copy, single-copy "
+                "discovers remote hits without duplicating them."
+            ),
+            "method": (
+                "summary-cache placement-bench --proxies "
+                + " ".join(str(n) for n in args.proxies)
+                + f" --clients {args.clients} --requests "
+                f"{args.requests} --hit-ratio {args.hit_ratio:g} "
+                f"--shared-fraction {args.shared_fraction:g} "
+                f"--shared-docs {args.shared_docs} --total-cache-mb "
+                f"{args.total_cache_mb:g} --seed {args.seed}; each "
+                "cell is a fresh in-process cluster (OS-assigned "
+                "ports, synthetic origin) replaying the identical "
+                "workload; carp cells run mode=no-icp (owner routing "
+                "needs no summaries), discovery cells run mode=sc-icp. "
+                "bytes_from_origin is the origin server's served-body "
+                "delta over the run."
+            ),
+            "host_cpu_count": os.cpu_count(),
+            "total_cache_mb": args.total_cache_mb,
+            "clients": args.clients,
+            "requests_per_client": args.requests,
+            "target_hit_ratio": args.hit_ratio,
+            "shared_fraction": args.shared_fraction,
+            "shared_docs": args.shared_docs,
+            "mean_size": args.mean_size,
+            "replication": args.replication,
+            "seed": args.seed,
+            "runs": runs,
+            "carp_vs_summary": comparison,
+        }
+        parent = os.path.dirname(args.json)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        with open(args.json, "w", encoding="utf-8") as fh:
+            json_module.dump(payload, fh, indent=2, sort_keys=False)
+            fh.write("\n")
         print(f"wrote {args.json}")
     return 0
 
@@ -997,6 +1331,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print("uvloop not available; using the default event loop")
         try:
             return asyncio.run(_loadgen(args))
+        except KeyboardInterrupt:
+            return 0
+    elif args.command == "placement-bench":
+        try:
+            return asyncio.run(_placement_bench(args))
         except KeyboardInterrupt:
             return 0
     elif args.command == "lint":

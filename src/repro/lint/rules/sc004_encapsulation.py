@@ -7,6 +7,14 @@ CountingBloomFilter`, which validates underflow and records the 0 <-> 1
 transitions a delta update needs.  A stray ``filter.bits.set(...)`` in a
 simulator desynchronizes the shipped copy from the counters without any
 runtime error.
+
+The same discipline covers placement state: the hash ring and the
+:class:`~repro.placement.live.Placement` wrapper keep every proxy's
+owner derivation in agreement, which only holds while membership
+changes travel through their public API.  Reaching into ring internals
+(``placement._ring``, ``ring._points``) from a caller would let one
+proxy's view drift from its peers' with no runtime error, so those
+privates are confined to ``repro.placement``.
 """
 
 from __future__ import annotations
@@ -38,22 +46,40 @@ MUTATOR_METHODS = (
 #: anywhere outside core/ is always a violation.
 PRIVATE_STORAGE_ATTRIBUTES = ("_buf", "_popcount")
 
+#: Private internals of HashRing / Placement; touching these anywhere
+#: outside ``repro/placement`` is always a violation (membership
+#: changes go through the public with_member / add_member API, which
+#: keeps every proxy's owner derivation consistent).
+PLACEMENT_PRIVATE_ATTRIBUTES = ("_ring", "_points", "_self_name")
+
+#: Directories allowed to touch placement internals.
+PLACEMENT_EXEMPT = ("repro/placement",)
+
 
 @register
 class SummaryEncapsulation(Rule):
     """Flag direct bit/counter mutation outside ``core/``/``summaries/``."""
 
     id = "SC004"
-    title = "no direct BitArray/counter mutation outside core and summaries"
+    title = (
+        "no direct BitArray/counter mutation outside core and "
+        "summaries; no placement/ring internals outside placement"
+    )
     rationale = (
         "Section V-C's counter overflow bound assumes disciplined "
         "increments/decrements through the counting filter; direct bit "
-        "twiddling desynchronizes summaries from their counters."
+        "twiddling desynchronizes summaries from their counters.  "
+        "Likewise owner derivation assumes ring membership only ever "
+        "changes through repro.placement's public API."
     )
     scopes = ("repro",)
     exempt = ("repro/core", "repro/summaries", "repro/lint")
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        placement_confined = not any(
+            self._fragment_matches(f, ctx.rel_path)
+            for f in PLACEMENT_EXEMPT
+        )
         findings: List[Finding] = []
         for node in ast.walk(ctx.tree):
             if (
@@ -67,6 +93,21 @@ class SummaryEncapsulation(Rule):
                         node,
                         f"access to private storage field .{node.attr} "
                         "outside repro.core",
+                    )
+                )
+            if (
+                placement_confined
+                and isinstance(node, ast.Attribute)
+                and node.attr in PLACEMENT_PRIVATE_ATTRIBUTES
+                and not self._is_self_access(node.value)
+            ):
+                findings.append(
+                    ctx.finding(
+                        self.id,
+                        node,
+                        f"access to placement internal .{node.attr} "
+                        "outside repro.placement; go through the "
+                        "Placement / HashRing public API instead",
                     )
                 )
             if not isinstance(node, ast.Call):

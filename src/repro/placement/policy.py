@@ -1,0 +1,76 @@
+"""The cooperation-policy axis: who stores a fetched document, and how
+misses find remote copies.
+
+"Effects of Cooperation Policy and Network Topology" (PAPERS.md) shows
+the cooperation policy must be a first-class, swappable axis rather
+than baked into a proxy implementation.  The three policies here are
+the live counterparts of the paper's Section III schemes:
+
+``summary``
+    The paper's own design: misses discover copies through peer
+    summaries (SC-ICP), a remote hit is fetched from the peer **and
+    cached locally** -- "once a proxy fetches a document from another
+    proxy, it caches the document locally."  Duplicates are the price
+    of local service.
+``single-copy``
+    Summary-directed discovery, but "a proxy does not cache documents
+    fetched from another proxy.  Rather, the other proxy marks the
+    document as most-recently-accessed" -- the serving peer's copy is
+    touched, the requester keeps nothing.
+``carp``
+    Deterministic placement: every URL has a hash owner and only the
+    owner (plus its replicas) stores it.  Misses skip discovery
+    entirely and forward to the owner, which fetches from the origin
+    on a cluster-wide miss.  No duplicates, but remote routing on
+    every non-owned request.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Tuple
+
+
+class CooperationPolicy(str, enum.Enum):
+    """How a cluster's proxies cooperate on placement and discovery."""
+
+    SUMMARY = "summary"
+    CARP = "carp"
+    SINGLE_COPY = "single-copy"
+
+    @property
+    def routes_by_owner(self) -> bool:
+        """Misses forward to the key's deterministic ring owner."""
+        return self is CooperationPolicy.CARP
+
+    @property
+    def caches_remote_hits(self) -> bool:
+        """A requester stores documents fetched from a peer.
+
+        This is the exact storage rule the Section III simulators
+        implement: ``simple sharing`` (and summary cache on top of it)
+        caches remote fetches locally; ``single-copy sharing`` and CARP
+        leave the single copy where it is.
+        """
+        return self is CooperationPolicy.SUMMARY
+
+    @classmethod
+    def parse(cls, value: "str | CooperationPolicy") -> "CooperationPolicy":
+        """Coerce a CLI/config string into a policy (clean error on typo)."""
+        if isinstance(value, CooperationPolicy):
+            return value
+        try:
+            return cls(value)
+        except ValueError:
+            choices = ", ".join(sorted(p.value for p in cls))
+            from repro.errors import ConfigurationError
+
+            raise ConfigurationError(
+                f"unknown cooperation policy {value!r}; expected one of "
+                f"{choices}"
+            ) from None
+
+    @classmethod
+    def choices(cls) -> Tuple[str, ...]:
+        """The policy names, for argparse ``choices=``."""
+        return tuple(sorted(p.value for p in cls))

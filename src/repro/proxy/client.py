@@ -226,6 +226,30 @@ class ClientDriver:
             f"proxy {self.peer} closed the connection twice for {url!r}"
         )  # pragma: no cover - loop returns or raises above
 
+    async def rebind(
+        self,
+        host: str,
+        port: int,
+        timeout: Optional[float] = None,
+        keep_alive: bool = True,
+    ) -> None:
+        """Point this driver at a new proxy and reset per-phase state.
+
+        Lets one driver per concurrent client survive across benchmark
+        phases (fresh cluster, fresh ports) instead of being rebuilt
+        each phase: the persistent connection is dropped, and the
+        report / connection counters restart so each phase's numbers
+        are its own.
+        """
+        await self.close()
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.keep_alive = keep_alive
+        self.report = ReplayReport()
+        self.connections_opened = 0
+        self.last_trace = ""
+
     async def close(self) -> None:
         """Drop the persistent connection (next request reconnects)."""
         writer, self._reader, self._writer = self._writer, None, None

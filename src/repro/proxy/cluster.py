@@ -15,6 +15,7 @@ if TYPE_CHECKING:  # circular at runtime: obs.cluster drives the client
     from repro.obs.cluster import ClusterSnapshot
 
 from repro.errors import ConfigurationError
+from repro.placement import CooperationPolicy
 from repro.proxy.client import ClientDriver, ReplayReport, replay_concurrently
 from repro.proxy.config import ProxyConfig, ProxyMode
 from repro.proxy.origin import OriginServer
@@ -31,6 +32,10 @@ class ClusterResult:
     client_report: ReplayReport
     proxy_stats: List[ProxyStats]
     origin_requests: int
+    #: Response-body bytes the origin served during the replay -- the
+    #: cluster-level "bytes from origin" the placement benchmark ranks
+    #: cooperation policies by.
+    origin_bytes: int = 0
 
     @property
     def total_hit_ratio(self) -> float:
@@ -64,27 +69,33 @@ class ProxyCluster:
         base_config: Optional[ProxyConfig] = None,
         summary: Optional[SummaryConfig] = None,
         update_policy: Optional[UpdatePolicy] = None,
+        cooperation: Optional[CooperationPolicy] = None,
+        replication: Optional[int] = None,
     ) -> None:
         if num_proxies < 1:
             raise ConfigurationError("num_proxies must be >= 1")
         self.num_proxies = num_proxies
         self.mode = mode
         template = base_config or ProxyConfig()
-        overrides = {}
+        overrides: dict = {}
         if summary is not None:
             overrides["summary"] = summary
         if update_policy is not None:
             overrides["update_policy"] = update_policy
+        if cooperation is not None:
+            overrides["cooperation"] = CooperationPolicy.parse(cooperation)
+        if replication is not None:
+            overrides["replication"] = replication
+        self._template = replace(
+            template,
+            mode=mode,
+            cache_capacity=cache_capacity,
+            http_port=0,
+            icp_port=0,
+            **overrides,
+        )
         self._configs = [
-            replace(
-                template,
-                name=f"proxy{i}",
-                mode=mode,
-                cache_capacity=cache_capacity,
-                http_port=0,
-                icp_port=0,
-                **overrides,
-            )
+            replace(self._template, name=f"proxy{i}")
             for i in range(num_proxies)
         ]
         self.origin = OriginServer(delay=origin_delay)
@@ -118,6 +129,36 @@ class ProxyCluster:
             await proxy.stop()
         self.proxies = []
         await self.origin.stop()
+
+    async def add_proxy(self) -> SummaryCacheProxy:
+        """Start one more proxy and join it to the running cluster.
+
+        The newcomer learns the full mesh via :meth:`~SummaryCacheProxy.
+        set_peers`; every existing proxy admits it through
+        :meth:`~SummaryCacheProxy.add_peer`, which rebalances each
+        placement view and invalidates the entries the newcomer now
+        owns.
+        """
+        config = replace(self._template, name=f"proxy{len(self.proxies)}")
+        proxy = SummaryCacheProxy(config, self.origin.address)
+        await proxy.start()
+        address = proxy.address()
+        proxy.set_peers([peer.address() for peer in self.proxies])
+        for existing in self.proxies:
+            existing.add_peer(address)
+        self.proxies.append(proxy)
+        self._configs.append(config)
+        self.num_proxies = len(self.proxies)
+        return proxy
+
+    async def remove_proxy(self, index: int) -> None:
+        """Stop the proxy at *index* and retire it from every peer view."""
+        departed = self.proxies.pop(index)
+        self._configs.pop(index)
+        self.num_proxies = len(self.proxies)
+        await departed.stop()
+        for survivor in self.proxies:
+            survivor.remove_peer(departed.config.name)
 
     def driver_for(self, proxy_index: int) -> ClientDriver:
         """A client driver bound to proxy *proxy_index*."""
@@ -193,4 +234,5 @@ class ProxyCluster:
             client_report=report,
             proxy_stats=[proxy.stats for proxy in self.proxies],
             origin_requests=self.origin.stats.requests,
+            origin_bytes=self.origin.stats.bytes_served,
         )

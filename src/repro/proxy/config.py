@@ -7,6 +7,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 from repro.errors import ConfigurationError
+from repro.placement import CooperationPolicy
 from repro.summaries import (
     SummaryConfig,
     ThresholdUpdatePolicy,
@@ -108,8 +109,24 @@ class ProxyConfig:
     #: the shared null span ring: no spans are retained and no trace
     #: context is put on any wire (HTTP header or ICP Options field).
     trace_enabled: bool = True
+    #: Cooperation policy of the cluster this proxy belongs to:
+    #: ``"summary"`` (summary-directed discovery, remote hits cached
+    #: locally), ``"single-copy"`` (discovery, remote hits left at the
+    #: serving peer) or ``"carp"`` (misses forward to the URL's
+    #: deterministic placement owner; no discovery).  Accepts the
+    #: string or the enum.
+    cooperation: CooperationPolicy = CooperationPolicy.SUMMARY
+    #: Replica-set size of the placement ring (``carp`` cooperation):
+    #: each URL lives at its owner plus ``replication - 1`` failover
+    #: replicas.
+    replication: int = 1
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "cooperation", CooperationPolicy.parse(self.cooperation)
+        )
+        if self.replication < 1:
+            raise ConfigurationError("replication must be >= 1")
         if self.cache_capacity < 1:
             raise ConfigurationError("cache_capacity must be >= 1")
         if not 0.0 <= self.update_threshold <= 1.0:

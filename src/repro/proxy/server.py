@@ -44,6 +44,7 @@ from typing import Dict, List, Optional, Set, Tuple, Union, cast
 
 from repro.cache import WebCache
 from repro.core.bfmath import false_positive_probability_exact
+from repro.core.hashing import md5_digest
 from repro.obs.export import (
     PROMETHEUS_CONTENT_TYPE,
     render_json,
@@ -70,6 +71,7 @@ from repro.protocol.wire import (
     SetDirUpdate,
     decode_message,
 )
+from repro.placement import Placement
 from repro.proxy.config import PeerAddress, ProxyConfig, ProxyMode
 from repro.summaries import LocalSummary, RemoteSummary, SummaryNode
 from repro.summaries import codec
@@ -87,6 +89,16 @@ from repro.proxy.http import (
 from repro.proxy.pool import ConnectionPool, PooledConnection
 
 logger = logging.getLogger(__name__)
+
+#: Request header marking a placement-routed peer fetch: the value is
+#: the requesting proxy's name.  The owner serves from cache or fetches
+#: the origin itself -- it never re-forwards a marked request, so a
+#: transient membership-view disagreement cannot loop a request around
+#: the ring.
+FORWARD_HEADER = "X-SC-Forward"
+
+#: Response header naming the proxy that answered a forwarded fetch.
+OWNER_HEADER = "X-SC-Owner"
 
 #: Histogram bounds for request-phase timings (0.1 ms .. 10 s; ICP
 #: timeouts sit around 2 s and origin delays around 1 s).
@@ -113,7 +125,8 @@ class _ProxyMetrics:
         "dirupdates_sent", "dirupdates_received", "dirupdate_rejects",
         "summary_resizes", "udp_sent", "udp_received", "peer_served",
         "phase_seconds", "connections_open", "connections_reused",
-        "backpressure_waits",
+        "backpressure_waits", "peer_forwards", "peer_forward_failures",
+        "rebalances", "entries_invalidated",
     )
 
     def __init__(self, registry: MetricsRegistry, representation: str) -> None:
@@ -186,6 +199,26 @@ class _ProxyMetrics:
         self.peer_served = c(
             "proxy_peer_served_total", "proxy-to-proxy fetches served"
         )
+        # Placement family (carp cooperation: owner routing and
+        # membership rebalancing).
+        self.peer_forwards = c(
+            "proxy_peer_forwards_total",
+            "misses forwarded to the object's placement owner",
+        )
+        self.peer_forward_failures = c(
+            "proxy_peer_forward_failures_total",
+            "owner forwards that failed and fell over to the next "
+            "replica or the origin",
+        )
+        self.rebalances = c(
+            "placement_rebalances_total",
+            "membership changes applied to the placement ring",
+        )
+        self.entries_invalidated = c(
+            "placement_entries_invalidated_total",
+            "cached entries invalidated because a membership change "
+            "moved their placement elsewhere",
+        )
         # Connection-lifecycle family (keep-alive data plane).
         self.connections_open = registry.gauge(
             "proxy_connections_open", "client connections currently open"
@@ -237,6 +270,10 @@ class ProxyStats:
     udp_sent: int = 0
     udp_received: int = 0
     peer_served_requests: int = 0
+    peer_forwards: int = 0
+    peer_forward_failures: int = 0
+    placement_rebalances: int = 0
+    placement_entries_invalidated: int = 0
 
     @property
     def hit_ratio(self) -> float:
@@ -365,8 +402,22 @@ class SummaryCacheProxy:
             on_reuse=self._m.connections_reused.inc,
         )
         self._peers: Dict[Tuple[str, int], _PeerState] = {}
+        self._peers_by_name: Dict[str, _PeerState] = {}
+        #: This proxy's view of cluster-wide object placement.  Always
+        #: maintained (membership tracking is cheap); misses route by
+        #: owner only when the cooperation policy says so.
+        self._placement = Placement(
+            config.name,
+            policy=config.cooperation,
+            replication=config.replication,
+        )
         self._pending: Dict[int, _PendingQuery] = {}
         self._request_counter = 0
+        #: Open client-side connections, aborted on :meth:`stop` so a
+        #: stopped proxy actually disappears (keep-alive handler loops
+        #: would otherwise keep serving peers that pooled a connection
+        #: before the listening socket closed).
+        self._client_writers: Set[asyncio.StreamWriter] = set()
         self._http_server: Optional[asyncio.AbstractServer] = None
         self._icp: Optional[_IcpProtocol] = None
         # Scrape-time gauges: evaluated when /metrics renders, free
@@ -397,6 +448,10 @@ class SummaryCacheProxy:
         g("proxy_peers", "configured peers").set_function(
             lambda: len(self._peers)
         )
+        g(
+            "placement_members",
+            "ring members in this proxy's placement view",
+        ).set_function(lambda: len(self._placement.members))
         g("proxy_pending_queries", "outstanding ICP query rounds").set_function(
             lambda: len(self._pending)
         )
@@ -436,6 +491,9 @@ class SummaryCacheProxy:
         """Shut both endpoints down."""
         if self._http_server is not None:
             self._http_server.close()
+            for writer in list(self._client_writers):
+                writer.transport.abort()
+            self._client_writers.clear()
             await self._http_server.wait_closed()
             self._http_server = None
         if self._icp is not None and self._icp.transport is not None:
@@ -474,6 +532,83 @@ class SummaryCacheProxy:
     def set_peers(self, peers: List[PeerAddress]) -> None:
         """Install the neighbour set (call after all proxies started)."""
         self._peers = {peer.icp_addr: _PeerState(peer) for peer in peers}
+        self._peers_by_name = {
+            state.address.name: state for state in self._peers.values()
+        }
+        self._placement = Placement(
+            self.config.name,
+            [peer.name for peer in peers],
+            policy=self.config.cooperation,
+            replication=self.config.replication,
+        )
+
+    def add_peer(self, peer: PeerAddress) -> None:
+        """Admit one peer at runtime (membership join).
+
+        The placement ring is re-derived and every locally cached entry
+        the newcomer now owns is invalidated (the HTTP subset has no
+        push verb to migrate bodies, so displaced entries are dropped
+        and re-placed by demand).  No-op for an already-known peer.
+        """
+        if peer.name in self._peers_by_name:
+            return
+        state = _PeerState(peer)
+        self._peers[peer.icp_addr] = state
+        self._peers_by_name[peer.name] = state
+        self._rebalance("join", peer.name)
+
+    def remove_peer(self, name: str, reason: str = "leave") -> None:
+        """Retire the peer called *name* (membership leave or failure).
+
+        By the rendezvous property a leave never displaces a survivor's
+        entries; the rebalance is still recorded (span + metrics) so a
+        cluster trace shows every membership transition.
+        """
+        state = self._peers_by_name.pop(name, None)
+        if state is None:
+            return
+        self._peers.pop(state.address.icp_addr, None)
+        self._rebalance(reason, name)
+
+    def _rebalance(self, reason: str, member: str) -> None:
+        """Apply one membership change to the placement ring.
+
+        Emits the ``placement.rebalance`` span and increments the
+        rebalance/invalidation counters; displaced cache entries are
+        removed (which also clears their summary bits and bodies via
+        the eviction callback).
+        """
+        span = self.spans.start_span(
+            "placement.rebalance",
+            proxy=self.config.name,
+            member=member,
+            reason=reason,
+        )
+        items = list(self._cache.digests().items())
+        if reason == "join":
+            displaced = self._placement.add_member(member, items)
+        else:
+            displaced = self._placement.remove_member(member, items)
+        for url in displaced:
+            self._cache.remove(url)
+        self.stats.placement_rebalances += 1
+        self.stats.placement_entries_invalidated += len(displaced)
+        self._m.rebalances.inc()
+        if displaced:
+            self._m.entries_invalidated.inc(len(displaced))
+        span.set(
+            members=len(self._placement.members),
+            invalidated=len(displaced),
+        ).end()
+        logger.info(
+            "proxy=%s placement rebalance reason=%s member=%s "
+            "members=%d invalidated=%d",
+            self.config.name,
+            reason,
+            member,
+            len(self._placement.members),
+            len(displaced),
+        )
 
     def reset_peer(self, icp_addr: Tuple[str, int]) -> None:
         """Forget a peer's summary (Squid-style failure/recovery reinit)."""
@@ -793,6 +928,7 @@ class SummaryCacheProxy:
         or a framing error (answered with a final 400).
         """
         self._m.connections_open.inc()
+        self._client_writers.add(writer)
         writer.transport.set_write_buffer_limits(
             high=self.config.max_inflight_bytes
         )
@@ -830,6 +966,8 @@ class SummaryCacheProxy:
                     await self._serve_trace(request, writer, keep_alive)
                 elif request.header("x-only-if-cached"):
                     await self._serve_peer(request, writer, keep_alive)
+                elif request.header("x-sc-forward"):
+                    await self._serve_forward(request, writer, keep_alive)
                 else:
                     await self._serve_client(request, writer, keep_alive)
                 if not keep_alive:
@@ -838,6 +976,7 @@ class SummaryCacheProxy:
             pass
         finally:
             self._m.connections_open.dec()
+            self._client_writers.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
@@ -859,6 +998,8 @@ class SummaryCacheProxy:
                 "summary_fill_ratio": self._node.local.fill_ratio(),
                 "summary_representation": self.config.summary.kind,
                 "peers": len(self._peers),
+                "cooperation": self.config.cooperation.value,
+                "placement_members": list(self._placement.members),
             }
         )
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
@@ -978,6 +1119,64 @@ class SummaryCacheProxy:
             )
         await writer.drain()
 
+    async def _serve_forward(
+        self,
+        request: HttpRequest,
+        writer: asyncio.StreamWriter,
+        keep_alive: bool = False,
+    ) -> None:
+        """Serve a placement-routed peer fetch (the owner side).
+
+        The requester marked the request with ``X-SC-Forward``, so this
+        proxy is (in the requester's view) the URL's owner: serve from
+        cache, or fetch the origin and store -- but **never re-forward**,
+        so a membership-view disagreement between proxies cannot loop a
+        request around the ring.  An origin failure answers 502 to the
+        *peer* (which falls back to its own origin path); clients never
+        see it.
+        """
+        url = request.url
+        requester = request.header("x-sc-forward")
+        ctx = TraceContext.parse(request.header(TRACE_HEADER))
+        span = self.spans.start_span(
+            "peer.serve",
+            trace_id=ctx.trace_id if ctx is not None else None,
+            parent_id=ctx.span_id if ctx is not None else 0,
+            proxy=self.config.name,
+            url=url,
+            requester=requester,
+            forwarded=True,
+        )
+        body = self._lookup_local(url)
+        source = "HIT"
+        if body is None:
+            source = "MISS"
+            try:
+                body = await self._fetch_from_origin(
+                    url, request.header("x-size"), span
+                )
+            except (ProxyError, ConnectionError, ProtocolError, OSError):
+                span.set(source=source).end(status="error")
+                write_response(
+                    writer,
+                    502,
+                    headers={OWNER_HEADER: self.config.name},
+                    keep_alive=keep_alive,
+                )
+                await writer.drain()
+                return
+            self._store(url, body)
+        self.stats.peer_served_requests += 1
+        self._m.peer_served.inc()
+        span.set(source=source, bytes=len(body)).end()
+        await self._stream_response(
+            writer,
+            body,
+            {"X-Cache": source, OWNER_HEADER: self.config.name},
+            keep_alive,
+        )
+        await writer.drain()
+
     async def _serve_client(
         self,
         request: HttpRequest,
@@ -1067,7 +1266,13 @@ class SummaryCacheProxy:
         summary representation and geometry produced the peer-candidate
         decision, and how the round resolved (``remote_hit``,
         ``false_hit``, ``fetch_failed``, or ``no_candidates``).
+
+        Under owner-routing cooperation (``carp``) there is no
+        discovery at all: the miss forwards deterministically to the
+        URL's placement owner instead.
         """
+        if self._placement.policy.routes_by_owner:
+            return await self._owner_path(url, size_hint, parent)
         candidates = self._candidate_peers(url)
         attrs = self._summary_attributes() if self.spans.enabled else {}
         lookup = self.spans.start_span(
@@ -1096,7 +1301,11 @@ class SummaryCacheProxy:
                     lookup.set(
                         outcome="remote_hit", peer=holder.address.name
                     ).end()
-                    self._store(url, body)
+                    # Single-copy cooperation leaves the document at the
+                    # serving peer (whose copy the fetch just touched);
+                    # summary cooperation caches it locally.
+                    if self._placement.policy.caches_remote_hits:
+                        self._store(url, body)
                     return body, "REMOTE-HIT"
                 self.stats.remote_fetch_failures += 1
                 self._m.remote_fetch_failures.inc()
@@ -1117,6 +1326,116 @@ class SummaryCacheProxy:
         )
         self._store(url, body)
         return body, "MISS"
+
+    async def _owner_path(
+        self, url: str, size_hint: str, parent: Span = NULL_SPAN
+    ) -> Tuple[bytes, str]:
+        """Resolve a miss by forwarding to the URL's placement owner.
+
+        The replica set (owner first, then deterministic failover
+        order) comes from the rendezvous ring over the URL's interned
+        digest.  When this proxy is in the set, the document is ours:
+        fetch the origin and store.  Otherwise forward to the first
+        reachable replica with the ``X-SC-Forward`` marker; a replica
+        that cannot be reached is treated as departed -- the ring is
+        rebalanced (span + metrics) and the next replica under the
+        *new* ring is tried.  The loop strictly shrinks the membership,
+        so it terminates at this proxy alone in the worst case; the
+        origin is the final fallback either way, and the client never
+        sees a 5xx for a peer failure.
+        """
+        digest = md5_digest(url)
+        while True:
+            replicas = self._placement.replicas(digest)
+            if self.config.name in replicas:
+                break  # ours: fall through to the origin fetch + store
+            verdict, body, owner_source = await self._forward_to_owner(
+                replicas[0], url, size_hint, parent
+            )
+            if verdict == "ok":
+                source = (
+                    "REMOTE-HIT" if owner_source == "HIT" else "MISS"
+                )
+                if source == "REMOTE-HIT":
+                    self.stats.remote_hits += 1
+                    self._m.remote_hits.inc()
+                if self._placement.policy.caches_remote_hits:
+                    self._store(url, body)
+                return body, source
+            self.stats.peer_forward_failures += 1
+            self._m.peer_forward_failures.inc()
+            if verdict == "error":
+                break  # owner is up but erroring: go to the origin
+            # The owner is gone (connection refused/reset): rebalance
+            # and retry under the shrunken ring.
+            self.remove_peer(replicas[0], reason="failure")
+
+        fetch_start = perf_counter()
+        body = await self._fetch_from_origin(url, size_hint, parent)
+        self._m.phase_seconds["origin_fetch"].observe(
+            perf_counter() - fetch_start
+        )
+        # Store only when this proxy belongs to the replica set -- the
+        # degraded path (owner up but erroring) served the client from
+        # the origin without creating an off-placement duplicate.
+        if self.config.name in self._placement.replicas(digest):
+            self._store(url, body)
+        return body, "MISS"
+
+    async def _forward_to_owner(
+        self,
+        owner: str,
+        url: str,
+        size_hint: str,
+        parent: Span = NULL_SPAN,
+    ) -> Tuple[str, bytes, str]:
+        """One marked fetch to *owner*.
+
+        Returns ``(verdict, body, owner_source)``: verdict ``"ok"``
+        with the body and the owner's ``X-Cache`` verdict (``HIT`` from
+        its cache, ``MISS`` fetched from the origin on our behalf);
+        ``"gone"`` when the peer cannot be reached at all (the caller
+        rebalances and fails over); ``"error"`` when the peer answered
+        but could not serve (its own origin path failed) -- the caller
+        goes to the origin itself, never surfacing a 5xx to the client.
+        """
+        state = self._peers_by_name.get(owner)
+        if state is None or not state.alive:
+            return "gone", b"", ""
+        span = self.spans.start_span(
+            "peer.forward",
+            trace_id=parent.trace_id or None,
+            parent_id=parent.span_id,
+            proxy=self.config.name,
+            peer=owner,
+            url=url,
+        )
+        headers = {FORWARD_HEADER: self.config.name}
+        if size_hint:
+            headers["X-Size"] = size_hint
+        if span.trace_id:
+            headers[TRACE_HEADER] = span.context().header_value()
+        self.stats.peer_forwards += 1
+        self._m.peer_forwards.inc()
+        fetch_start = perf_counter()
+        try:
+            response = await self._fetch(
+                state.address.host, state.address.http_port, url,
+                headers, span,
+            )
+        except (ConnectionError, ProtocolError, OSError):
+            span.end(status="error")
+            return "gone", b"", ""
+        finally:
+            self._m.phase_seconds["peer_fetch"].observe(
+                perf_counter() - fetch_start
+            )
+        if response.status != 200:
+            span.set(status_code=response.status).end(status="error")
+            return "error", b"", ""
+        owner_source = response.header("x-cache", "MISS").upper()
+        span.set(bytes=len(response.body), source=owner_source).end()
+        return "ok", response.body, owner_source
 
     def _candidate_peers(self, url: str) -> List[_PeerState]:
         """Which peers to query for *url*, per the cooperation mode."""
@@ -1335,6 +1654,11 @@ class SummaryCacheProxy:
     def summary(self) -> LocalSummary:
         """This proxy's own local summary."""
         return self._node.local
+
+    @property
+    def placement(self) -> Placement:
+        """This proxy's placement view (read-only use expected)."""
+        return self._placement
 
     def peer_summary(
         self, icp_addr: Tuple[str, int]

@@ -10,8 +10,13 @@ regional network" -- each proxy is much closer to its own users than
 to the others, so requests routed to a remote owner pay a wide-area
 hop even on a hit.
 
-This simulator implements CARP with highest-random-weight (rendezvous)
-hashing and measures what the paper's argument needs:
+The hash-routing math itself lives in :mod:`repro.placement.ring`
+(rendezvous hashing over the interned MD5 digests of
+:mod:`repro.core.position_cache`); this module re-exports
+:func:`carp_owner` from there so the simulator and the live proxy
+data plane route every URL to the same owner from one implementation.
+
+This simulator measures what the paper's argument needs:
 
 - the hit ratio (no duplicates -> effectively a partitioned global
   cache);
@@ -24,14 +29,15 @@ hashing and measures what the paper's argument needs:
 
 from __future__ import annotations
 
-import hashlib
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List
 
 from repro.cache import WebCache
-from repro.errors import ConfigurationError
+from repro.placement.ring import carp_owner
 from repro.traces.model import Trace
 from repro.traces.partition import group_of
+
+__all__ = ["CarpResult", "carp_owner", "simulate_carp"]
 
 
 @dataclass
@@ -67,27 +73,6 @@ class CarpResult:
         return max(self.per_proxy_requests) / mean if mean else 0.0
 
 
-def carp_owner(url: str, num_proxies: int) -> int:
-    """Rendezvous (highest-random-weight) owner of *url*.
-
-    Each proxy scores ``H(url, proxy)``; the highest score wins.  This
-    is the membership-change-stable hashing CARP specifies.
-    """
-    if num_proxies < 1:
-        raise ConfigurationError(f"num_proxies must be >= 1, got {num_proxies}")
-    best_score = -1
-    best = 0
-    for proxy in range(num_proxies):
-        digest = hashlib.md5(
-            f"{proxy}|{url}".encode("utf-8")
-        ).digest()
-        score = int.from_bytes(digest[:8], "big")
-        if score > best_score:
-            best_score = score
-            best = proxy
-    return best
-
-
 def simulate_carp(
     trace: Trace,
     num_proxies: int,
@@ -104,7 +89,7 @@ def simulate_carp(
         num_proxies=num_proxies,
         per_proxy_requests=[0] * num_proxies,
     )
-    owner_cache: dict = {}
+    owner_cache: Dict[str, int] = {}
 
     for req in trace:
         local = group_of(req.client_id, num_proxies)

@@ -17,6 +17,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.cache import WebCache
 from repro.errors import ConfigurationError
+from repro.placement.policy import CooperationPolicy
 from repro.sharing.results import SharingResult
 from repro.traces.model import Trace
 from repro.traces.partition import grouped_chunks
@@ -86,25 +87,32 @@ def simulate_no_sharing(
     return result
 
 
-def simulate_simple_sharing(
+def _simulate_discovery_sharing(
     trace: Trace,
     num_proxies: int,
     capacity_per_proxy: Capacity,
-    policy: str = "lru",
+    policy: str,
+    cooperation: CooperationPolicy,
+    scheme: str,
 ) -> SharingResult:
-    """ICP-style sharing: fetch from a fresh peer copy, then cache locally.
+    """Shared replay loop for the discovery-based sharing schemes.
 
-    "Once a proxy fetches a document from another proxy, it caches the
-    document locally.  Proxies do not coordinate cache replacements."
+    The only difference between simple sharing and single-copy sharing
+    is the storage rule after a remote hit, and that rule is exactly
+    :attr:`repro.placement.policy.CooperationPolicy.caches_remote_hits`:
+    the requester either stores the fetched document locally (simple
+    sharing / summary cache) or leaves the single copy at the serving
+    peer, which merely refreshes its recency.
     """
     caches = _make_caches(num_proxies, capacity_per_proxy, policy)
     result = SharingResult(
-        scheme="simple-sharing",
+        scheme=scheme,
         trace_name=trace.name,
         num_proxies=num_proxies,
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
     )
+    caches_remote_hits = cooperation.caches_remote_hits
     for chunk in grouped_chunks(trace, num_proxies):
         for g, req in chunk:
             cache = caches[g]
@@ -120,12 +128,34 @@ def simulate_simple_sharing(
                 result.remote_hits += 1
                 result.bytes_hit += req.size
                 caches[holder].touch(req.url)  # serving peer refreshes recency
-            else:
-                if _any_stale_peer(caches, g, req.url, req.version):
-                    result.remote_stale_hits += 1
+                if not caches_remote_hits:
+                    continue  # not cached locally -- that is the point
+            elif _any_stale_peer(caches, g, req.url, req.version):
+                result.remote_stale_hits += 1
             cache.put(req.url, req.size, version=req.version)
     result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
     return result
+
+
+def simulate_simple_sharing(
+    trace: Trace,
+    num_proxies: int,
+    capacity_per_proxy: Capacity,
+    policy: str = "lru",
+) -> SharingResult:
+    """ICP-style sharing: fetch from a fresh peer copy, then cache locally.
+
+    "Once a proxy fetches a document from another proxy, it caches the
+    document locally.  Proxies do not coordinate cache replacements."
+    """
+    return _simulate_discovery_sharing(
+        trace,
+        num_proxies,
+        capacity_per_proxy,
+        policy,
+        CooperationPolicy.SUMMARY,
+        scheme="simple-sharing",
+    )
 
 
 def simulate_single_copy_sharing(
@@ -140,35 +170,14 @@ def simulate_single_copy_sharing(
     Rather, the other proxy marks the document as most-recently-accessed,
     and increases its caching priority."
     """
-    caches = _make_caches(num_proxies, capacity_per_proxy, policy)
-    result = SharingResult(
+    return _simulate_discovery_sharing(
+        trace,
+        num_proxies,
+        capacity_per_proxy,
+        policy,
+        CooperationPolicy.SINGLE_COPY,
         scheme="single-copy",
-        trace_name=trace.name,
-        num_proxies=num_proxies,
-        cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
-        // num_proxies,
     )
-    for chunk in grouped_chunks(trace, num_proxies):
-        for g, req in chunk:
-            cache = caches[g]
-            result.requests += 1
-            result.bytes_requested += req.size
-            entry = cache.get(req.url, version=req.version, size=req.size)
-            if entry is not None:
-                result.local_hits += 1
-                result.bytes_hit += entry.size
-                continue
-            holder = _find_fresh_peer(caches, g, req.url, req.version)
-            if holder is not None:
-                result.remote_hits += 1
-                result.bytes_hit += req.size
-                caches[holder].touch(req.url)
-                continue  # not cached locally -- that is the point
-            if _any_stale_peer(caches, g, req.url, req.version):
-                result.remote_stale_hits += 1
-            cache.put(req.url, req.size, version=req.version)
-    result.local_stale_hits = sum(c.stats.stale_hits for c in caches)
-    return result
 
 
 def simulate_global_cache(

@@ -94,6 +94,128 @@ class TestRunLoadgen:
             LoadGenConfig(requests_per_client=0)
 
 
+class TestOriginAccounting:
+    def test_origin_deltas_do_not_bleed_across_runs(self):
+        """bytes_from_origin counts only the run's own fetches even
+        when consecutive runs share one origin server."""
+
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1,
+                mode=ProxyMode.NO_ICP,
+                cache_capacity=4 * 1024 * 1024,
+                base_config=BASE_CONFIG,
+            ) as cluster:
+                targets = [
+                    (p.config.host, p.http_port) for p in cluster.proxies
+                ]
+                first = await run_loadgen(
+                    targets,
+                    SMALL,
+                    proxies=cluster.proxies,
+                    origin=cluster.origin,
+                )
+                # Same streams again: the cache is warm, so the second
+                # run fetches nothing new from the origin.
+                second = await run_loadgen(
+                    targets,
+                    SMALL,
+                    proxies=cluster.proxies,
+                    origin=cluster.origin,
+                )
+            return first, second
+
+        first, second = run(scenario())
+        assert first.origin_requests is not None
+        assert first.origin_requests > 0
+        assert first.bytes_from_origin > 0
+        assert second.origin_requests == 0
+        assert second.bytes_from_origin == 0
+
+    def test_none_without_origin(self):
+        result = run(_run_phase(SMALL, BASE_CONFIG))
+        assert result.origin_requests is None
+        assert result.bytes_from_origin is None
+        assert result.peer_fetches is not None  # proxies were passed
+
+    def test_peer_fetches_counted_under_carp(self):
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=2,
+                mode=ProxyMode.NO_ICP,
+                cache_capacity=4 * 1024 * 1024,
+                base_config=BASE_CONFIG,
+                cooperation="carp",
+            ) as cluster:
+                targets = [
+                    (p.config.host, p.http_port) for p in cluster.proxies
+                ]
+                return await run_loadgen(
+                    targets,
+                    SMALL,
+                    proxies=cluster.proxies,
+                    origin=cluster.origin,
+                )
+
+        result = run(scenario())
+        assert result.errors == 0
+        assert result.peer_fetches > 0
+
+
+class TestDriverReuse:
+    def test_drivers_survive_phases_and_reports_reset(self):
+        from repro.proxy.client import ClientDriver
+
+        async def scenario():
+            drivers = [ClientDriver("127.0.0.1", 0) for _ in range(3)]
+            results = []
+            for _ in range(2):  # two fresh clusters, same drivers
+                async with ProxyCluster(
+                    num_proxies=1,
+                    mode=ProxyMode.NO_ICP,
+                    cache_capacity=4 * 1024 * 1024,
+                    base_config=BASE_CONFIG,
+                ) as cluster:
+                    targets = [
+                        (p.config.host, p.http_port)
+                        for p in cluster.proxies
+                    ]
+                    results.append(
+                        await run_loadgen(
+                            targets, SMALL, drivers=drivers
+                        )
+                    )
+            return results, drivers
+
+        results, drivers = run(scenario())
+        # Each phase's numbers are its own: the rebind reset reports.
+        assert [r.requests for r in results] == [30, 30]
+        assert [r.connections_opened for r in results] == [3, 3]
+        assert results[0].cache_sources == results[1].cache_sources
+        assert all(d.report.requests == 10 for d in drivers)
+
+    def test_driver_count_must_match_clients(self):
+        from repro.proxy.client import ClientDriver
+
+        async def scenario():
+            async with ProxyCluster(
+                num_proxies=1,
+                mode=ProxyMode.NO_ICP,
+                base_config=BASE_CONFIG,
+            ) as cluster:
+                targets = [
+                    (p.config.host, p.http_port) for p in cluster.proxies
+                ]
+                await run_loadgen(
+                    targets,
+                    SMALL,
+                    drivers=[ClientDriver("127.0.0.1", 0)],
+                )
+
+        with pytest.raises(ConfigurationError):
+            run(scenario())
+
+
 class TestReporting:
     def _two_results(self):
         keep = run(_run_phase(SMALL, BASE_CONFIG))

@@ -81,6 +81,78 @@ class TestHitRatioTarget:
         assert hits / requests == pytest.approx(target, abs=0.05)
 
 
+class TestSharedPool:
+    def test_shared_urls_overlap_across_clients(self):
+        streams = generate_client_streams(
+            WisconsinConfig(
+                num_clients=6,
+                requests_per_client=120,
+                shared_fraction=0.4,
+                shared_docs=16,
+                seed=5,
+            )
+        )
+        shared_sets = [
+            {r.url for r in s if "/shared/" in r.url} for s in streams
+        ]
+        assert all(shared_sets)
+        common = set.intersection(*shared_sets)
+        assert common  # every client touched some shared documents
+
+    def test_shared_fraction_close_to_target(self):
+        streams = generate_client_streams(
+            WisconsinConfig(
+                num_clients=8,
+                requests_per_client=300,
+                shared_fraction=0.3,
+                seed=11,
+            )
+        )
+        total = sum(len(s) for s in streams)
+        shared = sum(
+            1 for s in streams for r in s if "/shared/" in r.url
+        )
+        assert shared / total == pytest.approx(0.3, abs=0.05)
+
+    def test_disabled_pool_leaves_streams_bit_identical(self):
+        """At shared_fraction=0.0 the pool generator draws nothing, so
+        classic streams are unchanged whatever the pool size is set to
+        (the backward-compatibility contract of the knob)."""
+        plain = generate_client_streams(
+            WisconsinConfig(num_clients=4, requests_per_client=80, seed=3)
+        )
+        resized = generate_client_streams(
+            WisconsinConfig(
+                num_clients=4,
+                requests_per_client=80,
+                seed=3,
+                shared_fraction=0.0,
+                shared_docs=997,
+            )
+        )
+        assert [
+            [(r.url, r.size) for r in s] for s in plain
+        ] == [[(r.url, r.size) for r in s] for s in resized]
+        assert not any(
+            "/shared/" in r.url for s in plain for r in s
+        )
+
+    def test_shared_doc_sizes_consistent(self):
+        streams = generate_client_streams(
+            WisconsinConfig(
+                num_clients=5,
+                requests_per_client=150,
+                shared_fraction=0.5,
+                shared_docs=8,
+                seed=2,
+            )
+        )
+        sizes = {}
+        for stream in streams:
+            for req in stream:
+                assert sizes.setdefault(req.url, req.size) == req.size
+
+
 class TestValidation:
     @pytest.mark.parametrize(
         "kwargs",
@@ -90,6 +162,9 @@ class TestValidation:
             {"target_hit_ratio": 1.0},
             {"target_hit_ratio": -0.1},
             {"pareto_alpha": 1.0},
+            {"shared_fraction": 1.0},
+            {"shared_fraction": -0.2},
+            {"shared_docs": 0},
         ],
     )
     def test_rejects_bad_config(self, kwargs):

@@ -514,6 +514,59 @@ class TestSC004Encapsulation:
         )
         assert project.lint(select="SC004") == []
 
+    def test_placement_internals_outside_placement(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            def hijack(placement, member):
+                placement._ring = placement._ring.with_member(member)
+            """,
+        )
+        findings = project.lint(select="SC004")
+        assert len(findings) == 2
+        assert all("._ring" in f.message for f in findings)
+        assert all("repro.placement" in f.message for f in findings)
+
+    def test_ring_points_outside_placement(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/sharing/mod.py",
+            """\
+            def peek(ring, name):
+                return ring._points[name]
+            """,
+        )
+        assert project.rule_counts(select="SC004") == {"SC004": 1}
+
+    def test_placement_package_touches_own_internals(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/placement/mod.py",
+            """\
+            def swap(placement, ring):
+                placement._ring = ring
+                return placement._self_name
+            """,
+        )
+        assert project.lint(select="SC004") == []
+
+    def test_placement_self_access_allowed(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/proxy/mod.py",
+            """\
+            class Holder:
+                def view(self):
+                    return self._ring.members
+            """,
+        )
+        assert project.lint(select="SC004") == []
+
 
 class TestSC005Exceptions:
     def test_builtin_raise_flagged(self, project: LintProject) -> None:
