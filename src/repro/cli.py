@@ -568,9 +568,56 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="run the sc-lint static-analysis suite (SC001..SC006)",
+        help="run the sc-lint static-analysis suite (SC001..SC009)",
     )
     add_lint_arguments(p)
+
+    p = sub.add_parser(
+        "sanitize-run",
+        help=(
+            "boot a live cluster with the interleaving sanitizer armed, "
+            "drive concurrent load, and report any races detected"
+        ),
+    )
+    p.add_argument(
+        "--proxies", type=int, default=3, help="cluster size (default: 3)"
+    )
+    p.add_argument(
+        "--mode",
+        default="sc-icp",
+        choices=("no-icp", "icp", "sc-icp"),
+        help="cooperation mode (default: sc-icp)",
+    )
+    _add_cooperation_args(p)
+    p.add_argument(
+        "--clients",
+        type=int,
+        default=8,
+        help="concurrent keep-alive clients (default: 8)",
+    )
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=100,
+        help="requests per client (default: 100)",
+    )
+    p.add_argument(
+        "--shared-fraction",
+        type=float,
+        default=0.5,
+        help=(
+            "fraction of requests drawn from a cross-client shared "
+            "pool -- high sharing maximises interleaving on the same "
+            "objects (default: 0.5)"
+        ),
+    )
+    p.add_argument("--seed", type=int, default=42)
+    p.add_argument(
+        "--rate",
+        type=float,
+        default=0.5,
+        help="perturbation yield probability (default: 0.5)",
+    )
 
     return parser
 
@@ -954,6 +1001,68 @@ async def _loadgen(args: argparse.Namespace) -> int:
             fh.write(record + "\n")
         print(f"wrote {args.json}")
     return 0
+
+
+async def _sanitize_run(args: argparse.Namespace) -> int:
+    """Boot a sanitized cluster, drive load, report interleavings.
+
+    Exit codes: 0 no violations, 1 violations detected, 2 setup error.
+    """
+    import os
+
+    from repro.benchmarkkit.loadgen import LoadGenConfig, run_loadgen
+    from repro.proxy.cluster import ProxyCluster
+    from repro.proxy.config import ProxyConfig, ProxyMode
+    from repro.sanitizer import ENV_FLAG, ENV_SEED, default_sanitizer
+    from repro.sanitizer.core import ENV_RATE
+
+    # The proxies pick the sanitizer up from the environment at
+    # construction (default_sanitizer), so arm it before the cluster.
+    os.environ[ENV_FLAG] = "1"
+    os.environ[ENV_SEED] = str(args.seed)
+    os.environ[ENV_RATE] = str(args.rate)
+    sanitizer = default_sanitizer()
+    if sanitizer is None:  # pragma: no cover - env set two lines up
+        print("sanitize-run: error: could not arm the sanitizer")
+        return 2
+
+    config = LoadGenConfig(
+        clients=args.clients,
+        requests_per_client=args.requests,
+        target_hit_ratio=0.25,
+        seed=args.seed,
+        keep_alive=True,
+        shared_fraction=args.shared_fraction,
+    )
+    async with ProxyCluster(
+        num_proxies=args.proxies,
+        mode=ProxyMode(args.mode),
+        base_config=ProxyConfig(),
+        cooperation=args.cooperation,
+        replication=args.replication,
+    ) as cluster:
+        targets = [
+            (proxy.config.host, proxy.http_port)
+            for proxy in cluster.proxies
+        ]
+        result = await run_loadgen(
+            targets,
+            config,
+            label="sanitize",
+            proxies=cluster.proxies,
+            origin=cluster.origin,
+        )
+    violations = sanitizer.drain()
+    total = args.clients * args.requests
+    print(
+        f"sanitize-run: {total} requests over {args.proxies} proxies "
+        f"({result.requests} done, {result.errors} error(s)), "
+        f"{sanitizer.yields} perturbation yield(s), "
+        f"{len(violations)} violation(s)"
+    )
+    for violation in violations:
+        print(f"  {violation.render()}")
+    return 1 if violations else 0
 
 
 async def _placement_bench(args: argparse.Namespace) -> int:
@@ -1340,6 +1449,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             return 0
     elif args.command == "lint":
         return run_lint_command(args)
+    elif args.command == "sanitize-run":
+        try:
+            return asyncio.run(_sanitize_run(args))
+        except KeyboardInterrupt:
+            return 0
     elif args.command == "gen-trace":
         trace, groups = make_workload(args.workload, scale=args.scale)
         write_jsonl(trace, args.out)

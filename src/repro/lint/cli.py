@@ -12,7 +12,7 @@ from typing import FrozenSet, List, Optional
 
 from repro.errors import ConfigurationError
 from repro.lint.framework import LintConfig, all_rules, run_lint
-from repro.lint.reporters import render_json, render_text
+from repro.lint.reporters import render_json, render_sarif, render_text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -21,7 +21,7 @@ def build_parser() -> argparse.ArgumentParser:
         prog="sc-lint",
         description=(
             "Project-invariant static analysis for the summary cache "
-            "reproduction (rules SC001..SC006; see "
+            "reproduction (rules SC001..SC009; see "
             "docs/static-analysis.md)."
         ),
     )
@@ -39,9 +39,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        default=None,
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--select",
@@ -103,9 +109,20 @@ def run(args: argparse.Namespace) -> int:
         print(f"sc-lint: error: {exc}")
         return 2
     if args.format == "json":
-        print(render_json(result))
+        report = render_json(result)
+    elif args.format == "sarif":
+        report = render_sarif(result)
     else:
-        print(render_text(result))
+        report = render_text(result)
+    output = getattr(args, "output", None)
+    if output:
+        try:
+            Path(output).write_text(report + "\n", encoding="utf-8")
+        except OSError as exc:
+            print(f"sc-lint: error: cannot write {output}: {exc}")
+            return 2
+    else:
+        print(report)
     return result.exit_code
 
 

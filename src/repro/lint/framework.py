@@ -95,6 +95,36 @@ class Suppressions:
                     part.strip() for part in rules.split(",") if part.strip()
                 )
 
+    def extend_from_tree(self, tree: ast.AST) -> None:
+        """Merge decorator-line suppressions into the ``def`` line.
+
+        Rules anchor per-function findings at the ``def``/``class``
+        line, but a decorated definition *starts* at its first
+        decorator — which is where an author naturally writes the
+        comment.  Any ``# sc-lint: disable`` on a decorator line (or a
+        continuation line of a multi-line decorator call) therefore
+        also applies to the definition line.  A bare ``disable``
+        (all rules) wins over id lists when merging.
+        """
+        for node in ast.walk(tree):
+            if not isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                continue
+            for deco in node.decorator_list:
+                end = getattr(deco, "end_lineno", None) or deco.lineno
+                for lineno in range(deco.lineno, end + 1):
+                    ids = self._by_line.get(lineno)
+                    if ids is None:
+                        continue
+                    existing = self._by_line.get(node.lineno)
+                    if not ids or (existing is not None and not existing):
+                        self._by_line[node.lineno] = frozenset()
+                    elif existing is None:
+                        self._by_line[node.lineno] = ids
+                    else:
+                        self._by_line[node.lineno] = existing | ids
+
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True when *rule* is disabled on *line*."""
         ids = self._by_line.get(line)
@@ -375,6 +405,7 @@ def run_lint(
             continue
         result.files_checked += 1
         suppressions = Suppressions(source)
+        suppressions.extend_from_tree(tree)
         project.suppressions[rel_path] = suppressions
         ctx = FileContext(
             path=path,

@@ -1,13 +1,21 @@
-"""Text and JSON rendering of a :class:`~repro.lint.framework.LintResult`."""
+"""Text, JSON, and SARIF rendering of a
+:class:`~repro.lint.framework.LintResult`."""
 
 from __future__ import annotations
 
 import json
 
-from repro.lint.framework import LintResult
+from repro.lint.framework import LintResult, all_rules
 
 #: Version of the JSON report schema below.
 JSON_SCHEMA_VERSION = 1
+
+#: SARIF spec version emitted by :func:`render_sarif`.
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
 
 
 def render_text(result: LintResult) -> str:
@@ -55,5 +63,68 @@ def render_json(result: LintResult) -> str:
         "rules_run": list(result.rules_run),
         "counts": result.counts,
         "findings": [finding.as_dict() for finding in result.findings],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 report (one run, tool ``sc-lint``).
+
+    Every executed rule appears in ``tool.driver.rules`` (so a clean
+    run still documents its coverage), every finding becomes a
+    ``result`` with ``level: error`` — sc-lint findings are invariant
+    violations, not style nits.  Columns are 0-based internally and
+    1-based in SARIF, hence the ``col + 1``.
+    """
+    registry = all_rules()
+    rules = []
+    for rule_id in result.rules_run:
+        cls = registry.get(rule_id)
+        if cls is None:
+            continue
+        rules.append(
+            {
+                "id": rule_id,
+                "name": cls.title,
+                "shortDescription": {"text": cls.title},
+                "fullDescription": {"text": cls.rationale},
+                "defaultConfiguration": {"level": "error"},
+            }
+        )
+    results = [
+        {
+            "ruleId": finding.rule,
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/")
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for finding in result.findings
+    ]
+    payload = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sc-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -11,6 +11,9 @@ from repro.lint.rules.sc003_metrics import MetricNameConventions
 from repro.lint.rules.sc004_encapsulation import SummaryEncapsulation
 from repro.lint.rules.sc005_exceptions import ExceptionHygiene
 from repro.lint.rules.sc006_codec_sync import CodecDocSync
+from repro.lint.rules.sc007_races import InterleavedReadModifyWrite
+from repro.lint.rules.sc008_lifecycle import ResourceLifecycleLeaks
+from repro.lint.rules.sc009_locks import LockDiscipline
 
 __all__ = [
     "NoBlockingCallsInAsync",
@@ -19,4 +22,7 @@ __all__ = [
     "SummaryEncapsulation",
     "ExceptionHygiene",
     "CodecDocSync",
+    "InterleavedReadModifyWrite",
+    "ResourceLifecycleLeaks",
+    "LockDiscipline",
 ]

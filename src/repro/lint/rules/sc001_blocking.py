@@ -128,9 +128,12 @@ class NoBlockingCallsInAsync(Rule):
             if isinstance(child, ast.AsyncFunctionDef):
                 self._walk(ctx, child, True, imports, out)
             elif isinstance(child, (ast.FunctionDef, ast.Lambda)):
-                # A nested sync def/lambda runs whenever it is called,
-                # not necessarily on the loop; analysed as sync scope.
-                self._walk(ctx, child, False, imports, out)
+                # A sync def/lambda nested inside a coroutine is almost
+                # always invoked from that coroutine (a sort key, a
+                # callback handed to loop.call_soon, a local helper) --
+                # it runs on the loop, so it inherits async scope.
+                # Module/class-level sync defs stay sync scope.
+                self._walk(ctx, child, in_async, imports, out)
             else:
                 if in_async and isinstance(child, ast.Call):
                     self._check_call(ctx, child, imports, out)

@@ -1,0 +1,170 @@
+"""SC009: lock discipline for asyncio critical sections.
+
+Three disciplines, all checkable on the flow graph's lock context:
+
+1. **No double-acquire.**  ``asyncio.Lock`` is not reentrant: a task
+   that re-enters ``async with self._lock:`` while already holding it
+   deadlocks itself (and, because the loop keeps running, the deadlock
+   presents as a silent stall, not a traceback).
+2. **No await inside a ``no-await`` section.**  A lock annotated
+   ``# sc-lint: no-await`` (on its defining assignment or on the
+   ``async with`` line) promises its critical section never yields --
+   the justification for treating the guarded state as atomic.  Any
+   ``await`` inside such a section breaks the promise.
+3. **Acquire with ``async with``, not bare ``.acquire()``.**  A bare
+   ``await lock.acquire()`` needs a matching ``release()`` on *every*
+   exit path including cancellation; the context-manager form gets
+   that for free, so the rule nudges toward it.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Iterator, List, Set, Tuple
+
+from repro.lint.flow import (
+    attribute_chain,
+    build_flow_graph,
+    iter_async_functions,
+    no_await_lines,
+    no_await_lock_chains,
+)
+from repro.lint.framework import FileContext, Finding, Rule, register
+
+
+def _lockish(chain: str, no_await_chains: FrozenSet[str]) -> bool:
+    last = chain.rsplit(".", 1)[-1].lower()
+    return "lock" in last or "sem" in last or chain in no_await_chains
+
+
+def _with_lock_chains(
+    stmt: ast.AsyncWith, no_await_chains: FrozenSet[str]
+) -> List[str]:
+    out: List[str] = []
+    for item in stmt.items:
+        chain = attribute_chain(item.context_expr)
+        if chain is not None and _lockish(chain, no_await_chains):
+            out.append(chain)
+    return out
+
+
+@register
+class LockDiscipline(Rule):
+    """Flag re-entrant acquires, awaits in no-await sections, and bare
+    ``.acquire()`` calls on asyncio locks."""
+
+    id = "SC009"
+    title = "asyncio lock misuse (double-acquire, await in no-await section)"
+    rationale = (
+        "asyncio.Lock is not reentrant, so a nested acquire deadlocks "
+        "the task silently; and a lock annotated no-await is the "
+        "atomicity argument for its guarded state -- an await inside "
+        "its section reopens exactly the interleaving window SC007 "
+        "exists to close."
+    )
+    scopes = ()
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        findings: List[Finding] = []
+        na_lines = no_await_lines(ctx.source)
+        na_chains: Set[str] = set(
+            no_await_lock_chains(ctx.tree, na_lines)
+        )
+        # ``async with self._x:  # sc-lint: no-await`` marks the
+        # section's lock no-await at the use site.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.AsyncWith) and node.lineno in na_lines:
+                for item in node.items:
+                    chain = attribute_chain(item.context_expr)
+                    if chain is not None:
+                        na_chains.add(chain)
+        frozen_na = frozenset(na_chains)
+
+        for _cls, func in iter_async_functions(ctx.tree):
+            self._check_function(
+                ctx, func, frozen_na, na_lines, findings
+            )
+        return iter(findings)
+
+    def _check_function(
+        self,
+        ctx: FileContext,
+        func: ast.AsyncFunctionDef,
+        na_chains: FrozenSet[str],
+        na_lines: FrozenSet[int],
+        findings: List[Finding],
+    ) -> None:
+        graph = build_flow_graph(
+            func, None, na_lines, na_chains
+        )
+        seen_double: Set[int] = set()
+        seen_no_await: Set[Tuple[str, int]] = set()
+        seen_bare: Set[int] = set()
+        for _pos, event in graph.events():
+            held = {chain for chain, _ in event.locks}
+
+            if event.kind == "await" and isinstance(
+                event.node, ast.AsyncWith
+            ):
+                inner = _with_lock_chains(event.node, na_chains)
+                for chain in inner:
+                    if chain in held and id(event.node) not in seen_double:
+                        seen_double.add(id(event.node))
+                        findings.append(
+                            ctx.finding(
+                                self.id,
+                                event.node,
+                                f"double-acquire of {chain}: this task "
+                                "already holds the lock and "
+                                "asyncio.Lock is not reentrant -- the "
+                                "task deadlocks itself; restructure so "
+                                "the outer critical section covers "
+                                "the work",
+                            )
+                        )
+
+            if event.kind == "await":
+                for chain, _ in event.locks:
+                    if chain not in na_chains:
+                        continue
+                    lineno = getattr(event.node, "lineno", 0)
+                    key = (chain, lineno)
+                    if key in seen_no_await:
+                        continue
+                    seen_no_await.add(key)
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            event.node,
+                            f"await while holding {chain}, which is "
+                            "annotated '# sc-lint: no-await': the "
+                            "section's atomicity argument assumes it "
+                            "never yields the event loop; move the "
+                            "await outside the critical section or "
+                            "drop the annotation",
+                        )
+                    )
+
+            if (
+                event.kind == "call"
+                and event.call_method == "acquire"
+                and isinstance(event.node, ast.Call)
+                and isinstance(event.node.func, ast.Attribute)
+            ):
+                owner = attribute_chain(event.node.func.value)
+                if (
+                    owner is not None
+                    and _lockish(owner, na_chains)
+                    and id(event.node) not in seen_bare
+                ):
+                    seen_bare.add(id(event.node))
+                    findings.append(
+                        ctx.finding(
+                            self.id,
+                            event.node,
+                            f"bare {owner}.acquire(): a matching "
+                            "release() is needed on every exit path "
+                            "including cancellation -- use 'async "
+                            f"with {owner}:' instead",
+                        )
+                    )

@@ -30,6 +30,7 @@ Ids are 32-bit and non-zero; id 0 means "no context" on every carrier.
 
 from __future__ import annotations
 
+import asyncio
 import os
 import time
 from collections import deque
@@ -161,6 +162,33 @@ class Span:
             self.duration = time.time() - self.start
             self.status = status
         return self
+
+    def __enter__(self) -> "Span":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        tb: Optional[object],
+    ) -> bool:
+        """End the span on every exit path, including cancellation.
+
+        In async code any ``await`` inside the span's extent is a
+        cancellation point; ``with ring.start_span(...) as span:`` is
+        the only shape that guarantees the span still ends (an unended
+        span stays "live" forever and poisons duration aggregates).
+        An explicit ``span.end(...)`` inside the block wins -- ``end``
+        is idempotent -- so success paths can still record a specific
+        status.
+        """
+        if exc is None:
+            self.end("ok")
+        elif isinstance(exc, asyncio.CancelledError):
+            self.end("cancelled")
+        else:
+            self.end("error")
+        return False
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-ready form; ids in the 8-hex-digit wire format."""

@@ -57,7 +57,9 @@ class Placement:
         Replica-set size handed to the ring.
     """
 
-    __slots__ = ("_self_name", "_ring", "_policy", "_replication")
+    __slots__ = (
+        "_self_name", "_ring", "_policy", "_replication", "_version",
+    )
 
     def __init__(
         self,
@@ -72,6 +74,7 @@ class Placement:
         self._replication = replication
         self._ring = HashRing(members, replication)
         self._policy = policy
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Views
@@ -96,6 +99,19 @@ class Placement:
     def members(self) -> Tuple[str, ...]:
         """Current member identities."""
         return self._ring.members
+
+    @property
+    def version(self) -> int:
+        """Monotonic membership-change counter.
+
+        Bumped every time the ring actually changes.  Async callers
+        that act on a routing decision *after* an ``await`` (e.g. the
+        proxy's owner-forward path deciding to evict a peer because a
+        forward failed) must re-check the version they routed under:
+        a bump means the verdict may describe a member set that no
+        longer exists.
+        """
+        return self._version
 
     def owner(self, digest: bytes) -> str:
         """Owner identity of the key with *digest*."""
@@ -126,6 +142,7 @@ class Placement:
         after = before.with_member(name)
         displaced = displaced_keys(before, after, self._self_name, items)
         self._ring = after
+        self._version += 1
         return displaced
 
     def remove_member(
@@ -144,4 +161,5 @@ class Placement:
         after = before.without_member(name)
         displaced = displaced_keys(before, after, self._self_name, items)
         self._ring = after
+        self._version += 1
         return displaced

@@ -87,6 +87,13 @@ from repro.proxy.http import (
     write_response,
 )
 from repro.proxy.pool import ConnectionPool, PooledConnection
+from repro.sanitizer import (
+    GuardedConnectionPool,
+    GuardedPlacement,
+    GuardedSummaryNode,
+    Sanitizer,
+    default_sanitizer,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -351,10 +358,16 @@ class SummaryCacheProxy:
         origin_address: Tuple[str, int],
         registry: Optional[MetricsRegistry] = None,
         span_ring: Optional[SpanRing] = None,
+        sanitizer: Optional[Sanitizer] = None,
     ) -> None:
         self.config = config
         self.origin_address = origin_address
         self.stats = ProxyStats()
+        #: Interleaving sanitizer: explicit instance, the process-wide
+        #: one when ``SC_SANITIZE=1``, else None (zero overhead).
+        self._san = (
+            sanitizer if sanitizer is not None else default_sanitizer()
+        )
         #: Per-proxy metrics registry backing ``GET /metrics``.
         self.registry = registry if registry is not None else MetricsRegistry()
         self._m = _ProxyMetrics(self.registry, config.summary.kind)
@@ -411,6 +424,36 @@ class SummaryCacheProxy:
             policy=config.cooperation,
             replication=config.replication,
         )
+        if self._san is not None:
+            # Wrap the shared mutable state in interleaving-check
+            # guards.  The guards are structural stand-ins (full method
+            # surface, extra recording), hence the casts.
+            self._node = cast(
+                SummaryNode,
+                GuardedSummaryNode(self._node, self._san, config.name),
+            )
+            self._pool = cast(
+                ConnectionPool,
+                GuardedConnectionPool(self._pool, self._san, config.name),
+            )
+            self._placement = cast(
+                Placement,
+                GuardedPlacement(self._placement, self._san, config.name),
+            )
+            violations = self.registry.counter(
+                "sanitizer_violations_total",
+                "interleaving violations the runtime sanitizer detected",
+            )
+            # The process-wide sanitizer is shared by every proxy in
+            # the process; count only violations on *this* proxy's
+            # guarded objects (keys are "<proxy name>.<object>").
+            self._san.add_listener(
+                lambda v: (
+                    violations.inc()
+                    if v.key.startswith(config.name + ".")
+                    else None
+                )
+            )
         self._pending: Dict[int, _PendingQuery] = {}
         self._request_counter = 0
         #: Open client-side connections, aborted on :meth:`stop` so a
@@ -535,12 +578,18 @@ class SummaryCacheProxy:
         self._peers_by_name = {
             state.address.name: state for state in self._peers.values()
         }
-        self._placement = Placement(
+        placement = Placement(
             self.config.name,
             [peer.name for peer in peers],
             policy=self.config.cooperation,
             replication=self.config.replication,
         )
+        if self._san is not None:
+            placement = cast(
+                Placement,
+                GuardedPlacement(placement, self._san, self.config.name),
+            )
+        self._placement = placement
 
     def add_peer(self, peer: PeerAddress) -> None:
         """Admit one peer at runtime (membership join).
@@ -958,6 +1007,11 @@ class SummaryCacheProxy:
                     and served >= self.config.max_requests_per_connection
                 ):
                     keep_alive = False
+                # SC007 pairs reads in one dispatched handler with
+                # writes in the *next* iteration's handler; each
+                # iteration is an independent request that is supposed
+                # to see the then-current state, so the cross-request
+                # "window" is serial request handling, not a race.
                 if request.url == "/__stats__":
                     await self._serve_stats(writer, keep_alive)
                 elif request.url.partition("?")[0] == "/metrics":
@@ -965,11 +1019,17 @@ class SummaryCacheProxy:
                 elif request.url.partition("?")[0] == "/trace":
                     await self._serve_trace(request, writer, keep_alive)
                 elif request.header("x-only-if-cached"):
-                    await self._serve_peer(request, writer, keep_alive)
+                    await self._serve_peer(  # sc-lint: disable=SC007
+                        request, writer, keep_alive
+                    )
                 elif request.header("x-sc-forward"):
-                    await self._serve_forward(request, writer, keep_alive)
+                    await self._serve_forward(  # sc-lint: disable=SC007
+                        request, writer, keep_alive
+                    )
                 else:
-                    await self._serve_client(request, writer, keep_alive)
+                    await self._serve_client(  # sc-lint: disable=SC007
+                        request, writer, keep_alive
+                    )
                 if not keep_alive:
                     break
         except (ConnectionError, asyncio.CancelledError):
@@ -1138,7 +1198,10 @@ class SummaryCacheProxy:
         url = request.url
         requester = request.header("x-sc-forward")
         ctx = TraceContext.parse(request.header(TRACE_HEADER))
-        span = self.spans.start_span(
+        # The with-statement ends the span on *every* exit -- including
+        # a client disconnect cancelling this handler mid-await -- so a
+        # dropped peer request never strands a live span in the ring.
+        with self.spans.start_span(
             "peer.serve",
             trace_id=ctx.trace_id if ctx is not None else None,
             parent_id=ctx.span_id if ctx is not None else 0,
@@ -1146,29 +1209,40 @@ class SummaryCacheProxy:
             url=url,
             requester=requester,
             forwarded=True,
-        )
-        body = self._lookup_local(url)
-        source = "HIT"
-        if body is None:
-            source = "MISS"
-            try:
-                body = await self._fetch_from_origin(
-                    url, request.header("x-size"), span
+        ) as span:
+            if self._san is not None:
+                self._san.begin_request(
+                    format_id(span.trace_id) if span.trace_id else ""
                 )
-            except (ProxyError, ConnectionError, ProtocolError, OSError):
-                span.set(source=source).end(status="error")
-                write_response(
-                    writer,
-                    502,
-                    headers={OWNER_HEADER: self.config.name},
-                    keep_alive=keep_alive,
-                )
-                await writer.drain()
-                return
-            self._store(url, body)
-        self.stats.peer_served_requests += 1
-        self._m.peer_served.inc()
-        span.set(source=source, bytes=len(body)).end()
+            body = self._lookup_local(url)
+            source = "HIT"
+            if body is None:
+                source = "MISS"
+                try:
+                    body = await self._fetch_from_origin(
+                        url, request.header("x-size"), span
+                    )
+                except (
+                    ProxyError, ConnectionError, ProtocolError, OSError
+                ):
+                    span.set(source=source).end(status="error")
+                    write_response(
+                        writer,
+                        502,
+                        headers={OWNER_HEADER: self.config.name},
+                        keep_alive=keep_alive,
+                    )
+                    await writer.drain()
+                    return
+                # Concurrent misses for the same URL each fetch and
+                # store; the store is idempotent over identical origin
+                # bodies, so the lost-update SC007 sees is benign
+                # (collapsing duplicate fetches is a deliberate
+                # non-goal for idempotent GETs).
+                self._store(url, body)  # sc-lint: disable=SC007
+            self.stats.peer_served_requests += 1
+            self._m.peer_served.inc()
+            span.set(source=source, bytes=len(body)).end()
         await self._stream_response(
             writer,
             body,
@@ -1193,28 +1267,41 @@ class SummaryCacheProxy:
         # null span, whose zero trace id suppresses every propagation
         # site below.)
         ctx = TraceContext.parse(request.header(TRACE_HEADER))
-        root = self.spans.start_span(
+        with self.spans.start_span(
             "http.request",
             trace_id=ctx.trace_id if ctx is not None else None,
             parent_id=ctx.span_id if ctx is not None else 0,
             proxy=self.config.name,
             url=url,
-        )
-        start = perf_counter()
+        ) as root:
+            if self._san is not None:
+                # New logical scope (read markers from the previous
+                # request on this keep-alive task are not ours), plus
+                # trace attribution for any violation we cause.
+                self._san.begin_request(
+                    format_id(root.trace_id) if root.trace_id else ""
+                )
+            start = perf_counter()
 
-        body = self._lookup_local(url)
-        source = "HIT"
-        if body is None:
-            body, source = await self._miss_path(url, size_hint, root)
-        else:
-            self.stats.local_hits += 1
-            self._m.local_hits.inc()
+            body = self._lookup_local(url)
+            source = "HIT"
+            if body is None:
+                # Two tasks missing on the same URL race to fetch and
+                # store; the duplicate store of an identical body is
+                # benign for idempotent GETs (see _serve_forward), so
+                # the miss is deliberately not single-flighted.
+                body, source = await self._miss_path(  # sc-lint: disable=SC007
+                    url, size_hint, root
+                )
+            else:
+                self.stats.local_hits += 1
+                self._m.local_hits.inc()
 
-        self.stats.bytes_served += len(body)
-        self._m.bytes_served.inc(len(body))
-        self._m.phase_seconds["total"].observe(perf_counter() - start)
-        root.add_event("http.served", source=source, bytes=len(body))
-        root.set(source=source, bytes=len(body)).end()
+            self.stats.bytes_served += len(body)
+            self._m.bytes_served.inc(len(body))
+            self._m.phase_seconds["total"].observe(perf_counter() - start)
+            root.add_event("http.served", source=source, bytes=len(body))
+            root.set(source=source, bytes=len(body)).end()
         headers = {"X-Cache": source}
         if root.trace_id:
             # Echo the trace context so the client learns which trace
@@ -1272,10 +1359,16 @@ class SummaryCacheProxy:
         URL's placement owner instead.
         """
         if self._placement.policy.routes_by_owner:
-            return await self._owner_path(url, size_hint, parent)
+            # _owner_path re-validates Placement.version after every
+            # awaited forward before acting on its routing verdict, so
+            # the membership writes SC007 sees here are freshness-
+            # checked inside the callee.
+            return await self._owner_path(  # sc-lint: disable=SC007
+                url, size_hint, parent
+            )
         candidates = self._candidate_peers(url)
         attrs = self._summary_attributes() if self.spans.enabled else {}
-        lookup = self.spans.start_span(
+        with self.spans.start_span(
             "summary.lookup",
             trace_id=parent.trace_id or None,
             parent_id=parent.span_id,
@@ -1283,48 +1376,54 @@ class SummaryCacheProxy:
             url=url,
             candidates=len(candidates),
             **attrs,
-        )
-        outcome = "no_candidates"
-        if candidates:
-            holder = await self._query_peers(url, candidates, lookup)
-            if holder is not None:
-                fetch_start = perf_counter()
-                body = await self._fetch_from_peer(
-                    holder, url, size_hint, lookup
-                )
-                self._m.phase_seconds["peer_fetch"].observe(
-                    perf_counter() - fetch_start
-                )
-                if body is not None:
-                    self.stats.remote_hits += 1
-                    self._m.remote_hits.inc()
-                    lookup.set(
-                        outcome="remote_hit", peer=holder.address.name
-                    ).end()
-                    # Single-copy cooperation leaves the document at the
-                    # serving peer (whose copy the fetch just touched);
-                    # summary cooperation caches it locally.
-                    if self._placement.policy.caches_remote_hits:
-                        self._store(url, body)
-                    return body, "REMOTE-HIT"
-                self.stats.remote_fetch_failures += 1
-                self._m.remote_fetch_failures.inc()
-                outcome = "fetch_failed"
-                lookup.set(peer=holder.address.name)
-            else:
-                # False-hit resolution: the summaries (or the query
-                # round) promised a copy nobody actually held.
-                self.stats.false_query_rounds += 1
-                self._m.false_hits.inc()
-                outcome = "false_hit"
-        lookup.set(outcome=outcome).end()
+        ) as lookup:
+            outcome = "no_candidates"
+            if candidates:
+                holder = await self._query_peers(url, candidates, lookup)
+                if holder is not None:
+                    fetch_start = perf_counter()
+                    body = await self._fetch_from_peer(
+                        holder, url, size_hint, lookup
+                    )
+                    self._m.phase_seconds["peer_fetch"].observe(
+                        perf_counter() - fetch_start
+                    )
+                    if body is not None:
+                        self.stats.remote_hits += 1
+                        self._m.remote_hits.inc()
+                        lookup.set(
+                            outcome="remote_hit", peer=holder.address.name
+                        ).end()
+                        # Single-copy cooperation leaves the document at
+                        # the serving peer (whose copy the fetch just
+                        # touched); summary cooperation caches it
+                        # locally.
+                        if self._placement.policy.caches_remote_hits:
+                            # Duplicate store of an identical body by
+                            # concurrent misses is benign (idempotent
+                            # GETs, no single-flight by design).
+                            self._store(url, body)  # sc-lint: disable=SC007
+                        return body, "REMOTE-HIT"
+                    self.stats.remote_fetch_failures += 1
+                    self._m.remote_fetch_failures.inc()
+                    outcome = "fetch_failed"
+                    lookup.set(peer=holder.address.name)
+                else:
+                    # False-hit resolution: the summaries (or the query
+                    # round) promised a copy nobody actually held.
+                    self.stats.false_query_rounds += 1
+                    self._m.false_hits.inc()
+                    outcome = "false_hit"
+            lookup.set(outcome=outcome).end()
 
         fetch_start = perf_counter()
         body = await self._fetch_from_origin(url, size_hint, parent)
         self._m.phase_seconds["origin_fetch"].observe(
             perf_counter() - fetch_start
         )
-        self._store(url, body)
+        # Benign duplicate store under concurrent same-URL misses (see
+        # the remote-hit branch above).
+        self._store(url, body)  # sc-lint: disable=SC007
         return body, "MISS"
 
     async def _owner_path(
@@ -1347,6 +1446,7 @@ class SummaryCacheProxy:
         digest = md5_digest(url)
         while True:
             replicas = self._placement.replicas(digest)
+            routed_version = self._placement.version
             if self.config.name in replicas:
                 break  # ours: fall through to the origin fetch + store
             verdict, body, owner_source = await self._forward_to_owner(
@@ -1367,8 +1467,20 @@ class SummaryCacheProxy:
             if verdict == "error":
                 break  # owner is up but erroring: go to the origin
             # The owner is gone (connection refused/reset): rebalance
-            # and retry under the shrunken ring.
-            self.remove_peer(replicas[0], reason="failure")
+            # and retry under the shrunken ring.  The "gone" verdict
+            # describes the membership we routed under; if the ring
+            # changed during the awaited forward (the peer rejoined, or
+            # another task already rebalanced), the verdict is stale --
+            # evicting now could remove a healthy member.  Re-route
+            # under the fresh ring instead.
+            if self._placement.version == routed_version:
+                # The version check above is the freshness guard: every
+                # membership mutation (peer tables + ring) bumps
+                # Placement.version, so reaching here means the peer
+                # state the verdict was routed under is still current.
+                self.remove_peer(  # sc-lint: disable=SC007
+                    replicas[0], reason="failure"
+                )
 
         fetch_start = perf_counter()
         body = await self._fetch_from_origin(url, size_hint, parent)
@@ -1402,40 +1514,40 @@ class SummaryCacheProxy:
         state = self._peers_by_name.get(owner)
         if state is None or not state.alive:
             return "gone", b"", ""
-        span = self.spans.start_span(
+        with self.spans.start_span(
             "peer.forward",
             trace_id=parent.trace_id or None,
             parent_id=parent.span_id,
             proxy=self.config.name,
             peer=owner,
             url=url,
-        )
-        headers = {FORWARD_HEADER: self.config.name}
-        if size_hint:
-            headers["X-Size"] = size_hint
-        if span.trace_id:
-            headers[TRACE_HEADER] = span.context().header_value()
-        self.stats.peer_forwards += 1
-        self._m.peer_forwards.inc()
-        fetch_start = perf_counter()
-        try:
-            response = await self._fetch(
-                state.address.host, state.address.http_port, url,
-                headers, span,
-            )
-        except (ConnectionError, ProtocolError, OSError):
-            span.end(status="error")
-            return "gone", b"", ""
-        finally:
-            self._m.phase_seconds["peer_fetch"].observe(
-                perf_counter() - fetch_start
-            )
-        if response.status != 200:
-            span.set(status_code=response.status).end(status="error")
-            return "error", b"", ""
-        owner_source = response.header("x-cache", "MISS").upper()
-        span.set(bytes=len(response.body), source=owner_source).end()
-        return "ok", response.body, owner_source
+        ) as span:
+            headers = {FORWARD_HEADER: self.config.name}
+            if size_hint:
+                headers["X-Size"] = size_hint
+            if span.trace_id:
+                headers[TRACE_HEADER] = span.context().header_value()
+            self.stats.peer_forwards += 1
+            self._m.peer_forwards.inc()
+            fetch_start = perf_counter()
+            try:
+                response = await self._fetch(
+                    state.address.host, state.address.http_port, url,
+                    headers, span,
+                )
+            except (ConnectionError, ProtocolError, OSError):
+                span.end(status="error")
+                return "gone", b"", ""
+            finally:
+                self._m.phase_seconds["peer_fetch"].observe(
+                    perf_counter() - fetch_start
+                )
+            if response.status != 200:
+                span.set(status_code=response.status).end(status="error")
+                return "error", b"", ""
+            owner_source = response.header("x-cache", "MISS").upper()
+            span.set(bytes=len(response.body), source=owner_source).end()
+            return "ok", response.body, owner_source
 
     def _candidate_peers(self, url: str) -> List[_PeerState]:
         """Which peers to query for *url*, per the cooperation mode."""
@@ -1467,7 +1579,7 @@ class SummaryCacheProxy:
         self._request_counter += 1
         reqnum = self._request_counter & 0xFFFFFFFF
         outstanding = {s.address.icp_addr for s in candidates}
-        round_span = self.spans.start_span(
+        with self.spans.start_span(
             "icp.round",
             trace_id=parent.trace_id or None,
             parent_id=parent.span_id,
@@ -1475,52 +1587,52 @@ class SummaryCacheProxy:
             url=url,
             peers=len(candidates),
             reqnum=reqnum,
-        )
-        pending = _PendingQuery(outstanding, round_span)
-        self._pending[reqnum] = pending
-        transport = self._icp.transport
-        query = IcpQuery(
-            url=url,
-            request_number=reqnum,
-            trace_id=round_span.trace_id,
-            parent_span=round_span.span_id,
-        )
-        encoded = query.encode()
-        round_span.add_event("icp.query.sent", peers=len(candidates))
-        for state in candidates:
-            transport.sendto(encoded, state.address.icp_addr)
-            self.stats.icp_queries_sent += 1
-            self.stats.udp_sent += 1
-            self._m.icp_queries_sent.inc()
-            self._m.udp_sent.inc()
-        round_start = perf_counter()
-        try:
-            winner_addr = await asyncio.wait_for(
-                pending.future, timeout=self.config.icp_timeout
+        ) as round_span:
+            pending = _PendingQuery(outstanding, round_span)
+            self._pending[reqnum] = pending
+            transport = self._icp.transport
+            query = IcpQuery(
+                url=url,
+                request_number=reqnum,
+                trace_id=round_span.trace_id,
+                parent_span=round_span.span_id,
             )
-        except asyncio.TimeoutError:
-            winner_addr = None
-            self._m.icp_timeouts.inc()
-            round_span.add_event(
-                "icp.timeout", waited=self.config.icp_timeout
-            )
-            logger.warning(
-                "proxy=%s icp query timeout url=%s peers=%d trace=%s",
-                self.config.name,
-                url,
-                len(candidates),
-                format_id(round_span.trace_id),
-            )
-        finally:
-            self._pending.pop(reqnum, None)
-            self._m.phase_seconds["icp_round"].observe(
-                perf_counter() - round_start
-            )
-        if winner_addr is None:
-            round_span.set(hit=False).end()
-            return None
-        round_span.set(hit=True).end()
-        return self._peers.get(winner_addr)
+            encoded = query.encode()
+            round_span.add_event("icp.query.sent", peers=len(candidates))
+            for state in candidates:
+                transport.sendto(encoded, state.address.icp_addr)
+                self.stats.icp_queries_sent += 1
+                self.stats.udp_sent += 1
+                self._m.icp_queries_sent.inc()
+                self._m.udp_sent.inc()
+            round_start = perf_counter()
+            try:
+                winner_addr = await asyncio.wait_for(
+                    pending.future, timeout=self.config.icp_timeout
+                )
+            except asyncio.TimeoutError:
+                winner_addr = None
+                self._m.icp_timeouts.inc()
+                round_span.add_event(
+                    "icp.timeout", waited=self.config.icp_timeout
+                )
+                logger.warning(
+                    "proxy=%s icp query timeout url=%s peers=%d trace=%s",
+                    self.config.name,
+                    url,
+                    len(candidates),
+                    format_id(round_span.trace_id),
+                )
+            finally:
+                self._pending.pop(reqnum, None)
+                self._m.phase_seconds["icp_round"].observe(
+                    perf_counter() - round_start
+                )
+            if winner_addr is None:
+                round_span.set(hit=False).end()
+                return None
+            round_span.set(hit=True).end()
+            return self._peers.get(winner_addr)
 
     async def _fetch_from_peer(
         self,
@@ -1533,29 +1645,29 @@ class SummaryCacheProxy:
         headers = {"X-Only-If-Cached": "1"}
         if size_hint:
             headers["X-Size"] = size_hint
-        span = self.spans.start_span(
+        with self.spans.start_span(
             "peer.fetch",
             trace_id=parent.trace_id or None,
             parent_id=parent.span_id,
             proxy=self.config.name,
             peer=peer.address.name,
             url=url,
-        )
-        if span.trace_id:
-            headers[TRACE_HEADER] = span.context().header_value()
-        try:
-            response = await self._fetch(
-                peer.address.host, peer.address.http_port, url, headers,
-                span,
-            )
-        except (ConnectionError, ProtocolError, OSError):
-            span.end(status="error")
-            return None
-        if response.status != 200:
-            span.set(status_code=response.status).end(status="error")
-            return None
-        span.set(bytes=len(response.body)).end()
-        return response.body
+        ) as span:
+            if span.trace_id:
+                headers[TRACE_HEADER] = span.context().header_value()
+            try:
+                response = await self._fetch(
+                    peer.address.host, peer.address.http_port, url,
+                    headers, span,
+                )
+            except (ConnectionError, ProtocolError, OSError):
+                span.end(status="error")
+                return None
+            if response.status != 200:
+                span.set(status_code=response.status).end(status="error")
+                return None
+            span.set(bytes=len(response.body)).end()
+            return response.body
 
     async def _fetch_from_origin(
         self, url: str, size_hint: str, parent: Span = NULL_SPAN
@@ -1563,30 +1675,30 @@ class SummaryCacheProxy:
         headers = {"X-Size": size_hint} if size_hint else {}
         self.stats.origin_fetches += 1
         self._m.origin_fetches.inc()
-        span = self.spans.start_span(
+        with self.spans.start_span(
             "origin.fetch",
             trace_id=parent.trace_id or None,
             parent_id=parent.span_id,
             proxy=self.config.name,
             url=url,
-        )
-        if span.trace_id:
-            headers[TRACE_HEADER] = span.context().header_value()
-        try:
-            response = await self._fetch(
-                self.origin_address[0], self.origin_address[1], url,
-                headers, span,
-            )
-        except (ConnectionError, ProtocolError, OSError):
-            span.end(status="error")
-            raise
-        if response.status != 200:
-            span.set(status_code=response.status).end(status="error")
-            raise ProxyError(
-                f"origin returned {response.status} for {url!r}"
-            )
-        span.set(bytes=len(response.body)).end()
-        return response.body
+        ) as span:
+            if span.trace_id:
+                headers[TRACE_HEADER] = span.context().header_value()
+            try:
+                response = await self._fetch(
+                    self.origin_address[0], self.origin_address[1], url,
+                    headers, span,
+                )
+            except (ConnectionError, ProtocolError, OSError):
+                span.end(status="error")
+                raise
+            if response.status != 200:
+                span.set(status_code=response.status).end(status="error")
+                raise ProxyError(
+                    f"origin returned {response.status} for {url!r}"
+                )
+            span.set(bytes=len(response.body)).end()
+            return response.body
 
     async def _fetch(
         self,
@@ -1630,6 +1742,13 @@ class SummaryCacheProxy:
                 if not conn.was_reused:
                     raise
                 continue  # stale pooled connection; try the next one
+            except BaseException:
+                # Cancellation (or any other non-I/O exception) lands
+                # between acquire and release: the exchange is
+                # half-finished, so the socket must not be reused --
+                # but it must go back through release() or it leaks.
+                self._pool.release(conn, reusable=False)
+                raise
             self._pool.release(conn, reusable=response.keep_alive)
             return response
 

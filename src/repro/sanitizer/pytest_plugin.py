@@ -1,0 +1,36 @@
+"""Pytest integration: fail any test that produced sanitizer violations.
+
+Loaded via ``pytest_plugins`` in the top-level ``tests/conftest.py``.
+Inert unless ``SC_SANITIZE=1`` is in the environment -- then every
+proxy the test constructs registers with the process-wide sanitizer
+(:func:`repro.sanitizer.core.default_sanitizer`), and this hook drains
+the violation list after each test call, erroring with the rendered
+interleavings if any landed.  Draining per-test keeps attribution
+tight: the violations reported belong to the test that just ran.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+import pytest
+
+from repro.sanitizer.core import default_sanitizer
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item: Any) -> Iterator[None]:
+    sanitizer = default_sanitizer()
+    if sanitizer is not None:
+        sanitizer.drain()  # violations from collection/fixtures: not ours
+    yield
+    if sanitizer is None:
+        return
+    violations = sanitizer.drain()
+    if violations:
+        lines = "\n".join(f"  {v.render()}" for v in violations)
+        pytest.fail(
+            f"{len(violations)} sanitizer violation(s) during "
+            f"{item.nodeid}:\n{lines}",
+            pytrace=False,
+        )

@@ -7,6 +7,11 @@ import pytest
 from repro.traces.model import Request, Trace
 from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
 
+# Inert unless SC_SANITIZE=1: then every proxy a test builds registers
+# with the process-wide interleaving sanitizer and this plugin fails
+# any test that produced violations (the CI sanitizer-smoke job).
+pytest_plugins = ("repro.sanitizer.pytest_plugin",)
+
 
 @pytest.fixture(scope="session")
 def small_trace() -> Trace:

@@ -203,7 +203,7 @@ class TestFileDiscovery:
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self) -> None:
+    def test_all_nine_rules_registered(self) -> None:
         assert sorted(all_rules()) == [
             "SC001",
             "SC002",
@@ -211,6 +211,9 @@ class TestRegistry:
             "SC004",
             "SC005",
             "SC006",
+            "SC007",
+            "SC008",
+            "SC009",
         ]
 
     def test_register_rejects_malformed_id(self) -> None:

@@ -1,4 +1,4 @@
-"""Text and JSON reporter output contracts."""
+"""Text, JSON, and SARIF reporter output contracts."""
 
 from __future__ import annotations
 
@@ -7,7 +7,9 @@ import json
 from repro.lint.framework import Finding, LintResult
 from repro.lint.reporters import (
     JSON_SCHEMA_VERSION,
+    SARIF_VERSION,
     render_json,
+    render_sarif,
     render_text,
 )
 
@@ -84,3 +86,38 @@ class TestJsonReporter:
         assert payload["findings"] == []
         assert payload["counts"] == {}
         assert payload["files_checked"] == 5
+
+
+class TestSarifReporter:
+    def test_results_carry_rule_location_and_level(self) -> None:
+        payload = json.loads(render_sarif(_dirty_result()))
+        assert payload["version"] == SARIF_VERSION
+        run = payload["runs"][0]
+        assert run["tool"]["driver"]["name"] == "sc-lint"
+        results = run["results"]
+        assert len(results) == 2
+        first = results[0]
+        assert first["ruleId"] == "SC005"
+        assert first["level"] == "error"
+        assert first["message"]["text"] == "raise of builtin ValueError"
+        location = first["locations"][0]["physicalLocation"]
+        assert (
+            location["artifactLocation"]["uri"]
+            == "src/repro/core/mod.py"
+        )
+        # sc-lint columns are 0-based, SARIF's are 1-based.
+        assert location["region"] == {"startLine": 3, "startColumn": 9}
+
+    def test_executed_rules_are_declared_even_when_clean(self) -> None:
+        payload = json.loads(
+            render_sarif(
+                LintResult(files_checked=5, rules_run=("SC001", "SC007"))
+            )
+        )
+        run = payload["runs"][0]
+        assert run["results"] == []
+        declared = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert declared == {"SC001", "SC007"}
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["defaultConfiguration"] == {"level": "error"}
+            assert rule["fullDescription"]["text"]

@@ -1,0 +1,134 @@
+"""Property tests for suppression-comment parsing.
+
+The suppression syntax is the lint suite's escape hatch -- a parsing
+bug either silences real findings (ids leak into neighbouring lines)
+or makes annotated code impossible to justify.  Hypothesis drives the
+parser with generated id lists, surrounding code, line-ending styles,
+and decorator stacks.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.lint.framework import Suppressions
+
+#: Valid rule ids (the grammar the parser accepts: SC + 3 digits).
+rule_ids = st.from_regex(r"SC[0-9]{3}", fullmatch=True)
+
+#: Innocuous code to the left of the comment: no '#' (which would start
+#: the comment earlier) and no newline.
+code_text = st.text(
+    alphabet=st.characters(
+        blacklist_characters="#\r\n", codec="ascii", categories=("L", "N", "P", "Zs")
+    ),
+    max_size=40,
+)
+
+
+@given(ids=st.lists(rule_ids, min_size=1, max_size=4), code=code_text)
+def test_listed_ids_suppressed_exactly(ids: List[str], code: str) -> None:
+    line = f"{code}  # sc-lint: disable={','.join(ids)}"
+    sup = Suppressions(line)
+    for rule in ids:
+        assert sup.is_suppressed(rule, 1)
+    assert not sup.is_suppressed("SC999", 1) or "SC999" in ids
+    assert not sup.is_suppressed(ids[0], 2)  # never leaks to other lines
+
+
+@given(code=code_text)
+def test_bare_disable_suppresses_everything(code: str) -> None:
+    sup = Suppressions(f"{code}  # sc-lint: disable")
+    assert sup.is_suppressed("SC001", 1)
+    assert sup.is_suppressed("SC999", 1)
+
+
+@given(ids=st.lists(rule_ids, min_size=1, max_size=3))
+def test_crlf_and_lf_agree_on_line_numbers(ids: List[str]) -> None:
+    lines = [
+        "x = 1",
+        f"y = 2  # sc-lint: disable={','.join(ids)}",
+        "z = 3",
+    ]
+    lf = Suppressions("\n".join(lines))
+    crlf = Suppressions("\r\n".join(lines))
+    for lineno in (1, 2, 3):
+        for rule in ids:
+            assert lf.is_suppressed(rule, lineno) == crlf.is_suppressed(
+                rule, lineno
+            )
+    assert lf.is_suppressed(ids[0], 2)
+
+
+@given(
+    ids=st.lists(rule_ids, min_size=1, max_size=3),
+    extra_decorators=st.integers(min_value=0, max_value=3),
+)
+def test_decorator_line_suppression_covers_def_line(
+    ids: List[str], extra_decorators: int
+) -> None:
+    # The comment sits on the *first* decorator; the def line moves
+    # further down as more decorators stack up.
+    source_lines = [f"@first  # sc-lint: disable={','.join(ids)}"]
+    source_lines += [f"@extra{i}" for i in range(extra_decorators)]
+    source_lines += ["def func():", "    pass"]
+    source = "\n".join(source_lines)
+    sup = Suppressions(source)
+    sup.extend_from_tree(ast.parse(source))
+    def_line = 2 + extra_decorators
+    for rule in ids:
+        assert sup.is_suppressed(rule, 1)
+        assert sup.is_suppressed(rule, def_line)
+
+
+@given(ids=st.lists(rule_ids, min_size=1, max_size=2))
+def test_def_line_and_decorator_line_ids_merge(ids: List[str]) -> None:
+    source = "\n".join(
+        [
+            f"@deco  # sc-lint: disable={ids[0]}",
+            "def func():  # sc-lint: disable=SC555",
+            "    pass",
+        ]
+    )
+    sup = Suppressions(source)
+    sup.extend_from_tree(ast.parse(source))
+    assert sup.is_suppressed(ids[0], 2)
+    assert sup.is_suppressed("SC555", 2)
+
+
+def test_bare_disable_on_decorator_wins_over_id_list() -> None:
+    source = "\n".join(
+        [
+            "@deco  # sc-lint: disable",
+            "def func():  # sc-lint: disable=SC001",
+            "    pass",
+        ]
+    )
+    sup = Suppressions(source)
+    sup.extend_from_tree(ast.parse(source))
+    assert sup.is_suppressed("SC777", 2)  # all rules, not just SC001
+
+
+def test_multiline_decorator_call_continuation_lines_count() -> None:
+    source = "\n".join(
+        [
+            "@parametrize(",
+            "    'x',  # sc-lint: disable=SC123",
+            ")",
+            "def func():",
+            "    pass",
+        ]
+    )
+    sup = Suppressions(source)
+    sup.extend_from_tree(ast.parse(source))
+    assert sup.is_suppressed("SC123", 4)
+
+
+@given(code=code_text)
+def test_plain_comment_never_suppresses(code: str) -> None:
+    sup = Suppressions(f"{code}  # an ordinary comment")
+    assert not sup.is_suppressed("SC001", 1)

@@ -155,3 +155,52 @@ class TestNullSpanRing:
         assert span.events == []
         assert span.status == "unset"
         assert span.trace_id == 0
+
+
+class TestSpanContextManager:
+    """The with-protocol added for SC008: spans end on *every* exit,
+    including cancellation -- the leak class the lint rule flags."""
+
+    def test_clean_exit_ends_ok(self):
+        ring = SpanRing(capacity=8)
+        with ring.start_span("op") as span:
+            pass
+        assert span.duration is not None
+        assert span.status == "ok"
+
+    def test_exception_exit_ends_error_and_propagates(self):
+        ring = SpanRing(capacity=8)
+        with pytest.raises(RuntimeError):
+            with ring.start_span("op") as span:
+                raise RuntimeError("boom")
+        assert span.duration is not None
+        assert span.status == "error"
+
+    def test_cancellation_ends_cancelled(self):
+        import asyncio
+
+        ring = SpanRing(capacity=8)
+
+        async def handler() -> None:
+            with ring.start_span("op"):
+                await asyncio.sleep(60)
+
+        async def scenario() -> None:
+            task = asyncio.create_task(handler())
+            await asyncio.sleep(0)
+            task.cancel()
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+
+        asyncio.run(scenario())
+        (span,) = ring.spans(name="op")
+        assert span.duration is not None
+        assert span.status == "cancelled"
+
+    def test_explicit_end_inside_block_wins(self):
+        ring = SpanRing(capacity=8)
+        with ring.start_span("op") as span:
+            span.end("error")
+        assert span.status == "error"  # __exit__ must not overwrite

@@ -186,3 +186,39 @@ class TestCooperationPolicy:
         assert CooperationPolicy.SUMMARY.caches_remote_hits
         assert not CooperationPolicy.SINGLE_COPY.caches_remote_hits
         assert not CooperationPolicy.CARP.caches_remote_hits
+
+
+class TestPlacementVersion:
+    """The monotonic version counter guarding stale routing verdicts.
+
+    The proxy's owner-forward path routes under one membership view,
+    awaits the forward, and only evicts the owner if the view is
+    unchanged (``_owner_path`` re-checks ``version``).  These pin the
+    counter semantics that re-check relies on.
+    """
+
+    def test_starts_at_zero_and_bumps_on_change(self):
+        p = Placement("a", ["b"])
+        assert p.version == 0
+        p.add_member("c")
+        assert p.version == 1
+        p.remove_member("c")
+        assert p.version == 2
+
+    def test_noop_changes_do_not_bump(self):
+        p = Placement("a", ["b"])
+        p.add_member("b")  # already a member
+        p.remove_member("ghost")  # never a member
+        p.remove_member("a")  # the holder itself: refused
+        assert p.version == 0
+
+    def test_stale_verdict_detectable_after_rejoin_race(self):
+        # The race _owner_path had: route to owner b, await, b leaves
+        # and rejoins (membership changed twice), the old "b is gone"
+        # verdict must not evict the rejoined b.
+        p = Placement("a", ["b"])
+        routed_version = p.version
+        p.remove_member("b")
+        p.add_member("b")
+        assert p.version != routed_version
+        assert "b" in p.members
