@@ -1,11 +1,14 @@
-"""Workload generation mirroring the Wisconsin Proxy Benchmark 1.0.
+"""Benchmark workloads and measurement harnesses.
 
-Section IV describes the benchmark: clients issue requests with no think
-time, "the document sizes follow the Pareto distribution with
+:mod:`repro.benchmarkkit.wisconsin` mirrors the Wisconsin Proxy
+Benchmark 1.0 that Section IV describes: clients issue requests with no
+think time, "the document sizes follow the Pareto distribution with
 alpha = 1.1", each client's stream has a tunable inherent hit ratio via
 temporal locality, and -- for the overhead experiments -- "the requests
 issued by different clients do not overlap; there is no remote cache
-hit among proxies."
+hit among proxies."  :mod:`repro.benchmarkkit.loadgen` replays those
+streams against a live cluster; :mod:`repro.benchmarkkit.tracebench`
+measures the packed-trace engine (throughput, bounded-memory replay).
 """
 
 from repro.benchmarkkit.loadgen import (
@@ -14,6 +17,12 @@ from repro.benchmarkkit.loadgen import (
     render_comparison,
     results_to_json,
     run_loadgen,
+)
+from repro.benchmarkkit.tracebench import (
+    bench_pack,
+    bench_scan,
+    bit_exact_check,
+    measure_replay_rss,
 )
 from repro.benchmarkkit.wisconsin import (
     WisconsinConfig,
@@ -24,7 +33,11 @@ __all__ = [
     "LoadGenConfig",
     "LoadGenResult",
     "WisconsinConfig",
+    "bench_pack",
+    "bench_scan",
+    "bit_exact_check",
     "generate_client_streams",
+    "measure_replay_rss",
     "render_comparison",
     "results_to_json",
     "run_loadgen",

@@ -15,6 +15,19 @@ Every table and figure in the paper can be regenerated from the shell::
     summary-cache scalability
     summary-cache gen-trace --workload dec --out dec.jsonl
 
+and packed binary traces can be written once and replayed many times
+in bounded memory, with the real 100-proxy Section V-F cluster run in
+the discrete-event simulator::
+
+    summary-cache trace pack --workload dec --requests 10000000 \\
+        --out dec.sctr
+    summary-cache trace info dec.sctr
+    summary-cache trace verify dec.sctr --workload dec --proxies 16
+    summary-cache trace bench --json benchmarks/BENCH_traces.json
+    summary-cache dissemination --proxies 100 \\
+        --policies unicast hierarchy --json benchmarks/BENCH_traces.json
+    summary-cache simulate --workloads nlanr --jobs 4 --pack-dir /tmp/sctr
+
 and a live proxy cluster can be served on localhost with any summary
 representation and update policy::
 
@@ -219,6 +232,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--no-icp", action="store_true",
         help="skip the per-workload ICP baseline cell",
+    )
+    p.add_argument(
+        "--pack-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "pack each distinct workload trace into DIR once and mmap "
+            "it from every cell (pack-once/replay-many); results are "
+            "bit-exact with the default regenerate-per-cell path"
+        ),
     )
     _add_jobs_arg(p)
 
@@ -565,6 +588,180 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("gen-trace", help="write a synthetic trace to disk")
     _add_workload_args(p)
     p.add_argument("--out", required=True, help="output JSONL path")
+
+    p = sub.add_parser(
+        "trace",
+        help=(
+            "packed binary traces (.sctr): pack once, inspect, verify "
+            "bit-exactness, benchmark bounded-memory replay"
+        ),
+    )
+    trace_sub = p.add_subparsers(dest="trace_command", required=True)
+
+    tp = trace_sub.add_parser(
+        "pack",
+        help="stream a workload preset into a packed .sctr file",
+    )
+    _add_workload_args(tp)
+    tp.add_argument("--seed", type=int, default=None)
+    tp.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "override the preset's request count only (clients and "
+            "documents untouched) -- the long-trace knob"
+        ),
+    )
+    tp.add_argument("--out", required=True, help="output .sctr path")
+
+    tp = trace_sub.add_parser(
+        "info", help="print a packed trace's header and statistics"
+    )
+    tp.add_argument("path", help=".sctr file to inspect")
+
+    tp = trace_sub.add_parser(
+        "verify",
+        help=(
+            "assert a packed trace is bit-exact with its regenerated "
+            "workload, record by record"
+        ),
+    )
+    tp.add_argument("path", help=".sctr file to verify")
+    _add_workload_args(tp)
+    tp.add_argument("--seed", type=int, default=None)
+    tp.add_argument("--requests", type=int, default=None, metavar="N")
+    tp.add_argument(
+        "--proxies",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "additionally replay both sources through the N-proxy "
+            "summary-sharing simulator and compare every counter"
+        ),
+    )
+
+    tp = trace_sub.add_parser(
+        "bench",
+        help=(
+            "measure pack/scan throughput and bounded-memory replay "
+            "(peak RSS in spawned subprocesses)"
+        ),
+    )
+    _add_workload_args(tp)
+    tp.add_argument("--seed", type=int, default=None)
+    tp.add_argument(
+        "--requests",
+        type=int,
+        default=10_000_000,
+        metavar="N",
+        help="length of the long packed trace (default: 10^7)",
+    )
+    tp.add_argument(
+        "--rss-requests",
+        nargs="+",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "trace lengths for the RSS flatness ladder (default: "
+            "requests/10 and requests)"
+        ),
+    )
+    tp.add_argument(
+        "--exact-requests",
+        type=int,
+        default=100_000,
+        metavar="N",
+        help="length of the bit-exactness cross-check (default: 10^5)",
+    )
+    tp.add_argument(
+        "--dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "directory for the packed files (default: a temporary "
+            "directory, removed afterwards)"
+        ),
+    )
+    tp.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "merge the results into this BENCH_traces-style JSON file "
+            "under the 'trace_engine' key"
+        ),
+    )
+
+    p = sub.add_parser(
+        "dissemination",
+        help=(
+            "run the real Section V-F cluster in the DES: N proxies, "
+            "summary dissemination policy as the axis, measured vs "
+            "extrapolated overheads"
+        ),
+    )
+    _add_workload_args(p)
+    p.add_argument("--seed", type=int, default=None)
+    p.add_argument(
+        "--requests",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the preset's request count",
+    )
+    p.add_argument(
+        "--proxies",
+        type=int,
+        default=100,
+        help="cluster size (default: 100, the paper's Section V-F)",
+    )
+    p.add_argument(
+        "--policies",
+        nargs="+",
+        default=None,
+        choices=("unicast", "hierarchy"),
+        help="dissemination policies to run (default: both)",
+    )
+    p.add_argument(
+        "--fanout",
+        type=int,
+        default=4,
+        help="relay fan-out for the hierarchy policy (default: 4)",
+    )
+    p.add_argument(
+        "--cache-mb",
+        type=float,
+        default=8.0,
+        help="per-proxy cache size in MiB (default: 8)",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=0.01,
+        help="summary update threshold (default: 0.01)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "replay this packed .sctr instead of packing the workload "
+            "into a temporary file"
+        ),
+    )
+    p.add_argument(
+        "--json",
+        default=None,
+        metavar="PATH",
+        help=(
+            "merge the results into this BENCH_traces-style JSON file "
+            "under the 'dissemination' key"
+        ),
+    )
 
     p = sub.add_parser(
         "lint",
@@ -1249,6 +1446,409 @@ async def _placement_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _merge_bench_json(path: str, key: str, section: Dict[str, Any]) -> None:
+    """Merge *section* under *key* into the JSON document at *path*.
+
+    ``trace bench`` and ``dissemination`` both contribute to
+    ``BENCH_traces.json``; each rewrites only its own key so the two
+    commands can run in either order (or separately in CI) without
+    clobbering each other's numbers.
+    """
+    import json as json_module
+    import os
+
+    payload: Dict[str, Any] = {
+        "benchmark": "traces",
+        "description": (
+            "Streaming trace engine: packed binary traces "
+            "(struct records + URL string table), mmap-backed "
+            "bounded-memory replay, and the measured Section V-F "
+            "cluster run with summary dissemination as an axis."
+        ),
+    }
+    if os.path.exists(path):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                existing = json_module.load(fh)
+            if isinstance(existing, dict):
+                payload.update(existing)
+        except (OSError, ValueError):
+            pass
+    payload[key] = section
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json_module.dump(payload, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    print(f"wrote {path} ({key})")
+
+
+def _trace_pack(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro.traces.workloads import pack_workload
+
+    start = perf_counter()
+    records, groups = pack_workload(
+        args.workload,
+        args.out,
+        scale=args.scale,
+        seed=args.seed,
+        num_requests=args.requests,
+    )
+    elapsed = perf_counter() - start
+    rate = records / elapsed if elapsed > 0 else 0.0
+    print(
+        f"packed {records:,} requests ({groups} proxy groups) to "
+        f"{args.out} in {elapsed:.2f}s ({rate:,.0f} records/s)"
+    )
+    return 0
+
+
+def _trace_info(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.traces.binary import (
+        TRACE_FORMAT_VERSION,
+        BinaryTraceReader,
+    )
+
+    with BinaryTraceReader(args.path) as reader:
+        rows = [
+            ("name", reader.name),
+            ("format version", str(TRACE_FORMAT_VERSION)),
+            ("records", f"{len(reader):,}"),
+            ("distinct URLs", f"{len(reader.urls()):,}"),
+            ("distinct clients", f"{len(reader.clients()):,}"),
+            ("duration (s)", f"{reader.duration:.1f}"),
+            ("file size (bytes)", f"{os.path.getsize(args.path):,}"),
+            (
+                "bytes/record",
+                f"{os.path.getsize(args.path) / max(1, len(reader)):.1f}",
+            ),
+        ]
+    print(format_table(("field", "value"), rows, title=args.path))
+    return 0
+
+
+def _trace_verify(args: argparse.Namespace) -> int:
+    """Record-by-record comparison against the regenerated workload."""
+    from repro.traces.binary import BinaryTraceReader
+    from repro.traces.synthetic import iter_requests
+    from repro.traces.workloads import workload_config
+
+    config, groups = workload_config(
+        args.workload,
+        scale=args.scale,
+        seed=args.seed,
+        num_requests=args.requests,
+    )
+    checked = 0
+    with BinaryTraceReader(args.path) as reader:
+        stream = iter(iter_requests(config))
+        for packed in reader:
+            expected = next(stream, None)
+            if packed != expected:
+                print(
+                    f"MISMATCH at record {checked}: packed {packed!r} "
+                    f"!= generated {expected!r}"
+                )
+                return 1
+            checked += 1
+        leftover = next(stream, None)
+        if leftover is not None:
+            print(
+                f"MISMATCH: packed trace ends at {checked} records but "
+                f"the generator continues ({leftover!r})"
+            )
+            return 1
+    print(f"OK: {checked:,} records bit-exact with {args.workload} "
+          f"(scale {args.scale:g})")
+    if args.proxies is not None:
+        from repro.benchmarkkit.tracebench import bit_exact_check
+
+        outcome = bit_exact_check(
+            args.workload,
+            args.path,
+            scale=args.scale,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        if not outcome["bit_exact"]:
+            print(
+                "MISMATCH: streamed replay diverged from in-memory "
+                f"replay ({outcome})"
+            )
+            return 1
+        print(
+            f"OK: {args.proxies}-proxy summary-sharing replay "
+            f"bit-exact (hit ratio {outcome['streamed_hit_ratio']:g})"
+        )
+    return 0
+
+
+def _trace_bench(args: argparse.Namespace) -> int:
+    """Pack/scan throughput + the spawn-isolated RSS flatness ladder."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.benchmarkkit.tracebench import (
+        bench_pack,
+        bench_scan,
+        bit_exact_check,
+        measure_replay_rss,
+    )
+    from repro.traces.workloads import workload_config
+
+    directory = args.dir or tempfile.mkdtemp(prefix="sctr-bench-")
+    os.makedirs(directory, exist_ok=True)
+    _, groups = workload_config(args.workload, scale=args.scale,
+                                seed=args.seed)
+    rss_lengths = args.rss_requests or [
+        max(1, args.requests // 10), args.requests
+    ]
+    section: Dict[str, Any] = {
+        "workload": args.workload,
+        "scale": args.scale,
+        "requests": args.requests,
+        "rss_requests": rss_lengths,
+        "exact_requests": args.exact_requests,
+    }
+    try:
+        long_path = os.path.join(
+            directory, f"{args.workload}-{args.requests}.sctr"
+        )
+        print(f"packing {args.requests:,} requests ...", flush=True)
+        pack = bench_pack(
+            args.workload,
+            long_path,
+            scale=args.scale,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        section["pack"] = pack
+        print(
+            f"  {pack['pack_records_per_second']:,} records/s, "
+            f"{pack['file_bytes']:,} bytes "
+            f"({pack['bytes_per_record']} B/record)"
+        )
+        scan = bench_scan(long_path)
+        section["scan"] = scan
+        print(f"  scan: {scan['scan_records_per_second']:,} records/s")
+
+        ladder = []
+        for length in rss_lengths:
+            if length == args.requests:
+                path = long_path
+            else:
+                path = os.path.join(
+                    directory, f"{args.workload}-{length}.sctr"
+                )
+                bench_pack(
+                    args.workload,
+                    path,
+                    scale=args.scale,
+                    seed=args.seed,
+                    num_requests=length,
+                )
+            entry = measure_replay_rss(path, mode="stream", groups=groups)
+            entry["trace_requests"] = length
+            ladder.append(entry)
+            print(
+                f"  streamed replay of {length:,}: peak RSS "
+                f"{entry['peak_rss_bytes'] / (1 << 20):.1f} MiB, "
+                f"{entry['replay_records_per_second']:,} records/s",
+                flush=True,
+            )
+        section["streamed_rss"] = ladder
+        if len(ladder) >= 2:
+            first, last = ladder[0], ladder[-1]
+            growth = last["peak_rss_bytes"] / max(1, first["peak_rss_bytes"])
+            length_growth = (
+                last["trace_requests"] / max(1, first["trace_requests"])
+            )
+            section["rss_growth_ratio"] = round(growth, 3)
+            section["trace_length_growth_ratio"] = round(length_growth, 3)
+            print(
+                f"  RSS grew {growth:.2f}x while the trace grew "
+                f"{length_growth:.0f}x"
+            )
+
+        exact_path = os.path.join(
+            directory, f"{args.workload}-{args.exact_requests}.sctr"
+        )
+        bench_pack(
+            args.workload,
+            exact_path,
+            scale=args.scale,
+            seed=args.seed,
+            num_requests=args.exact_requests,
+        )
+        materialized = measure_replay_rss(
+            exact_path, mode="materialized", groups=groups
+        )
+        materialized["trace_requests"] = args.exact_requests
+        section["materialized_rss"] = materialized
+        print(
+            f"  materialized replay of {args.exact_requests:,}: peak RSS "
+            f"{materialized['peak_rss_bytes'] / (1 << 20):.1f} MiB"
+        )
+        exact = bit_exact_check(
+            args.workload,
+            exact_path,
+            scale=args.scale,
+            seed=args.seed,
+            num_requests=args.exact_requests,
+        )
+        section["bit_exact"] = exact
+        status = "bit-exact" if exact["bit_exact"] else "DIVERGED"
+        print(
+            f"  streamed vs in-memory replay at "
+            f"{args.exact_requests:,}: {status}"
+        )
+        if not exact["bit_exact"]:
+            return 1
+    finally:
+        if args.dir is None:
+            shutil.rmtree(directory, ignore_errors=True)
+    if args.json:
+        _merge_bench_json(args.json, "trace_engine", section)
+    return 0
+
+
+def _trace_command(args: argparse.Namespace) -> int:
+    handler = {
+        "pack": _trace_pack,
+        "info": _trace_info,
+        "verify": _trace_verify,
+        "bench": _trace_bench,
+    }[args.trace_command]
+    return handler(args)
+
+
+def _dissemination(args: argparse.Namespace) -> int:
+    """The measured Section V-F run, one cell per dissemination policy."""
+    import os
+    import shutil
+    import tempfile
+
+    from repro.simulation.scale import (
+        DISSEMINATION_POLICIES,
+        run_scale_experiment,
+    )
+    from repro.traces.binary import BinaryTraceReader
+    from repro.traces.workloads import pack_workload
+
+    policies = tuple(args.policies or DISSEMINATION_POLICIES)
+    tempdir = None
+    if args.trace is not None:
+        trace_path = args.trace
+    else:
+        tempdir = tempfile.mkdtemp(prefix="sctr-scale-")
+        trace_path = os.path.join(tempdir, f"{args.workload}.sctr")
+        records, _ = pack_workload(
+            args.workload,
+            trace_path,
+            scale=args.scale,
+            seed=args.seed,
+            num_requests=args.requests,
+        )
+        print(f"packed {records:,} requests for the run", flush=True)
+    cache_bytes = int(args.cache_mb * 1024 * 1024)
+    runs: List[Dict[str, Any]] = []
+    rows: List[tuple] = []
+    try:
+        with BinaryTraceReader(trace_path) as reader:
+            for policy in policies:
+                result = run_scale_experiment(
+                    reader,
+                    num_proxies=args.proxies,
+                    dissemination=policy,
+                    fanout=args.fanout,
+                    cache_capacity=cache_bytes,
+                    update_threshold=args.threshold,
+                )
+                runs.append(result.to_dict())
+                rows.append(
+                    (
+                        policy,
+                        f"{result.hit_ratio:.3f}",
+                        f"{result.false_hit_ratio:.4f}",
+                        f"{result.update_messages:,}",
+                        f"{result.update_messages_per_request:.3f}",
+                        f"{result.sender_max_dirupdates:,}",
+                        f"{result.peak_rss_bytes / (1 << 20):.0f}",
+                        f"{result.wall_seconds:.1f}",
+                    )
+                )
+                print(
+                    f"{policy}: {result.requests:,} requests, "
+                    f"hit ratio {result.hit_ratio:.3f}, "
+                    f"{result.update_messages:,} update messages "
+                    f"(busiest sender {result.sender_max_dirupdates:,})",
+                    flush=True,
+                )
+    finally:
+        if tempdir is not None:
+            shutil.rmtree(tempdir, ignore_errors=True)
+    headers = (
+        "policy",
+        "hit-ratio",
+        "false-hit",
+        "updates",
+        "upd/req",
+        "max-sender",
+        "RSS-MiB",
+        "wall-s",
+    )
+    print(
+        format_table(
+            headers,
+            rows,
+            title=(
+                f"Section V-F measured: {args.proxies} proxies "
+                f"({args.workload}, threshold {args.threshold:g})"
+            ),
+        )
+    )
+    predicted = runs[0].get("predicted", {}) if runs else {}
+    if predicted:
+        measured = runs[0]
+        print(
+            "extrapolation check (unadjusted Section V-F model at this "
+            "geometry):"
+        )
+        for key in (
+            "update_messages_per_request",
+            "protocol_messages_per_request",
+        ):
+            if key in predicted:
+                print(
+                    f"  {key}: predicted {predicted[key]:.4f}, "
+                    f"measured {measured[key]:.4f}"
+                )
+        print(
+            f"  summary_memory_bytes: predicted "
+            f"{predicted.get('summary_memory_bytes', 0):,}, measured "
+            f"{measured['summary_memory_bytes']:,}"
+        )
+    if args.json:
+        section = {
+            "num_proxies": args.proxies,
+            "workload": args.workload,
+            "scale": args.scale,
+            "requests": args.requests,
+            "cache_mb": args.cache_mb,
+            "threshold": args.threshold,
+            "fanout": args.fanout,
+            "runs": runs,
+        }
+        _merge_bench_json(args.json, "dissemination", section)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -1320,7 +1920,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         )
     elif args.command == "simulate":
-        from repro.simulation.parallel import fig5_grid, run_cells
+        from repro.simulation.parallel import (
+            fig5_grid,
+            pack_grid_traces,
+            run_cells,
+        )
 
         cells = fig5_grid(
             args.workloads,
@@ -1329,6 +1933,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             include_icp=not args.no_icp,
             scale=args.scale,
         )
+        if args.pack_dir:
+            cells = pack_grid_traces(cells, args.pack_dir)
         results = run_cells(cells, jobs=args.jobs)
         headers = (
             "cell", "total-HR", "false-hit", "msgs/req", "bytes/req",
@@ -1460,6 +2066,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(
             f"wrote {len(trace)} requests ({groups} proxy groups) to {args.out}"
         )
+    elif args.command == "trace":
+        return _trace_command(args)
+    elif args.command == "dissemination":
+        return _dissemination(args)
     else:  # pragma: no cover - argparse enforces choices
         return 2
     return 0

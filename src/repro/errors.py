@@ -65,6 +65,10 @@ class TraceFormatError(ReproError):
     """A trace file or record did not match the expected format."""
 
 
+class TraceIndexError(TraceFormatError, IndexError):
+    """A record index fell outside a trace or trace window."""
+
+
 class SimulationError(ReproError):
     """The discrete-event simulation reached an inconsistent state."""
 

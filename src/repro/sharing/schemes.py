@@ -19,8 +19,7 @@ from repro.cache import WebCache
 from repro.errors import ConfigurationError
 from repro.placement.policy import CooperationPolicy
 from repro.sharing.results import SharingResult
-from repro.traces.model import Trace
-from repro.traces.partition import grouped_chunks
+from repro.traces.partition import TraceLike, grouped_chunks
 
 #: Per-proxy capacity: one size for all, or one size per proxy (the
 #: paper's prescription under load imbalance is "to allocate cache size
@@ -55,7 +54,7 @@ def _make_caches(
 
 
 def simulate_no_sharing(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str = "lru",
@@ -64,7 +63,7 @@ def simulate_no_sharing(
     caches = _make_caches(num_proxies, capacity_per_proxy, policy)
     result = SharingResult(
         scheme="no-sharing",
-        trace_name=trace.name,
+        trace_name=getattr(trace, "name", "stream"),
         num_proxies=num_proxies,
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
@@ -88,7 +87,7 @@ def simulate_no_sharing(
 
 
 def _simulate_discovery_sharing(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str,
@@ -107,7 +106,7 @@ def _simulate_discovery_sharing(
     caches = _make_caches(num_proxies, capacity_per_proxy, policy)
     result = SharingResult(
         scheme=scheme,
-        trace_name=trace.name,
+        trace_name=getattr(trace, "name", "stream"),
         num_proxies=num_proxies,
         cache_capacity_bytes=sum(c.capacity_bytes for c in caches)
         // num_proxies,
@@ -138,7 +137,7 @@ def _simulate_discovery_sharing(
 
 
 def simulate_simple_sharing(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str = "lru",
@@ -159,7 +158,7 @@ def simulate_simple_sharing(
 
 
 def simulate_single_copy_sharing(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str = "lru",
@@ -181,7 +180,7 @@ def simulate_single_copy_sharing(
 
 
 def simulate_global_cache(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str = "lru",
@@ -203,7 +202,7 @@ def simulate_global_cache(
     label = "global" if capacity_scale == 1.0 else f"global-{capacity_scale:g}x"
     result = SharingResult(
         scheme=label,
-        trace_name=trace.name,
+        trace_name=getattr(trace, "name", "stream"),
         num_proxies=num_proxies,
         cache_capacity_bytes=pooled // num_proxies,
     )

@@ -52,8 +52,7 @@ from repro.summaries import (
     ThresholdUpdatePolicy,
     UpdatePolicy,
 )
-from repro.traces.model import Trace
-from repro.traces.partition import grouped_chunks
+from repro.traces.partition import TraceLike, grouped_chunks
 
 __all__ = [
     "IntervalUpdatePolicy",
@@ -194,7 +193,7 @@ def _delta_bytes(delta, num_bits: Optional[int] = None) -> int:
 
 
 def simulate_summary_sharing(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     config: Optional[SummarySharingConfig] = None,
@@ -205,6 +204,12 @@ def simulate_summary_sharing(
     hit taxonomy, message counts, and summary memory footprint.
     *capacity_per_proxy* may be one size for all proxies or a per-proxy
     sequence (proportional allocation under load imbalance).
+
+    *trace* may be a materialized :class:`~repro.traces.model.Trace`, an
+    mmap-backed :class:`~repro.traces.binary.BinaryTraceReader`, or any
+    request iterable; the replay consumes it once, chunk by chunk, so a
+    streamed trace is never resident in memory.  Counters are bit-exact
+    across all three for the same request stream.
     """
     cfg = config or SummarySharingConfig()
     capacities = resolve_capacities(num_proxies, capacity_per_proxy)
@@ -215,7 +220,7 @@ def simulate_summary_sharing(
     )
     result = SharingResult(
         scheme=f"summary/{cfg.label()}",
-        trace_name=trace.name,
+        trace_name=getattr(trace, "name", "stream"),
         num_proxies=num_proxies,
         cache_capacity_bytes=sum(capacities) // num_proxies,
     )
@@ -370,7 +375,7 @@ def _oracle_fresh_elsewhere(
 
 
 def simulate_icp(
-    trace: Trace,
+    trace: TraceLike,
     num_proxies: int,
     capacity_per_proxy: Capacity,
     policy: str = "lru",
@@ -385,7 +390,7 @@ def simulate_icp(
     caches = [WebCache(size, policy=policy) for size in capacities]
     result = SharingResult(
         scheme="icp",
-        trace_name=trace.name,
+        trace_name=getattr(trace, "name", "stream"),
         num_proxies=num_proxies,
         cache_capacity_bytes=sum(capacities) // num_proxies,
     )

@@ -17,7 +17,10 @@ simulation:
 - :mod:`repro.simulation.experiment` -- harnesses producing the paper's
   table rows;
 - :mod:`repro.simulation.parallel` -- fans independent experiment cells
-  (trace x scheme x load factor x threshold) across worker processes.
+  (trace x scheme x load factor x threshold) across worker processes;
+- :mod:`repro.simulation.scale` -- the measured Section V-F run: the
+  100-proxy cluster in the DES with a streamed trace feed and the
+  summary dissemination policy as an experimental axis.
 """
 
 from repro.simulation.costs import CostModel
@@ -32,23 +35,35 @@ from repro.simulation.parallel import (
     ExperimentCell,
     default_jobs,
     fig5_grid,
+    pack_grid_traces,
     run_cell,
     run_cells,
+)
+from repro.simulation.scale import (
+    DISSEMINATION_POLICIES,
+    ScaleResult,
+    peak_rss_bytes,
+    run_scale_experiment,
 )
 
 __all__ = [
     "CostModel",
+    "DISSEMINATION_POLICIES",
     "Engine",
     "ExperimentCell",
     "ExperimentResult",
     "NetworkModel",
     "PacketCounters",
     "Resource",
+    "ScaleResult",
     "Signal",
     "default_jobs",
     "fig5_grid",
+    "pack_grid_traces",
+    "peak_rss_bytes",
     "run_cell",
     "run_cells",
     "run_overhead_experiment",
     "run_replay_experiment",
+    "run_scale_experiment",
 ]

@@ -14,9 +14,10 @@ thinking time in between").
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional
 
 from repro.cache import WebCache
+from repro.errors import ConfigurationError
 from repro.core.counting_bloom import CountingBloomFilter
 from repro.core.hashing import MD5HashFamily
 from repro.core.summary import SummaryConfig, expected_documents_for_cache
@@ -54,6 +55,27 @@ class SimProxyConfig:
     #: MTU-sized DIRUPDATE (the Squid prototype's behaviour, Section
     #: VI-B); ``"threshold"`` uses the new-document fraction.
     update_policy: str = "packet-fill"
+    #: How DIRUPDATEs reach the peers.  ``"unicast"`` is the paper's
+    #: all-pairs pattern: the updater sends to every peer itself, O(n)
+    #: sender CPU and sends per update.  ``"hierarchy"`` relays through
+    #: a k-ary fan-out tree over the peers (the dissemination
+    #: alternative the cooperative-caching surveys describe): the
+    #: updater pays for ``dissemination_fanout`` sends, interior peers
+    #: forward, and the update lands after O(log n) hops -- total
+    #: messages unchanged, sender load constant, extra staleness from
+    #: the tree depth.
+    dissemination: str = "unicast"
+    #: Children per node of the hierarchical dissemination tree.
+    dissemination_fanout: int = 4
+
+    def __post_init__(self) -> None:
+        if self.dissemination not in ("unicast", "hierarchy"):
+            raise ConfigurationError(
+                f"dissemination must be 'unicast' or 'hierarchy', "
+                f"got {self.dissemination!r}"
+            )
+        if self.dissemination_fanout < 1:
+            raise ConfigurationError("dissemination_fanout must be >= 1")
 
 
 class SimOrigin:
@@ -329,6 +351,11 @@ class SimProxy:
         message_bytes = 32 + 4 * min(
             len(flips), DIRUPDATE_RECORDS_PER_MESSAGE
         )
+        if self.config.dissemination == "hierarchy":
+            yield from self._hierarchy_update(
+                list(flips), num_messages, message_bytes
+            )
+            return
         yield self._charge(
             user=self.costs.dirupdate_user * num_messages * len(self.peers),
             system=self.costs.dirupdate_system
@@ -358,6 +385,93 @@ class SimProxy:
         self.shipped_summary.apply_flips(flips)
         done.fire()
 
+    def _hierarchy_update(self, flips, num_messages, message_bytes):
+        """Disseminate one update through a k-ary fan-out tree.
+
+        The updater is the tree root; the peers occupy heap positions
+        1..P in index order (deterministic across runs).  The root pays
+        send CPU for its own children only; interior peers receive,
+        then forward to theirs.  The flips land on the shared shipped
+        copy when the last peer has received -- the conservative
+        reading of "all peers hold the new bits" under staggered
+        delivery, so the extra tree-depth staleness is fully charged to
+        the false-hit tally rather than hidden.
+
+        Unlike the unicast path the updater does not block on delivery:
+        propagation continues in background engine callbacks while the
+        triggering request completes.
+        """
+        # Rotate the peer order so each updater roots a *different*
+        # tree: with a fixed order the low-index peers would relay every
+        # updater's traffic and concentrate exactly the load the
+        # hierarchy exists to spread.
+        cluster = len(self.peers) + 1
+        order = sorted(
+            self.peers, key=lambda p: (p.index - self.index) % cluster
+        )
+        fanout = self.config.dissemination_fanout
+        state = {"delivered": 0}
+        root_children = range(1, min(fanout, len(order)) + 1)
+        yield self._charge(
+            user=self.costs.dirupdate_user
+            * num_messages
+            * len(root_children),
+            system=self.costs.dirupdate_system
+            * num_messages
+            * len(root_children),
+        )
+        for position in root_children:
+            self._hierarchy_send(
+                self, order, position, flips, num_messages,
+                message_bytes, state,
+            )
+
+    def _hierarchy_send(
+        self, sender, order, position, flips, num_messages,
+        message_bytes, state,
+    ) -> None:
+        """Count *sender*'s datagrams to heap slot *position* and
+        schedule their delivery one network hop later."""
+        receiver = order[position - 1]
+        for _ in range(num_messages):
+            sender.counters.count_udp(receiver.counters)
+            sender.dirupdates_sent += 1
+        self.engine.call_later(
+            self.network.transfer_time(message_bytes),
+            self._hierarchy_deliver,
+            order, position, flips, num_messages, message_bytes, state,
+        )
+
+    def _hierarchy_deliver(
+        self, order, position, flips, num_messages, message_bytes, state
+    ) -> None:
+        """One peer received the update: charge it, relay, maybe apply."""
+        node = order[position - 1]
+        fanout = self.config.dissemination_fanout
+        # The updater is heap node 0 and peers occupy slots 1..P, so
+        # slot j's children are k*j+1 .. k*j+k -- every peer has exactly
+        # one parent and receives the update exactly once.
+        children = [
+            child
+            for child in range(
+                fanout * position + 1, fanout * position + fanout + 1
+            )
+            if child <= len(order)
+        ]
+        sends = len(children)
+        node.cpu_account.charge(
+            user=node.costs.dirupdate_user * num_messages * (1 + sends),
+            system=node.costs.dirupdate_system * num_messages * (1 + sends),
+        )
+        for child in children:
+            self._hierarchy_send(
+                node, order, child, flips, num_messages,
+                message_bytes, state,
+            )
+        state["delivered"] += 1
+        if state["delivered"] == len(order):
+            self.shipped_summary.apply_flips(flips)
+
     # -- helpers ---------------------------------------------------------
 
     def network_delay(self, num_bytes: int):
@@ -376,7 +490,7 @@ class SimClient:
         self,
         engine: Engine,
         proxy: SimProxy,
-        requests: Sequence[Request],
+        requests: Iterable[Request],
         network: NetworkModel,
     ) -> None:
         self.engine = engine

@@ -25,9 +25,10 @@ a worker warm-start their hash derivations.
 from __future__ import annotations
 
 import multiprocessing
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
+from pathlib import Path
 from time import perf_counter
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.obs.registry import get_registry
@@ -39,13 +40,15 @@ from repro.sharing.summary_sharing import (
     simulate_summary_sharing,
 )
 from repro.summaries import SummaryConfig
+from repro.traces.binary import BinaryTraceReader
 from repro.traces.stats import compute_stats, mean_cacheable_size
-from repro.traces.workloads import make_workload
+from repro.traces.workloads import make_workload, pack_workload
 
 __all__ = [
     "ExperimentCell",
     "default_jobs",
     "fig5_grid",
+    "pack_grid_traces",
     "run_cell",
     "run_cells",
 ]
@@ -91,6 +94,12 @@ class ExperimentCell:
     seed:
         Overrides the workload preset's generator seed; ``None`` keeps
         the preset's fixed seed.  Deterministic either way.
+    trace_path:
+        Optional path to a packed binary trace (``.sctr``).  When set,
+        the worker mmaps this file instead of regenerating the synthetic
+        trace -- the pack-once/replay-many path for grids where many
+        cells share one workload.  Replay is bit-exact with the
+        generated trace (same request stream), so results are unchanged.
     """
 
     workload: str
@@ -101,6 +110,7 @@ class ExperimentCell:
     cache_fraction: float = 0.10
     policy: str = "lru"
     seed: Optional[int] = None
+    trace_path: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.kind not in _CELL_KINDS:
@@ -120,31 +130,77 @@ class ExperimentCell:
 def run_cell(cell: ExperimentCell) -> SharingResult:
     """Execute one cell from scratch and return its result.
 
-    Top-level (hence picklable) and self-contained: builds the trace,
-    sizes the per-proxy capacity exactly as
-    :func:`repro.experiments.representations` does, then replays.
+    Top-level (hence picklable) and self-contained: builds the trace
+    (or mmaps the cell's packed file), sizes the per-proxy capacity
+    exactly as :func:`repro.experiments.representations` does, then
+    replays.
     """
-    trace, groups = make_workload(
-        cell.workload, scale=cell.scale, seed=cell.seed
-    )
-    stats = compute_stats(trace)
-    capacity = max(
-        1, int(stats.infinite_cache_bytes * cell.cache_fraction / groups)
-    )
-    if cell.kind == "icp":
-        return simulate_icp(trace, groups, capacity, policy=cell.policy)
-    summary = (
-        SummaryConfig(kind="bloom", load_factor=cell.load_factor)
-        if cell.kind == "bloom"
-        else SummaryConfig(kind=cell.kind)
-    )
-    cfg = SummarySharingConfig(
-        summary=summary,
-        update_policy=ThresholdUpdatePolicy(cell.threshold),
-        policy=cell.policy,
-        expected_doc_size=mean_cacheable_size(trace),
-    )
-    return simulate_summary_sharing(trace, groups, capacity, cfg)
+    reader = None
+    try:
+        if cell.trace_path is not None:
+            from repro.traces.workloads import workload_config
+
+            _, groups = workload_config(
+                cell.workload, scale=cell.scale, seed=cell.seed
+            )
+            reader = BinaryTraceReader(cell.trace_path)
+            trace = reader
+        else:
+            trace, groups = make_workload(
+                cell.workload, scale=cell.scale, seed=cell.seed
+            )
+        stats = compute_stats(trace)
+        capacity = max(
+            1, int(stats.infinite_cache_bytes * cell.cache_fraction / groups)
+        )
+        if cell.kind == "icp":
+            return simulate_icp(trace, groups, capacity, policy=cell.policy)
+        summary = (
+            SummaryConfig(kind="bloom", load_factor=cell.load_factor)
+            if cell.kind == "bloom"
+            else SummaryConfig(kind=cell.kind)
+        )
+        cfg = SummarySharingConfig(
+            summary=summary,
+            update_policy=ThresholdUpdatePolicy(cell.threshold),
+            policy=cell.policy,
+            expected_doc_size=mean_cacheable_size(trace),
+        )
+        return simulate_summary_sharing(trace, groups, capacity, cfg)
+    finally:
+        if reader is not None:
+            reader.close()
+
+
+def pack_grid_traces(
+    cells: Sequence[ExperimentCell], directory
+) -> List[ExperimentCell]:
+    """Pack each distinct workload of *cells* once; point cells at it.
+
+    ``fig5_grid`` produces many cells per workload, and every worker
+    regenerated the identical synthetic trace from its seed.  This packs
+    one ``.sctr`` per distinct ``(workload, scale, seed)`` into
+    *directory* and returns the cells with ``trace_path`` set, so the
+    whole grid shares one on-disk trace per workload via the page cache.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths: Dict[Tuple[str, float, Optional[int]], str] = {}
+    packed: List[ExperimentCell] = []
+    for cell in cells:
+        key = (cell.workload.lower(), cell.scale, cell.seed)
+        path = paths.get(key)
+        if path is None:
+            stem = f"{key[0]}-s{cell.scale:g}"
+            if cell.seed is not None:
+                stem += f"-seed{cell.seed}"
+            path = str(directory / f"{stem}.sctr")
+            pack_workload(
+                cell.workload, path, scale=cell.scale, seed=cell.seed
+            )
+            paths[key] = path
+        packed.append(replace(cell, trace_path=path))
+    return packed
 
 
 def _run_indexed(

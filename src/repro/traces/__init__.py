@@ -14,8 +14,20 @@ This subpackage provides:
   infinite cache size, maximum hit/byte-hit ratios);
 - :mod:`repro.traces.readers` -- load/save traces as JSONL, CSV, and
   Squid access-log format;
+- :mod:`repro.traces.binary` -- the packed binary format: struct-packed
+  records plus a URL string table, written streaming and replayed
+  through an mmap-backed lazy reader in bounded memory;
 - :mod:`repro.traces.partition` -- clientid-mod-N proxy group assignment.
 """
+
+from repro.traces.binary import (
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    TraceWindow,
+    pack_trace,
+    read_binary,
+    write_binary,
+)
 
 from repro.traces.analysis import (
     SizeStats,
@@ -47,15 +59,27 @@ from repro.traces.readers import (
     write_squid_log,
 )
 from repro.traces.stats import TraceStats, compute_stats, mean_cacheable_size
-from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
-from repro.traces.workloads import WORKLOAD_PRESETS, make_workload
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    generate_trace,
+    iter_requests,
+)
+from repro.traces.workloads import (
+    WORKLOAD_PRESETS,
+    make_workload,
+    pack_workload,
+    workload_config,
+)
 
 __all__ = [
+    "BinaryTraceReader",
+    "BinaryTraceWriter",
     "Request",
     "SizeStats",
     "SyntheticTraceConfig",
     "Trace",
     "TraceStats",
+    "TraceWindow",
     "WORKLOAD_PRESETS",
     "compute_stats",
     "densify_clients",
@@ -64,11 +88,15 @@ __all__ = [
     "generate_trace",
     "group_overlap_matrix",
     "interreference_percentiles",
+    "iter_requests",
     "make_workload",
     "mean_cacheable_size",
     "merge_traces",
     "grouped_chunks",
+    "pack_trace",
+    "pack_workload",
     "partition_by_client",
+    "read_binary",
     "sample_requests",
     "sharing_potential",
     "size_statistics",
@@ -77,6 +105,8 @@ __all__ = [
     "read_jsonl",
     "read_squid_log",
     "split_by_group",
+    "workload_config",
+    "write_binary",
     "write_csv",
     "write_jsonl",
     "write_squid_log",

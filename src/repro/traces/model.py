@@ -11,6 +11,7 @@ we count it as a cache miss."
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Iterable, Iterator, List, Sequence
 
 from repro.urlutil import server_of
@@ -63,16 +64,31 @@ class Trace:
     def __getitem__(self, index):
         return self.requests[index]
 
-    @property
+    @cached_property
     def duration(self) -> float:
-        """Seconds between the first and last request."""
+        """Seconds between the first and last request.
+
+        Cached after the first access: traces are treated as immutable
+        once built (every producer constructs a fresh ``Trace``), so
+        invalidation never arises and repeated reads on a multi-million
+        request trace stay O(1).
+        """
         if len(self.requests) < 2:
             return 0.0
         return self.requests[-1].timestamp - self.requests[0].timestamp
 
     def clients(self) -> Sequence[int]:
-        """Sorted distinct client ids."""
-        return sorted({r.client_id for r in self.requests})
+        """Sorted distinct client ids.
+
+        The distinct-scan runs once and is cached (same immutability
+        contract as :attr:`duration`); callers must not mutate the
+        returned list.
+        """
+        cached = self.__dict__.get("_clients_cache")
+        if cached is None:
+            cached = sorted({r.client_id for r in self.requests})
+            self.__dict__["_clients_cache"] = cached
+        return cached
 
     def head(self, n: int) -> "Trace":
         """Return a trace of the first *n* requests (the paper replays

@@ -8,10 +8,15 @@ NLANR's 4 proxies are given by the traces themselves).
 
 from __future__ import annotations
 
-from typing import Iterator, List, Tuple
+from itertools import islice
+from typing import Iterable, Iterator, List, Sequence, Tuple
 
 from repro.errors import ConfigurationError
 from repro.traces.model import Request, Trace
+
+#: What the partitioners accept: a materialized :class:`Trace`, an
+#: mmap-backed binary reader, or any plain request iterable/generator.
+TraceLike = Iterable[Request]
 
 #: Default replay chunk: large enough to amortise the per-chunk sweep,
 #: small enough that a chunk of annotated requests stays cache-resident.
@@ -25,21 +30,22 @@ def group_of(client_id: int, num_groups: int) -> int:
     return client_id % num_groups
 
 
-def partition_by_client(trace: Trace, num_groups: int) -> List[Trace]:
+def partition_by_client(trace: TraceLike, num_groups: int) -> List[Trace]:
     """Split *trace* into per-group traces by clientid mod *num_groups*.
 
     Request order (and thus timestamps) is preserved within each group.
     """
+    name = getattr(trace, "name", "stream")
     buckets: List[list] = [[] for _ in range(num_groups)]
     for req in trace:
         buckets[group_of(req.client_id, num_groups)].append(req)
     return [
-        Trace(requests=bucket, name=f"{trace.name}/g{gid}")
+        Trace(requests=bucket, name=f"{name}/g{gid}")
         for gid, bucket in enumerate(buckets)
     ]
 
 
-def split_by_group(trace: Trace, num_groups: int) -> List[tuple]:
+def split_by_group(trace: TraceLike, num_groups: int) -> List[tuple]:
     """Return the merged stream annotated with group ids.
 
     Yields ``(group_id, request)`` tuples in global timestamp order --
@@ -52,7 +58,7 @@ def split_by_group(trace: Trace, num_groups: int) -> List[tuple]:
 
 
 def grouped_chunks(
-    trace: Trace,
+    trace: TraceLike,
     num_groups: int,
     chunk_size: int = DEFAULT_CHUNK_SIZE,
 ) -> Iterator[List[Tuple[int, Request]]]:
@@ -62,12 +68,27 @@ def grouped_chunks(
     rather than one :func:`group_of` call per request -- the batched
     replay path of the sharing simulators.  Request order is unchanged,
     so replaying chunk-by-chunk is bit-exact with the per-request loop.
+
+    Accepts any request iterable.  A materialized trace (or any random
+    access sequence) is sliced in place; everything else -- generators,
+    mmap-backed binary readers -- streams through :func:`itertools.islice`
+    windows, so no more than one chunk is ever resident.
     """
     if num_groups < 1:
         raise ConfigurationError(f"num_groups must be >= 1, got {num_groups}")
     if chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
-    requests = trace.requests
-    for start in range(0, len(requests), chunk_size):
-        chunk = requests[start : start + chunk_size]
+    requests: Iterable[Request] = (
+        trace.requests if isinstance(trace, Trace) else trace
+    )
+    if isinstance(requests, Sequence):
+        for start in range(0, len(requests), chunk_size):
+            chunk = requests[start : start + chunk_size]
+            yield [(req.client_id % num_groups, req) for req in chunk]
+        return
+    stream = iter(requests)
+    while True:
+        chunk = list(islice(stream, chunk_size))
+        if not chunk:
+            return
         yield [(req.client_id % num_groups, req) for req in chunk]

@@ -17,9 +17,11 @@ bytes once per document, matching "unique documents").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Iterable
 
-from repro.traces.model import Trace
+from repro.traces.model import Request
+
+TraceLike = Iterable[Request]
 
 #: The cacheability limit the paper's simulations apply.
 DEFAULT_CACHEABLE_LIMIT = 250 * 1024
@@ -50,16 +52,29 @@ class TraceStats:
         )
 
 
-def compute_stats(trace: Trace) -> TraceStats:
-    """Compute the Table I statistics for *trace*."""
+def compute_stats(trace: TraceLike) -> TraceStats:
+    """Compute the Table I statistics for *trace*.
+
+    Single pass over any request iterable (a :class:`Trace`, an
+    mmap-backed binary reader, or a generator): count, duration, and
+    client set are tracked inline, so the stream is consumed exactly
+    once and nothing O(requests) is retained.
+    """
     seen_version: Dict[str, int] = {}
     seen_size: Dict[str, int] = {}
     hits = 0
     bytes_hit = 0
     bytes_total = 0
     clients = set()
+    n = 0
+    first_timestamp = 0.0
+    last_timestamp = 0.0
 
     for req in trace:
+        if n == 0:
+            first_timestamp = req.timestamp
+        last_timestamp = req.timestamp
+        n += 1
         clients.add(req.client_id)
         bytes_total += req.size
         prior = seen_version.get(req.url)
@@ -70,10 +85,9 @@ def compute_stats(trace: Trace) -> TraceStats:
         seen_size[req.url] = req.size
 
     infinite_cache = sum(seen_size.values())
-    n = len(trace)
     return TraceStats(
-        name=trace.name,
-        duration_seconds=trace.duration,
+        name=getattr(trace, "name", "stream"),
+        duration_seconds=last_timestamp - first_timestamp if n >= 2 else 0.0,
         num_requests=n,
         num_clients=len(clients),
         infinite_cache_bytes=infinite_cache,
@@ -83,7 +97,7 @@ def compute_stats(trace: Trace) -> TraceStats:
 
 
 def mean_cacheable_size(
-    trace: Trace, max_object_size: int = DEFAULT_CACHEABLE_LIMIT
+    trace: TraceLike, max_object_size: int = DEFAULT_CACHEABLE_LIMIT
 ) -> int:
     """Mean size of distinct cacheable documents in *trace*.
 

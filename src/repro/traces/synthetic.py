@@ -30,13 +30,18 @@ from __future__ import annotations
 import random
 from collections import OrderedDict
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 
 from repro.errors import ConfigurationError
 from repro.traces.model import Request, Trace
 from repro.urlutil import make_url
+
+#: Requests per block of the streaming generator core: large enough to
+#: amortise the vectorised draws, small enough that a block of pending
+#: draws is cache-resident.
+STREAM_BLOCK_SIZE = 8192
 
 
 @dataclass(frozen=True)
@@ -194,11 +199,38 @@ class _RecencyStack:
         return items[index]
 
 
-def generate_trace(config: SyntheticTraceConfig) -> Trace:
-    """Generate a synthetic trace per *config*.
+def _stream_at(state: dict, offset: int) -> np.random.Generator:
+    """Clone the generator *state* advanced *offset* 64-bit steps.
 
-    Deterministic for a fixed config (including seed).
+    PCG64 supports O(log offset) jump-ahead, so the streaming core can
+    open one independent view per pre-draw array of the monolithic
+    layout: the stream for array *k* starts at offset ``k * n`` and its
+    blockwise draws equal slices of the single ``rng.random(n)`` call
+    bit for bit (each uniform double consumes exactly one step).
     """
+    bits = np.random.PCG64()
+    bits.state = state
+    if offset:
+        bits.advance(offset)
+    return np.random.Generator(bits)
+
+
+def iter_requests(
+    config: SyntheticTraceConfig, block_size: int = STREAM_BLOCK_SIZE
+) -> Iterator[Request]:
+    """Stream the synthetic trace for *config* without materializing it.
+
+    Bit-exact with ``generate_trace(config)`` for any *block_size*: the
+    generator state is identical (per-client recency stacks, popularity
+    tables, modification versions are all O(clients + documents)), and
+    the random draws are identical because each bulk stream is a
+    jump-ahead clone of the seed generator (see :func:`_stream_at`)
+    drawn block by block.  Memory is O(clients + documents + block_size)
+    regardless of ``num_requests``, so a 10^8-request trace streams in
+    bounded memory.
+    """
+    if block_size < 1:
+        raise ConfigurationError("block_size must be >= 1")
     np_rng = np.random.default_rng(config.seed)
     py_rng = random.Random(config.seed ^ 0x5EED)
 
@@ -233,67 +265,101 @@ def generate_trace(config: SyntheticTraceConfig) -> Trace:
     server_for_doc[doc_ids] = server_of_rank
     client_ids = np_rng.permutation(config.num_clients)
 
-    # Pre-draw the bulk random streams with numpy for speed.
+    # The monolithic generator pre-drew six n-length streams here, one
+    # np_rng call after another.  Streaming draws the same six streams
+    # block by block from jump-ahead clones anchored at this state; the
+    # exponential stream sits last so its variable per-value consumption
+    # has nothing downstream to disturb.
     n = config.num_requests
-    doc_rank_draws = np.searchsorted(doc_cdf, np_rng.random(n))
-    client_rank_draws = np.searchsorted(client_cdf, np_rng.random(n))
-    locality_draws = np_rng.random(n)
-    server_draws = np_rng.random(n)
-    mod_draws = np_rng.random(n)
-    interarrivals = np_rng.exponential(1.0 / config.request_rate, size=n)
-    timestamps = np.cumsum(interarrivals)
+    base_state = np_rng.bit_generator.state
+    if base_state.get("bit_generator") != "PCG64":
+        raise ConfigurationError(
+            "streaming generation requires numpy's PCG64 bit generator"
+        )
+    (
+        doc_rank_stream,
+        client_rank_stream,
+        locality_stream,
+        server_stream,
+        mod_stream,
+        interarrival_stream,
+    ) = (_stream_at(base_state, k * n) for k in range(6))
 
     versions: Dict[int, int] = {}
     stacks: Dict[int, _RecencyStack] = {}
     last_rank: Dict[int, int] = {}
     rank_of_doc = np.empty(config.num_documents, dtype=np.int64)
     rank_of_doc[doc_ids] = np.arange(config.num_documents)
-    requests: List[Request] = []
 
-    for i in range(n):
-        client = int(client_ids[client_rank_draws[i]])
-        stack = stacks.get(client)
-        if stack is None:
-            stack = _RecencyStack(config.locality_stack_depth)
-            stacks[client] = stack
+    timestamp = 0.0
+    produced = 0
+    while produced < n:
+        m = min(block_size, n - produced)
+        doc_rank_draws = np.searchsorted(doc_cdf, doc_rank_stream.random(m))
+        client_rank_draws = np.searchsorted(
+            client_cdf, client_rank_stream.random(m)
+        )
+        locality_draws = locality_stream.random(m)
+        server_draws = server_stream.random(m)
+        mod_draws = mod_stream.random(m)
+        interarrivals = interarrival_stream.exponential(
+            1.0 / config.request_rate, size=m
+        )
 
-        doc = None
-        if locality_draws[i] < config.locality_probability:
-            doc = stack.sample(py_rng)
-        if doc is None:
-            prev_rank = last_rank.get(client)
-            if (
-                prev_rank is not None
-                and server_draws[i] < config.server_locality
-            ):
-                # Stay on the same site: another page of the previous
-                # request's server (a rank range of its boundary table).
-                server = int(server_of_rank[prev_rank])
-                low = (
-                    int(server_rank_bounds[server - 1])
-                    if server > 0
-                    else 0
-                )
-                high = int(server_rank_bounds[server])
-                rank = low + py_rng.randrange(max(1, high - low))
-            else:
-                rank = int(doc_rank_draws[i])
-            doc = int(doc_ids[rank])
-        last_rank[client] = int(rank_of_doc[doc])
-        stack.push(doc)
+        for i in range(m):
+            # Running sum matches np.cumsum's sequential float64
+            # accumulation bit for bit.
+            timestamp += float(interarrivals[i])
+            client = int(client_ids[client_rank_draws[i]])
+            stack = stacks.get(client)
+            if stack is None:
+                stack = _RecencyStack(config.locality_stack_depth)
+                stacks[client] = stack
 
-        if mod_draws[i] < config.mod_probability:
-            versions[doc] = versions.get(doc, 0) + 1
+            doc = None
+            if locality_draws[i] < config.locality_probability:
+                doc = stack.sample(py_rng)
+            if doc is None:
+                prev_rank = last_rank.get(client)
+                if (
+                    prev_rank is not None
+                    and server_draws[i] < config.server_locality
+                ):
+                    # Stay on the same site: another page of the previous
+                    # request's server (a rank range of its boundary table).
+                    server = int(server_of_rank[prev_rank])
+                    low = (
+                        int(server_rank_bounds[server - 1])
+                        if server > 0
+                        else 0
+                    )
+                    high = int(server_rank_bounds[server])
+                    rank = low + py_rng.randrange(max(1, high - low))
+                else:
+                    rank = int(doc_rank_draws[i])
+                doc = int(doc_ids[rank])
+            last_rank[client] = int(rank_of_doc[doc])
+            stack.push(doc)
 
-        server = int(server_for_doc[doc])
-        requests.append(
-            Request(
-                timestamp=float(timestamps[i]),
+            if mod_draws[i] < config.mod_probability:
+                versions[doc] = versions.get(doc, 0) + 1
+
+            server = int(server_for_doc[doc])
+            yield Request(
+                timestamp=timestamp,
                 client_id=client,
                 url=make_url(server, doc),
                 size=int(sizes[doc]),
                 version=versions.get(doc, 0),
             )
-        )
+        produced += m
 
-    return Trace(requests=requests, name=config.name)
+
+def generate_trace(config: SyntheticTraceConfig) -> Trace:
+    """Generate a synthetic trace per *config*.
+
+    Deterministic for a fixed config (including seed).  A thin
+    materializing wrapper over :func:`iter_requests`; callers that can
+    consume an iterable should prefer the streaming core directly.
+    """
+    return Trace(requests=list(iter_requests(config)), name=config.name)

@@ -27,7 +27,11 @@ from typing import Dict, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.traces.model import Trace
-from repro.traces.synthetic import SyntheticTraceConfig, generate_trace
+from repro.traces.synthetic import (
+    SyntheticTraceConfig,
+    generate_trace,
+    iter_requests,
+)
 
 
 @dataclass(frozen=True)
@@ -128,19 +132,20 @@ WORKLOAD_PRESETS: Dict[str, WorkloadPreset] = {
 }
 
 
-def make_workload(
-    name: str, scale: float = 1.0, seed: Optional[int] = None
-) -> Tuple[Trace, int]:
-    """Generate the preset workload *name* at the given *scale*.
+def workload_config(
+    name: str,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    num_requests: Optional[int] = None,
+) -> Tuple[SyntheticTraceConfig, int]:
+    """Resolve preset *name* into ``(config, num_groups)``.
 
-    Returns ``(trace, num_groups)``.  ``scale`` multiplies request,
-    client, and document counts together (client counts never scale below
-    the group count, so every proxy still receives traffic).  ``seed``
-    overrides the preset's fixed generator seed; generation is fully
-    deterministic either way, so the same ``(name, scale, seed)`` yields
-    an identical trace in any process -- the property the parallel
-    experiment runner relies on to keep worker results bit-exact with a
-    serial run.
+    Applies the same scale/seed adjustments :func:`make_workload` does
+    without generating anything -- the streaming/packing paths build
+    their own request source from the config.  *num_requests* overrides
+    the request count alone (clients and documents untouched), the knob
+    the bounded-memory benchmarks turn to grow trace length while the
+    working set stays fixed.
     """
     try:
         preset = WORKLOAD_PRESETS[name.lower()]
@@ -156,4 +161,50 @@ def make_workload(
             config = replace(config, num_clients=preset.num_groups)
     if seed is not None:
         config = replace(config, seed=seed)
-    return generate_trace(config), preset.num_groups
+    if num_requests is not None:
+        if num_requests < 1:
+            raise ConfigurationError("num_requests must be >= 1")
+        config = replace(config, num_requests=num_requests)
+    return config, preset.num_groups
+
+
+def make_workload(
+    name: str, scale: float = 1.0, seed: Optional[int] = None
+) -> Tuple[Trace, int]:
+    """Generate the preset workload *name* at the given *scale*.
+
+    Returns ``(trace, num_groups)``.  ``scale`` multiplies request,
+    client, and document counts together (client counts never scale below
+    the group count, so every proxy still receives traffic).  ``seed``
+    overrides the preset's fixed generator seed; generation is fully
+    deterministic either way, so the same ``(name, scale, seed)`` yields
+    an identical trace in any process -- the property the parallel
+    experiment runner relies on to keep worker results bit-exact with a
+    serial run.
+    """
+    config, num_groups = workload_config(name, scale=scale, seed=seed)
+    return generate_trace(config), num_groups
+
+
+def pack_workload(
+    name: str,
+    path,
+    scale: float = 1.0,
+    seed: Optional[int] = None,
+    num_requests: Optional[int] = None,
+) -> Tuple[int, int]:
+    """Stream preset workload *name* into a packed binary trace at *path*.
+
+    Returns ``(records_written, num_groups)``.  The request stream is
+    drained straight from the generator core into the writer, so memory
+    stays O(clients + documents + distinct URLs) however large
+    *num_requests* is.  The packed file replays bit-exact with
+    ``make_workload(name, scale, seed)[0]`` (same config, same stream).
+    """
+    from repro.traces.binary import pack_trace
+
+    config, num_groups = workload_config(
+        name, scale=scale, seed=seed, num_requests=num_requests
+    )
+    records = pack_trace(iter_requests(config), path, name=config.name)
+    return records, num_groups

@@ -1,0 +1,62 @@
+"""Tests for the trace-engine benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarkkit.tracebench import (
+    REPLAY_MODES,
+    bench_pack,
+    bench_scan,
+    bit_exact_check,
+    measure_replay_rss,
+)
+from repro.errors import ConfigurationError
+
+WORKLOAD = "nlanr"
+SCALE = 0.1
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("bench") / "nlanr.sctr")
+    stats = bench_pack(WORKLOAD, path, scale=SCALE)
+    return path, stats
+
+
+class TestThroughput:
+    def test_pack_reports_rates(self, packed):
+        _, stats = packed
+        assert stats["records"] == 3500
+        assert stats["pack_records_per_second"] > 0
+        assert stats["file_bytes"] > stats["records"] * 24
+
+    def test_scan_covers_every_record(self, packed):
+        path, stats = packed
+        scan = bench_scan(path)
+        assert scan["records"] == stats["records"]
+        assert scan["scan_records_per_second"] > 0
+
+
+class TestReplay:
+    def test_bit_exact_check_passes(self, packed):
+        path, _ = packed
+        outcome = bit_exact_check(WORKLOAD, path, scale=SCALE)
+        assert outcome["bit_exact"] is True
+        assert (
+            outcome["streamed_hit_ratio"]
+            == outcome["in_memory_hit_ratio"]
+        )
+
+    def test_rss_worker_reports_peak(self, packed):
+        path, _ = packed
+        entry = measure_replay_rss(path, mode="stream", groups=4)
+        assert entry["mode"] == "stream"
+        assert entry["requests"] == 3500
+        assert entry["peak_rss_bytes"] >= entry["baseline_rss_bytes"] > 0
+
+    def test_rejects_unknown_mode(self, packed):
+        path, _ = packed
+        assert "stream" in REPLAY_MODES
+        with pytest.raises(ConfigurationError):
+            measure_replay_rss(path, mode="forked")

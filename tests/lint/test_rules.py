@@ -289,6 +289,61 @@ class TestSC002Wire:
         )
         assert project.lint(select="SC002") == []
 
+    def test_trace_record_layout_clean(self, project: LintProject) -> None:
+        # The binary trace module's exact shape: header, record, and
+        # string-table entry formats with their *_SIZE constants.
+        project.write(
+            "src/repro/traces/mod.py",
+            """\
+            import struct
+
+            TRACE_HEADER_SIZE = 40
+            _TRACE_HEADER = struct.Struct("!4sHHQQQQ")
+
+            TRACE_RECORD_SIZE = 24
+            _TRACE_RECORD = struct.Struct("!dIIII")
+
+            STRING_ENTRY_SIZE = 2
+            _STRING_ENTRY = struct.Struct("!H")
+            """,
+        )
+        assert project.lint(select="SC002") == []
+
+    def test_trace_record_size_drift_flagged(
+        self, project: LintProject
+    ) -> None:
+        # Regression guard for the failure SC002 exists to catch: a
+        # record format grows a field but the size constant is stale.
+        project.write(
+            "src/repro/traces/mod.py",
+            """\
+            import struct
+
+            TRACE_RECORD_SIZE = 24
+            _TRACE_RECORD = struct.Struct("!dIIIII")
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "packs 28 bytes" in findings[0].message
+        assert "TRACE_RECORD_SIZE declares 24" in findings[0].message
+
+    def test_host_order_trace_record_flagged(
+        self, project: LintProject
+    ) -> None:
+        project.write(
+            "src/repro/traces/mod.py",
+            """\
+            import struct
+
+            TRACE_RECORD_SIZE = 24
+            _TRACE_RECORD = struct.Struct("=dIIII")
+            """,
+        )
+        findings = project.lint(select="SC002")
+        assert len(findings) == 1
+        assert "network byte order" in findings[0].message
+
 
 class TestSC003Metrics:
     def test_non_snake_case_name(self, project: LintProject) -> None:

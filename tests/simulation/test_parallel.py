@@ -134,3 +134,46 @@ class TestExperimentsIntegration:
             workloads=("nlanr",), scale=SCALE, jobs=2
         )
         assert serial == parallel
+
+
+class TestPackOnceReplayMany:
+    def test_trace_path_cell_matches_generated_cell(self, tmp_path):
+        from repro.traces.workloads import pack_workload
+
+        path = str(tmp_path / "nlanr.sctr")
+        pack_workload("nlanr", path, scale=SCALE)
+        generated = ExperimentCell(workload="nlanr", scale=SCALE)
+        packed = ExperimentCell(
+            workload="nlanr", scale=SCALE, trace_path=path
+        )
+        assert _signature(run_cell(packed)) == _signature(
+            run_cell(generated)
+        )
+
+    def test_pack_grid_traces_dedups_by_workload(self, tmp_path):
+        from repro.simulation.parallel import pack_grid_traces
+
+        cells = fig5_grid(
+            ["nlanr"], load_factors=(8, 16), scale=SCALE
+        )
+        packed = pack_grid_traces(cells, tmp_path)
+        assert len(packed) == len(cells)
+        paths = {cell.trace_path for cell in packed}
+        # Many cells, one workload -> exactly one packed file.
+        assert len(paths) == 1
+        assert list(tmp_path.glob("*.sctr"))
+
+    def test_packed_grid_matches_generated_grid(self, tmp_path):
+        from repro.simulation.parallel import pack_grid_traces
+
+        cells = fig5_grid(
+            ["nlanr"],
+            load_factors=(8,),
+            include_server_name=False,
+            scale=SCALE,
+        )
+        direct = run_cells(cells, jobs=1)
+        packed = run_cells(pack_grid_traces(cells, tmp_path), jobs=2)
+        assert [_signature(r) for r in packed] == [
+            _signature(r) for r in direct
+        ]

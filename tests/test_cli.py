@@ -266,3 +266,162 @@ class TestObsCommands:
         )
         assert args.trace_capacity == 64
         assert args.no_trace is True
+
+
+class TestTraceCommands:
+    @pytest.fixture
+    def packed(self, tmp_path, capsys):
+        path = tmp_path / "nlanr.sctr"
+        assert (
+            main(
+                [
+                    "trace",
+                    "pack",
+                    "--workload",
+                    "nlanr",
+                    "--scale",
+                    "0.1",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "packed" in capsys.readouterr().out
+        return path
+
+    def test_pack_then_info(self, packed, capsys):
+        assert main(["trace", "info", str(packed)]) == 0
+        out = capsys.readouterr().out
+        assert "nlanr" in out
+        assert "records" in out
+
+    def test_verify_ok(self, packed, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "verify",
+                    str(packed),
+                    "--workload",
+                    "nlanr",
+                    "--scale",
+                    "0.1",
+                    "--proxies",
+                    "4",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+
+    def test_verify_detects_wrong_workload(self, packed, capsys):
+        assert (
+            main(
+                [
+                    "trace",
+                    "verify",
+                    str(packed),
+                    "--workload",
+                    "nlanr",
+                    "--scale",
+                    "0.1",
+                    "--seed",
+                    "9999",
+                ]
+            )
+            == 1
+        )
+        assert "MISMATCH" in capsys.readouterr().out
+
+    def test_requests_override(self, tmp_path, capsys):
+        path = tmp_path / "short.sctr"
+        assert (
+            main(
+                [
+                    "trace",
+                    "pack",
+                    "--workload",
+                    "nlanr",
+                    "--requests",
+                    "300",
+                    "--out",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        assert "300" in capsys.readouterr().out
+
+    def test_trace_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+
+class TestDisseminationCommand:
+    def test_small_cluster_both_policies(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "bench.json"
+        path.write_text(json.dumps({"existing_key": 1}))
+        assert (
+            main(
+                [
+                    "dissemination",
+                    "--workload",
+                    "nlanr",
+                    "--scale",
+                    "0.1",
+                    "--requests",
+                    "1500",
+                    "--proxies",
+                    "4",
+                    "--cache-mb",
+                    "0.5",
+                    "--json",
+                    str(path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Section V-F measured" in out
+        assert "unicast" in out
+        assert "hierarchy" in out
+        doc = json.loads(path.read_text())
+        assert doc["existing_key"] == 1
+        runs = doc["dissemination"]["runs"]
+        assert [r["dissemination"] for r in runs] == [
+            "unicast",
+            "hierarchy",
+        ]
+        assert all(r["udp_sent"] == r["udp_received"] for r in runs)
+
+    def test_single_policy_selection(self, capsys):
+        assert (
+            main(
+                [
+                    "dissemination",
+                    "--workload",
+                    "nlanr",
+                    "--scale",
+                    "0.1",
+                    "--requests",
+                    "800",
+                    "--proxies",
+                    "4",
+                    "--cache-mb",
+                    "0.5",
+                    "--policies",
+                    "hierarchy",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "hierarchy" in out
+        assert not any(
+            line.startswith("unicast")
+            for line in out.splitlines()
+        )

@@ -1,0 +1,285 @@
+"""Tests for the packed binary trace format (.sctr)."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceFormatError, TraceIndexError
+from repro.traces.binary import (
+    TRACE_HEADER_SIZE,
+    TRACE_MAGIC,
+    TRACE_RECORD_SIZE,
+    BinaryTraceReader,
+    BinaryTraceWriter,
+    TraceWindow,
+    pack_trace,
+    read_binary,
+    write_binary,
+)
+from repro.traces.model import Request, Trace
+
+
+@pytest.fixture
+def trace() -> Trace:
+    return Trace(
+        name="bin-test",
+        requests=[
+            Request(0.0, 0, "http://a.com/1", 100, 0),
+            Request(0.5, 1, "http://b.com/2", 2048, 3),
+            Request(1.5, 0, "http://a.com/1", 100, 0),
+            Request(2.0, 7, "http://c.com/3?q=1", 64, 1),
+            Request(9.0, 1, "http://a.com/1", 100, 0),
+        ],
+    )
+
+
+@pytest.fixture
+def packed(trace, tmp_path) -> str:
+    path = str(tmp_path / "t.sctr")
+    pack_trace(trace, path)
+    return path
+
+
+class TestRoundTrip:
+    def test_materialize_equals_original(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            assert reader.materialize() == trace
+
+    def test_name_preserved(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            assert reader.name == "bin-test"
+
+    def test_read_write_binary_parity(self, trace, tmp_path):
+        path = tmp_path / "p.sctr"
+        write_binary(trace, path)
+        assert read_binary(path) == trace
+
+    def test_empty_trace(self, tmp_path):
+        path = str(tmp_path / "empty.sctr")
+        assert pack_trace(Trace(name="none"), path) == 0
+        with BinaryTraceReader(path) as reader:
+            assert len(reader) == 0
+            assert list(reader) == []
+            assert reader.duration == 0.0
+            assert reader.clients() == []
+
+    def test_pack_from_generator(self, trace, tmp_path):
+        path = str(tmp_path / "gen.sctr")
+        count = pack_trace((r for r in trace.requests), path, name="gen")
+        assert count == len(trace)
+        with BinaryTraceReader(path) as reader:
+            assert list(reader) == trace.requests
+
+    def test_duplicate_urls_stored_once(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            urls = reader.urls()
+            assert len(urls) == 3
+            assert sorted(urls) == sorted(
+                {r.url for r in trace.requests}
+            )
+
+
+class TestReaderAccess:
+    def test_len_and_getitem(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            assert len(reader) == 5
+            for i, req in enumerate(trace.requests):
+                assert reader[i] == req
+            assert reader[-1] == trace.requests[-1]
+
+    def test_out_of_range_raises_index_error(self, packed):
+        with BinaryTraceReader(packed) as reader:
+            with pytest.raises(IndexError):
+                reader[5]
+            with pytest.raises(TraceIndexError):
+                reader[-6]
+
+    def test_duration_is_o1_and_matches_trace(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            assert reader.duration == trace.duration == 9.0
+
+    def test_clients_sorted_and_cached(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            clients = reader.clients()
+            assert clients == trace.clients() == [0, 1, 7]
+            assert reader.clients() is clients
+
+    def test_iter_range(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            assert list(reader.iter_range(1, 4)) == trace.requests[1:4]
+
+    def test_small_advise_window_scans_whole_trace(self, tmp_path):
+        # A window below one page exercises the madvise trimming path.
+        requests = [
+            Request(float(i), i % 5, f"http://s/{i % 50}", 10, 0)
+            for i in range(2000)
+        ]
+        path = str(tmp_path / "adv.sctr")
+        pack_trace(requests, path)
+        with BinaryTraceReader(path, advise_window=4096) as reader:
+            assert list(reader) == requests
+
+
+class TestWindows:
+    def test_slice_matches_trace_slice(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            window = reader[1:4]
+            assert isinstance(window, TraceWindow)
+            assert len(window) == 3
+            assert list(window) == trace.requests[1:4]
+            assert window.materialize().requests == trace.requests[1:4]
+
+    def test_sub_slicing_and_negative_index(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            window = reader[1:5][1:3]
+            assert list(window) == trace.requests[2:4]
+            assert window[-1] == trace.requests[3]
+
+    def test_head(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            head = reader.head(2)
+            assert list(head) == trace.requests[:2]
+            assert "[0:2]" in head.name
+
+    def test_window_clients_and_duration(self, trace, packed):
+        with BinaryTraceReader(packed) as reader:
+            window = reader[0:3]
+            assert window.clients() == [0, 1]
+            assert window.duration == 1.5
+
+    def test_window_out_of_range(self, packed):
+        with BinaryTraceReader(packed) as reader:
+            window = reader[1:3]
+            with pytest.raises(TraceIndexError):
+                window[2]
+
+    def test_step_slicing_rejected(self, packed):
+        with BinaryTraceReader(packed) as reader:
+            with pytest.raises(TraceFormatError):
+                reader[::2]
+
+
+class TestWriterLimits:
+    def test_oversized_url_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="URL"):
+            pack_trace(
+                [Request(0.0, 0, "x" * 70_000, 1, 0)],
+                str(tmp_path / "big.sctr"),
+            )
+
+    def test_unencodable_url_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError, match="UTF-8"):
+            pack_trace(
+                [Request(0.0, 0, "\ud800", 1, 0)],
+                str(tmp_path / "surrogate.sctr"),
+            )
+
+    def test_field_overflow_rejected(self, tmp_path):
+        with pytest.raises(TraceFormatError):
+            pack_trace(
+                [Request(0.0, 2**32, "u", 1, 0)],
+                str(tmp_path / "over.sctr"),
+            )
+
+    def test_writer_context_manager(self, tmp_path):
+        path = str(tmp_path / "cm.sctr")
+        with BinaryTraceWriter(path, name="cm") as writer:
+            writer.append(Request(1.0, 2, "http://u/", 3, 4))
+            assert writer.count == 1
+        with BinaryTraceReader(path) as reader:
+            assert reader[0] == Request(1.0, 2, "http://u/", 3, 4)
+
+
+class TestCorruptFiles:
+    def test_bad_magic(self, packed, tmp_path):
+        data = bytearray(open(packed, "rb").read())
+        data[:4] = b"NOPE"
+        bad = tmp_path / "bad.sctr"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="magic"):
+            BinaryTraceReader(bad)
+
+    def test_bad_version(self, packed, tmp_path):
+        data = bytearray(open(packed, "rb").read())
+        data[4:6] = struct.pack("!H", 99)
+        bad = tmp_path / "bad.sctr"
+        bad.write_bytes(bytes(data))
+        with pytest.raises(TraceFormatError, match="version"):
+            BinaryTraceReader(bad)
+
+    def test_truncated_records(self, packed, tmp_path):
+        data = open(packed, "rb").read()
+        bad = tmp_path / "bad.sctr"
+        bad.write_bytes(data[: TRACE_HEADER_SIZE + TRACE_RECORD_SIZE // 2])
+        with pytest.raises(TraceFormatError):
+            BinaryTraceReader(bad)
+
+    def test_header_shorter_than_header_size(self, tmp_path):
+        bad = tmp_path / "tiny.sctr"
+        bad.write_bytes(TRACE_MAGIC)
+        with pytest.raises(TraceFormatError):
+            BinaryTraceReader(bad)
+
+
+# Surrogates (category Cs) are not encodable as UTF-8; the writer
+# rejects them with TraceFormatError (covered in TestWriterLimits).
+_urls = st.text(
+    alphabet=st.characters(
+        min_codepoint=32, max_codepoint=0x10FFFF, exclude_categories=("Cs",)
+    ),
+    min_size=1,
+    max_size=40,
+)
+_requests = st.builds(
+    Request,
+    timestamp=st.floats(
+        min_value=0.0, max_value=1e12, allow_nan=False, allow_infinity=False
+    ),
+    client_id=st.integers(min_value=0, max_value=2**32 - 1),
+    url=_urls,
+    size=st.integers(min_value=0, max_value=2**32 - 1),
+    version=st.integers(min_value=0, max_value=2**32 - 1),
+)
+
+
+class TestProperties:
+    # tmp_path is reused across examples on purpose: each example
+    # overwrites the same file, so the health check is a false alarm.
+    @settings(
+        max_examples=50,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(requests=st.lists(_requests, max_size=60))
+    def test_round_trip_preserves_every_field(self, requests, tmp_path):
+        path = str(tmp_path / "prop.sctr")
+        pack_trace(requests, path, name="prop")
+        with BinaryTraceReader(path) as reader:
+            assert list(reader) == requests
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        requests=st.lists(_requests, min_size=1, max_size=40),
+        data=st.data(),
+    )
+    def test_random_slices_match_list_slices(
+        self, requests, data, tmp_path
+    ):
+        path = str(tmp_path / "slice.sctr")
+        pack_trace(requests, path)
+        start = data.draw(
+            st.integers(min_value=0, max_value=len(requests))
+        )
+        stop = data.draw(
+            st.integers(min_value=start, max_value=len(requests))
+        )
+        with BinaryTraceReader(path) as reader:
+            assert list(reader[start:stop]) == requests[start:stop]

@@ -48,3 +48,24 @@ class TestTrace:
         trace = Trace.from_requests(reqs, name="gen")
         assert len(trace) == 3
         assert trace.name == "gen"
+
+
+class TestCachedAccessors:
+    def test_clients_cached_and_stable(self, tiny_trace):
+        first = tiny_trace.clients()
+        assert first == [0, 1]
+        # Regression: clients() scans once and caches; repeated calls
+        # must return the identical list object, not a fresh scan.
+        assert tiny_trace.clients() is first
+
+    def test_duration_cached(self, tiny_trace):
+        assert tiny_trace.duration == 5.0
+        # cached_property materializes into the instance dict.
+        assert "duration" in tiny_trace.__dict__
+        assert tiny_trace.duration == 5.0
+
+    def test_fresh_traces_have_independent_caches(self):
+        a = Trace(requests=[Request(0.0, 3, "u", 1)])
+        b = Trace(requests=[Request(0.0, 9, "u", 1)])
+        assert a.clients() == [3]
+        assert b.clients() == [9]

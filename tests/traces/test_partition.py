@@ -81,3 +81,37 @@ class TestGroupedChunks:
 
         with pytest.raises(ConfigurationError):
             list(grouped_chunks(tiny_trace, 2, chunk_size=0))
+
+
+class TestIterableInputs:
+    """The partition helpers accept any Request iterable, not just Trace."""
+
+    def test_grouped_chunks_over_generator(self, tiny_trace):
+        from repro.traces.partition import grouped_chunks
+
+        from_trace = [
+            pair
+            for chunk in grouped_chunks(tiny_trace, 2, chunk_size=2)
+            for pair in chunk
+        ]
+        from_stream = [
+            pair
+            for chunk in grouped_chunks(
+                (r for r in tiny_trace.requests), 2, chunk_size=2
+            )
+            for pair in chunk
+        ]
+        assert from_stream == from_trace
+
+    def test_partition_by_client_over_generator(self, tiny_trace):
+        expected = partition_by_client(tiny_trace, 2)
+        actual = partition_by_client(
+            (r for r in tiny_trace.requests), 2
+        )
+        for expected_part, actual_part in zip(expected, actual):
+            assert actual_part.requests == expected_part.requests
+
+    def test_split_by_group_over_generator(self, tiny_trace):
+        assert split_by_group(
+            (r for r in tiny_trace.requests), 2
+        ) == split_by_group(tiny_trace, 2)

@@ -177,3 +177,39 @@ class TestServerLocality:
                 docs_per_server[server_of(req.url)] += 1
         sizes = sorted(docs_per_server.values())
         assert sizes[-1] > 5 * sizes[len(sizes) // 2]
+
+
+class TestStreamingCore:
+    """iter_requests() is the generator core generate_trace() wraps."""
+
+    def test_stream_matches_materialized_trace(self):
+        from repro.traces.synthetic import iter_requests
+
+        assert list(iter_requests(BASE)) == generate_trace(BASE).requests
+
+    def test_block_size_never_changes_the_stream(self):
+        from repro.traces.synthetic import iter_requests
+
+        reference = list(iter_requests(BASE))
+        for block_size in (1, 97, 8192, 10**9):
+            assert (
+                list(iter_requests(BASE, block_size=block_size))
+                == reference
+            ), block_size
+
+    def test_rejects_bad_block_size(self):
+        from repro.traces.synthetic import iter_requests
+
+        with pytest.raises(ConfigurationError):
+            next(iter_requests(BASE, block_size=0))
+
+    def test_stream_is_lazy(self):
+        from itertools import islice
+
+        from repro.traces.synthetic import iter_requests
+
+        # Draw a prefix without exhausting the stream: the prefix must
+        # equal the full trace's prefix (jump-ahead RNG streams, not a
+        # different sequence).
+        prefix = list(islice(iter_requests(BASE), 10))
+        assert prefix == generate_trace(BASE).requests[:10]

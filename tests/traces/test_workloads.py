@@ -53,3 +53,52 @@ class TestPresets:
     def test_case_insensitive(self):
         trace, _ = make_workload("UPisa", scale=0.05)
         assert len(trace) > 0
+
+
+class TestWorkloadConfig:
+    def test_matches_make_workload_geometry(self):
+        from repro.traces.workloads import workload_config
+
+        config, groups = workload_config("upisa", scale=0.5)
+        trace, groups_made = make_workload("upisa", scale=0.5)
+        assert groups == groups_made
+        assert config.num_requests == len(trace)
+
+    def test_num_requests_overrides_count_only(self):
+        from repro.traces.workloads import workload_config
+
+        base, _ = workload_config("nlanr")
+        grown, _ = workload_config("nlanr", num_requests=123_456)
+        assert grown.num_requests == 123_456
+        assert grown.num_clients == base.num_clients
+        assert grown.num_documents == base.num_documents
+
+    def test_rejects_bad_num_requests(self):
+        from repro.traces.workloads import workload_config
+
+        with pytest.raises(ConfigurationError):
+            workload_config("nlanr", num_requests=0)
+
+
+class TestPackWorkload:
+    def test_packed_file_replays_bit_exact(self, tmp_path):
+        from repro.traces.binary import BinaryTraceReader
+        from repro.traces.workloads import pack_workload
+
+        path = str(tmp_path / "nlanr.sctr")
+        records, groups = pack_workload("nlanr", path, scale=0.1)
+        trace, groups_made = make_workload("nlanr", scale=0.1)
+        assert (records, groups) == (len(trace), groups_made)
+        with BinaryTraceReader(path) as reader:
+            assert reader.name == "nlanr"
+            assert list(reader) == trace.requests
+
+    def test_num_requests_knob(self, tmp_path):
+        from repro.traces.binary import BinaryTraceReader
+        from repro.traces.workloads import pack_workload
+
+        path = str(tmp_path / "short.sctr")
+        records, _ = pack_workload("nlanr", path, num_requests=500)
+        assert records == 500
+        with BinaryTraceReader(path) as reader:
+            assert len(reader) == 500
